@@ -1,0 +1,1 @@
+bench/main.ml: Array Calibro_workload Harness List Micro Sys

@@ -1,0 +1,583 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (section 4) on the synthetic six-app workload.
+
+   Absolute numbers differ from the paper (the substrate is a simulator at
+   ~1000:1 scale; see DESIGN.md); each table prints the paper's values
+   alongside so the shape comparison is direct. *)
+
+open Calibro_core
+open Calibro_workload
+open Calibro_vm
+module Profile = Calibro_profile.Profile
+
+let pct = Report.pct
+
+(* ---- Per-app evaluation state ------------------------------------------ *)
+
+type app_eval = {
+  e_app : Appgen.app;
+  e_base : Pipeline.build;
+  e_cto : Pipeline.build;
+  e_ltbo : Pipeline.build;       (* CTO+LTBO, single global suffix tree *)
+  e_pl : Pipeline.build;         (* CTO+LTBO+PlOpti(8) *)
+  e_hf : Pipeline.build;         (* CTO+LTBO+PlOpti+HfOpti *)
+  e_hot : Calibro_dex.Dex_ir.method_ref list;
+  (* script measurements: (cycles, resident code bytes) *)
+  e_run_base : int * int;
+  e_run_cto : int * int;
+  e_run_pl : int * int;
+  e_run_hf : int * int;
+}
+
+let run_script oat (script : Appgen.script) =
+  let t = Interp.load oat in
+  List.iter
+    (fun (st : Appgen.script_step) ->
+      for _ = 1 to st.Appgen.sc_repeat do
+        match Interp.call t st.Appgen.sc_method st.Appgen.sc_args with
+        | Interp.Fault m ->
+          failwith
+            (Printf.sprintf "script fault in %s: %s"
+               (Calibro_dex.Dex_ir.method_ref_to_string st.Appgen.sc_method)
+               m)
+        | _ -> ()
+      done)
+    script;
+  t
+
+let measure oat script =
+  let t = run_script oat script in
+  (Interp.cycles t, Interp.resident_code_bytes t)
+
+let evaluate_app (profile : Appgen.profile) : app_eval =
+  Printf.eprintf "[bench] evaluating %s...\n%!" profile.Appgen.p_name;
+  let a = Appgen.generate profile in
+  let apk = a.Appgen.app in
+  let script = a.Appgen.app_script in
+  let base = Pipeline.build ~config:Config.baseline apk in
+  (* Figure 6 workflow: profile the baseline build, derive the hot set. *)
+  let tb = run_script base.Pipeline.b_oat script in
+  let hot = Profile.hot_set (Profile.of_interp tb) in
+  let cto = Pipeline.build ~config:Config.cto apk in
+  let ltbo = Pipeline.build ~config:Config.cto_ltbo apk in
+  let pl = Pipeline.build ~config:(Config.cto_ltbo_pl ~k:8 ()) apk in
+  let hf =
+    Pipeline.build ~config:(Config.cto_ltbo_pl_hf ~k:8 ~hot_methods:hot ()) apk
+  in
+  { e_app = a;
+    e_base = base; e_cto = cto; e_ltbo = ltbo; e_pl = pl; e_hf = hf;
+    e_hot = hot;
+    e_run_base = (Interp.cycles tb, Interp.resident_code_bytes tb);
+    e_run_cto = measure cto.Pipeline.b_oat script;
+    e_run_pl = measure pl.Pipeline.b_oat script;
+    e_run_hf = measure hf.Pipeline.b_oat script }
+
+let app_names evals =
+  List.map (fun e -> e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name) evals
+
+(* ---- Table 1: estimated code-size reduction ratios --------------------- *)
+
+let paper_table1 = [ 25.4; 26.3; 24.5; 24.3; 27.7; 24.3 ]
+
+let table1 evals =
+  let ratios =
+    List.map
+      (fun e -> (Redundancy.analyze e.e_base.Pipeline.b_oat).Redundancy.a_ratio)
+      evals
+  in
+  let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  Report.print
+    { Report.title =
+        "Table 1: estimated code size reduction ratios (suffix-tree analysis)";
+      columns = app_names evals;
+      rows =
+        [ ("measured", List.map pct ratios @ [ pct (avg ratios) ]);
+          ("paper",
+           List.map (fun p -> Printf.sprintf "%.1f%%" p) paper_table1
+           @ [ Printf.sprintf "%.1f%%" (avg paper_table1) ]) ] }
+
+(* ---- Figure 2: the benefit model (exercised everywhere; shown here) ----- *)
+
+let figure2 () =
+  print_endline "== Figure 2: benefit model (L = length, N = repeats) ==";
+  List.iter
+    (fun (l, n) ->
+      Printf.printf
+        "  L=%2d N=%4d: original=%5d optimized=%5d saving=%5d ratio=%s\n" l n
+        (Benefit.original_size ~length:l ~repeats:n)
+        (Benefit.optimized_size ~length:l ~repeats:n)
+        (Benefit.saving ~length:l ~repeats:n)
+        (pct (Benefit.reduction_ratio ~length:l ~repeats:n)))
+    [ (2, 1006); (2, 3); (5, 173); (9, 12); (20, 2) ]
+
+(* ---- Figure 3: sequence length vs number of repeats --------------------- *)
+
+let figure3 evals =
+  let e =
+    (* the paper analyses WeChat; fall back to the last app *)
+    match
+      List.find_opt
+        (fun e -> e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name = "Wechat")
+        evals
+    with
+    | Some e -> e
+    | None -> List.hd (List.rev evals)
+  in
+  let analysis = Redundancy.analyze e.e_base.Pipeline.b_oat in
+  print_endline
+    ("== Figure 3: sequence length vs number of repeats ("
+     ^ e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name
+     ^ ") ==");
+  print_endline "  length  repeats   (log-scale bar)";
+  let maxn =
+    List.fold_left (fun m (_, n) -> max m n) 1 analysis.Redundancy.a_histogram
+  in
+  List.iter
+    (fun (len, n) ->
+      if len <= 24 then begin
+        let bar =
+          String.make
+            (max 1
+               (int_of_float
+                  (40.0 *. log (float_of_int (n + 1))
+                   /. log (float_of_int (maxn + 1)))))
+            '#'
+        in
+        Printf.printf "  %6d  %7d   %s\n" len n bar
+      end)
+    analysis.Redundancy.a_histogram;
+  (* the paper's observation 2: short sequences dominate *)
+  let mass below =
+    List.fold_left
+      (fun acc (l, n) -> if l <= below then acc + n else acc)
+      0 analysis.Redundancy.a_histogram
+  in
+  let total = mass max_int in
+  Printf.printf
+    "  repeats with length <= 4: %s of all repeat occurrences\n"
+    (pct (float_of_int (mass 4) /. float_of_int (max 1 total)))
+
+(* ---- Figure 4: the three ART-specific patterns --------------------------- *)
+
+let figure4 evals =
+  print_endline "== Figure 4: ART-specific repetitive code patterns ==";
+  List.iter
+    (fun e ->
+      let c = Redundancy.pattern_census e.e_base.Pipeline.b_oat in
+      Printf.printf
+        "  %-9s java-call (4a): %6d   runtime-call (4b): %6d   stack-check (4c): %6d\n"
+        e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name
+        c.Redundancy.c_java_call c.Redundancy.c_runtime_call
+        c.Redundancy.c_stack_check)
+    evals;
+  print_endline
+    "  (paper, WeChat: java-call 1006k, stack-check 173k, runtime-call 217k)"
+
+(* ---- Table 2: the outline-and-patch worked example ----------------------- *)
+
+let table2 () =
+  print_endline "== Table 2: code outlining and patching example ==";
+  let open Calibro_aarch64 in
+  let open Calibro_codegen in
+  (* Code 1, as in the paper (with ldr x3, [x0] in place of the listing's
+     ldr x3, [w0], which is not encodable). *)
+  let seq rd =
+    [ Isa.Ldr { size = Isa.W; rt = 2; rn = 0; imm = 0 };
+      Isa.cmp_reg ~size:Isa.W 2 1;
+      Isa.mov_reg ~size:Isa.X 3 rd ]
+  in
+  let code1 =
+    [ Isa.Cbz { size = Isa.W; rt = 0; disp = 0xc } ]
+    @ seq 4
+    @ [ Isa.Ldr { size = Isa.X; rt = 3; rn = 0; imm = 0 }; Isa.Ret ]
+  in
+  (* Four sibling methods containing the same (ldr w2,[x0]; cmp w2,w1)
+     prefix so the benefit model fires (L=2 needs N>=4). *)
+  let mk_method i instrs =
+    let code = Encode.to_bytes instrs in
+    let pc_rel =
+      List.concat
+        (List.mapi
+           (fun k ins ->
+             match Isa.pc_rel_disp ins with
+             | Some d -> [ (k * 4, (k * 4) + d) ]
+             | None -> [])
+           instrs)
+    in
+    let terminators =
+      List.concat
+        (List.mapi
+           (fun k ins -> if Isa.is_terminator ins then [ k * 4 ] else [])
+           instrs)
+    in
+    { Compiled_method.name =
+        { Calibro_dex.Dex_ir.class_name = "ex"; method_name = Printf.sprintf "m%d" i };
+      slot = i; code; relocs = [];
+      meta = { Meta.empty with Meta.pc_rel; terminators };
+      stackmap = []; num_params = 0; is_entry = false; cto_hits = [] }
+  in
+  let methods =
+    mk_method 0 code1
+    :: List.init 3 (fun i ->
+           mk_method (i + 1) (seq (4 + i) @ [ Isa.Ret ]))
+  in
+  let result = Ltbo.run methods in
+  let oat =
+    Calibro_oat.Linker.link ~apk_name:"example" ~extra:result.Ltbo.outlined
+      result.Ltbo.methods
+  in
+  let m0 = List.hd oat.Calibro_oat.Oat_file.methods in
+  print_endline "  // Code 1: original code sequence";
+  print_string
+    (Disasm.dump ~base:0x138320 (Encode.to_bytes code1)
+     |> String.split_on_char '\n'
+     |> List.map (fun l -> if l = "" then l else "  " ^ l)
+     |> String.concat "\n");
+  print_endline "  // Code 2: outlined function";
+  List.iter
+    (fun (ol : Calibro_oat.Oat_file.outlined_entry) ->
+      print_string
+        (Disasm.dump
+           ~base:(Abi.text_base + ol.ol_offset)
+           (Bytes.sub oat.Calibro_oat.Oat_file.text ol.ol_offset ol.ol_size)
+         |> String.split_on_char '\n'
+         |> List.map (fun l -> if l = "" then l else "  " ^ l)
+         |> String.concat "\n"))
+    oat.Calibro_oat.Oat_file.outlined;
+  print_endline "  // Code 4: rewritten and patched original sequence";
+  print_string
+    (Disasm.dump
+       ~base:(Abi.text_base + m0.Calibro_oat.Oat_file.me_offset)
+       (Bytes.sub oat.Calibro_oat.Oat_file.text m0.Calibro_oat.Oat_file.me_offset
+          m0.Calibro_oat.Oat_file.me_size)
+     |> String.split_on_char '\n'
+     |> List.map (fun l -> if l = "" then l else "  " ^ l)
+     |> String.concat "\n")
+
+(* ---- Table 3: experimental setup ----------------------------------------- *)
+
+let table3 () =
+  print_endline "== Table 3: experimental setup ==";
+  Printf.printf "  Device            simulated AArch64 machine (Calibro VM)\n";
+  Printf.printf "  Cost model        base=1 mem=+1 call=+1 div=+8 icache-miss=+8/line\n";
+  Printf.printf "  Memory map        text@%#x, runtime table@%#x, heap@%#x\n"
+    Calibro_codegen.Abi.text_base Calibro_codegen.Abi.runtime_table_base
+    Calibro_codegen.Abi.heap_base;
+  Printf.printf "  Test set          6 synthetic apps (~1000:1 scale, seeded)\n";
+  Printf.printf "  Parallel trees    8 (PlOpti), OCaml domains\n";
+  Printf.printf "  Hot filtering     top functions covering 80%% of cycles\n"
+
+(* ---- Table 4: OAT text-segment size reduction ----------------------------- *)
+
+let paper_table4 =
+  [ ("CTO+LTBO", [ 18.49; 17.78; 19.32; 18.62; 21.08; 19.85 ]);
+    ("CTO+LTBO+PlOpti", [ 17.06; 16.89; 16.29; 15.79; 17.16; 15.21 ]);
+    ("CTO+LTBO+PlOpti+HfOpti", [ 15.69; 15.11; 15.15; 14.57; 16.18; 14.43 ]) ]
+
+let table4 evals =
+  let sizes f = List.map (fun e -> Pipeline.text_size (f e)) evals in
+  let base = sizes (fun e -> e.e_base) in
+  let row name f =
+    (name, List.map (fun e -> Report.kib (Pipeline.text_size (f e))) evals)
+  in
+  let ratio_row name f =
+    let rs =
+      List.map2
+        (fun b e ->
+          (float_of_int b -. float_of_int (Pipeline.text_size (f e)))
+          /. float_of_int b)
+        base evals
+    in
+    ( name,
+      List.map pct rs
+      @ [ pct (List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)) ] )
+  in
+  let paper_row (name, vals) =
+    ( "paper " ^ name,
+      List.map (Printf.sprintf "%.2f%%") vals
+      @ [ Printf.sprintf "%.2f%%"
+            (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals))
+        ] )
+  in
+  Report.print
+    { Report.title = "Table 4: code size of the OAT text segment";
+      columns = app_names evals;
+      rows =
+        [ row "Baseline" (fun e -> e.e_base);
+          row "CTO" (fun e -> e.e_cto);
+          row "CTO+LTBO" (fun e -> e.e_ltbo);
+          row "CTO+LTBO+PlOpti" (fun e -> e.e_pl);
+          row "CTO+LTBO+PlOpti+HfOpti" (fun e -> e.e_hf);
+          ratio_row "CTO reduction" (fun e -> e.e_cto);
+          ratio_row "CTO+LTBO reduction" (fun e -> e.e_ltbo);
+          ratio_row "CTO+LTBO+PlOpti reduction" (fun e -> e.e_pl);
+          ratio_row "CTO+LTBO+PlOpti+HfOpti red." (fun e -> e.e_hf) ]
+        @ List.map paper_row paper_table4 }
+
+(* ---- Table 5: memory usage ------------------------------------------------ *)
+
+let paper_table5 =
+  [ ("CTO", [ 1.10; 2.74; 1.59; -0.08; 3.10; 3.74 ]);
+    ("CTO+LTBO", [ 7.26; 6.84; 7.26; 6.55; 5.62; 7.40 ]) ]
+
+let memory_of e (build : Pipeline.build) (cycles_resident : int * int) =
+  ignore e;
+  let _, resident = cycles_resident in
+  resident + Calibro_oat.Oat_file.data_size build.Pipeline.b_oat
+
+let table5 evals =
+  let mem_base = List.map (fun e -> memory_of e e.e_base e.e_run_base) evals in
+  let mem_cto = List.map (fun e -> memory_of e e.e_cto e.e_run_cto) evals in
+  let mem_pl = List.map (fun e -> memory_of e e.e_pl e.e_run_pl) evals in
+  let ratio_row name ms =
+    let rs =
+      List.map2
+        (fun b m -> (float_of_int b -. float_of_int m) /. float_of_int b)
+        mem_base ms
+    in
+    ( name,
+      List.map pct rs
+      @ [ pct (List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)) ] )
+  in
+  let paper_row (name, vals) =
+    ( "paper " ^ name,
+      List.map (Printf.sprintf "%.2f%%") vals
+      @ [ Printf.sprintf "%.2f%%"
+            (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals))
+        ] )
+  in
+  Report.print
+    { Report.title =
+        "Table 5: OAT memory usage during the interaction script (code + data)";
+      columns = app_names evals;
+      rows =
+        [ ("Baseline", List.map Report.kib mem_base);
+          ("CTO", List.map Report.kib mem_cto);
+          ("CTO+LTBO+PlOpti", List.map Report.kib mem_pl);
+          ratio_row "CTO reduction" mem_cto;
+          ratio_row "CTO+LTBO+PlOpti reduction" mem_pl ]
+        @ List.map paper_row paper_table5 }
+
+(* ---- Table 6: building time ------------------------------------------------ *)
+
+let paper_table6 =
+  [ ("CTO+LTBO", [ 503.0; 550.0; 461.0; 471.0; 492.0; 460.0 ]);
+    ("CTO+LTBO+PlOpti", [ 71.0; 71.0; 69.0; 70.0; 75.0; 69.0 ]) ]
+
+let table6 evals =
+  (* Re-time builds cleanly (three repetitions, best-of). *)
+  let time_build config apk =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Pipeline.build ~config apk);
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let rows =
+    List.map
+      (fun e ->
+        let apk = e.e_app.Appgen.app in
+        let b = time_build Config.baseline apk in
+        let l = time_build Config.cto_ltbo apk in
+        let p = time_build (Config.cto_ltbo_pl ~k:8 ()) apk in
+        (b, l, p))
+      evals
+  in
+  let growth x b = 100.0 *. (x -. b) /. b in
+  let avg f =
+    List.fold_left (fun a r -> a +. f r) 0.0 rows /. float_of_int (List.length rows)
+  in
+  let paper_row (name, vals) =
+    ( "paper " ^ name,
+      List.map (Printf.sprintf "%.0f%%") vals
+      @ [ Printf.sprintf "%.1f%%"
+            (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals))
+        ] )
+  in
+  Report.print
+    { Report.title = "Table 6: building time (best of 3)";
+      columns = app_names evals;
+      rows =
+        [ ("Baseline", List.map (fun (b, _, _) -> Report.seconds b) rows);
+          ("CTO+LTBO (1 tree)", List.map (fun (_, l, _) -> Report.seconds l) rows);
+          ("CTO+LTBO+PlOpti(8)", List.map (fun (_, _, p) -> Report.seconds p) rows);
+          ("CTO+LTBO growth",
+           List.map (fun (b, l, _) -> Printf.sprintf "%.0f%%" (growth l b)) rows
+           @ [ Printf.sprintf "%.1f%%" (avg (fun (b, l, _) -> growth l b)) ]);
+          ("CTO+LTBO+PlOpti growth",
+           List.map (fun (b, _, p) -> Printf.sprintf "%.0f%%" (growth p b)) rows
+           @ [ Printf.sprintf "%.1f%%" (avg (fun (b, _, p) -> growth p b)) ]) ]
+        @ List.map paper_row paper_table6 }
+
+(* ---- Table 7: runtime performance (CPU cycle counts) ----------------------- *)
+
+let paper_table7 =
+  [ ("CTO+LTBO+PlOpti", [ 2.09; 1.82; 1.59; 2.23; 0.88; 0.43 ]);
+    ("CTO+LTBO+PlOpti+HfOpti", [ 0.66; 1.33; 0.83; 2.11; 0.41; 0.03 ]) ]
+
+let table7 evals =
+  let cyc f = List.map (fun e -> fst (f e)) evals in
+  let base = cyc (fun e -> e.e_run_base) in
+  let degr_row name ms =
+    let rs =
+      List.map2
+        (fun b m -> (float_of_int m -. float_of_int b) /. float_of_int b)
+        base ms
+    in
+    ( name,
+      List.map pct rs
+      @ [ pct (List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)) ] )
+  in
+  let paper_row (name, vals) =
+    ( "paper " ^ name,
+      List.map (Printf.sprintf "%.2f%%") vals
+      @ [ Printf.sprintf "%.2f%%"
+            (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals))
+        ] )
+  in
+  Report.print
+    { Report.title = "Table 7: runtime performance (CPU cycle count)";
+      columns = app_names evals;
+      rows =
+        [ ("Baseline", List.map Report.mega base);
+          ("CTO+LTBO+PlOpti", List.map Report.mega (cyc (fun e -> e.e_run_pl)));
+          ("CTO+LTBO+PlOpti+HfOpti",
+           List.map Report.mega (cyc (fun e -> e.e_run_hf)));
+          degr_row "PlOpti degradation" (cyc (fun e -> e.e_run_pl));
+          degr_row "PlOpti+HfOpti degradation" (cyc (fun e -> e.e_run_hf)) ]
+        @ List.map paper_row paper_table7 }
+
+(* ---- Figure 6: hot-function-filtering workflow ------------------------------ *)
+
+let figure6 evals =
+  print_endline "== Figure 6: hot function filtering workflow ==";
+  List.iter
+    (fun e ->
+      let hot_mass =
+        List.fold_left
+          (fun acc (me : Calibro_oat.Oat_file.method_entry) ->
+            if List.mem me.Calibro_oat.Oat_file.me_name e.e_hot then
+              acc + me.Calibro_oat.Oat_file.me_size
+            else acc)
+          0 e.e_base.Pipeline.b_oat.Calibro_oat.Oat_file.methods
+      in
+      Printf.printf
+        "  %-9s profile -> %3d hot methods (%s of text) -> guided rebuild\n"
+        e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name
+        (List.length e.e_hot)
+        (pct (float_of_int hot_mass /. float_of_int (Pipeline.text_size e.e_base))))
+    evals
+
+(* ---- LTBO statistics (supplementary) ----------------------------------------- *)
+
+let ltbo_stats evals =
+  print_endline "== LTBO statistics (single global tree) ==";
+  List.iter
+    (fun e ->
+      match e.e_ltbo.Pipeline.b_ltbo_stats with
+      | None -> ()
+      | Some s ->
+        Printf.printf
+          "  %-9s candidates=%4d elements=%7d tree-nodes=%8d repeats=%6d outlined=%5d occurrences=%6d saved=%6d instrs\n"
+          e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name
+          s.Ltbo.s_candidate_methods s.Ltbo.s_sequence_elements
+          s.Ltbo.s_tree_nodes s.Ltbo.s_repeats_considered
+          s.Ltbo.s_outlined_functions s.Ltbo.s_occurrences_replaced
+          s.Ltbo.s_instructions_saved)
+    evals
+
+(* ---- Ablation: the K tradeoff of section 3.4.1 -------------------------------- *)
+
+(* "the trade-offs between building time and the code size reduction can be
+   selected by adjusting the number of paralleled suffix trees" *)
+let ablation_k () =
+  print_endline "== Ablation: number of paralleled suffix trees (Toutiao) ==";
+  let a = Appgen.generate Apps.toutiao in
+  let apk = a.Appgen.app in
+  let base = Pipeline.build ~config:Config.baseline apk in
+  Printf.printf "  %4s  %10s  %10s  %12s\n" "K" "text" "reduction" "ltbo time";
+  List.iter
+    (fun k ->
+      let config =
+        if k = 1 then Config.cto_ltbo else Config.cto_ltbo_pl ~k ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let b = Pipeline.build ~config apk in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "  %4d  %10s  %10s  %10.2fs\n%!" k
+        (Report.kib (Pipeline.text_size b))
+        (pct (Pipeline.reduction_vs ~baseline:base b))
+        dt)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* ---- Ablation: minimum candidate sequence length ------------------------------- *)
+
+let ablation_minlen () =
+  print_endline "== Ablation: minimum outlined sequence length (Toutiao) ==";
+  let a = Appgen.generate Apps.toutiao in
+  let apk = a.Appgen.app in
+  let base = Pipeline.build ~config:Config.baseline apk in
+  Printf.printf "  %6s  %10s  %10s  %9s\n" "minlen" "text" "reduction"
+    "outlined";
+  List.iter
+    (fun min_len ->
+      let config = { Config.cto_ltbo with Config.ltbo_min_length = min_len } in
+      let b = Pipeline.build ~config apk in
+      let outlined =
+        match b.Pipeline.b_ltbo_stats with
+        | Some s -> s.Ltbo.s_outlined_functions
+        | None -> 0
+      in
+      Printf.printf "  %6d  %10s  %10s  %9d\n%!" min_len
+        (Report.kib (Pipeline.text_size b))
+        (pct (Pipeline.reduction_vs ~baseline:base b))
+        outlined)
+    [ 2; 3; 4; 6; 8 ]
+
+(* ---- Ablation: CTO vs LTBO interaction ------------------------------------------ *)
+
+let ablation_cto_ltbo () =
+  print_endline "== Ablation: does LTBO subsume CTO? (Toutiao) ==";
+  let a = Appgen.generate Apps.toutiao in
+  let apk = a.Appgen.app in
+  let base = Pipeline.build ~config:Config.baseline apk in
+  let ltbo_only =
+    Pipeline.build ~config:{ Config.cto_ltbo with Config.cto = false } apk
+  in
+  let both = Pipeline.build ~config:Config.cto_ltbo apk in
+  Printf.printf "  baseline:     %s\n" (Report.kib (Pipeline.text_size base));
+  Printf.printf "  LTBO only:    %s (%s)\n"
+    (Report.kib (Pipeline.text_size ltbo_only))
+    (pct (Pipeline.reduction_vs ~baseline:base ltbo_only));
+  Printf.printf "  CTO + LTBO:   %s (%s)\n"
+    (Report.kib (Pipeline.text_size both))
+    (pct (Pipeline.reduction_vs ~baseline:base both));
+  print_endline
+    "  (the ART call patterns contain blr/bl, which generic binary\n\
+    \   outlining must treat as separators -- CTO is what reclaims them;\n\
+    \   see DESIGN.md section 4.1)"
+
+(* ---- Ablation: multi-round outlining (related-work extension) ----------------- *)
+
+let ablation_rounds () =
+  print_endline "== Ablation: whole-program outlining rounds (Toutiao) ==";
+  let a = Appgen.generate Apps.toutiao in
+  let apk = a.Appgen.app in
+  let base = Pipeline.build ~config:Config.baseline apk in
+  List.iter
+    (fun rounds ->
+      let config = { Config.cto_ltbo with Config.ltbo_rounds = rounds } in
+      let b = Pipeline.build ~config apk in
+      let outlined =
+        match b.Pipeline.b_ltbo_stats with
+        | Some s -> s.Ltbo.s_outlined_functions
+        | None -> 0
+      in
+      Printf.printf "  rounds=%d: %s (%s reduction, %d outlined functions)\n%!"
+        rounds
+        (Report.kib (Pipeline.text_size b))
+        (pct (Pipeline.reduction_vs ~baseline:base b))
+        outlined)
+    [ 1; 2; 3 ]

@@ -1,0 +1,45 @@
+(* The benchmark entry point: regenerates every table and figure of the
+   paper's evaluation. With no arguments, runs the full matrix; pass
+   `table1`..`table7`, `fig2`..`fig6`, `stats` or `bechamel` to run one
+   experiment. *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|table3|table4|table5|table6|table7|fig2|fig3|fig4|fig6|stats|bechamel|all]"
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match which with
+  | "-h" | "--help" -> usage ()
+  | "fig2" -> Harness.figure2 ()
+  | "table2" -> Harness.table2 ()
+  | "table3" -> Harness.table3 ()
+  | "bechamel" -> Micro.benchmark ()
+  | "ablation" ->
+    Harness.ablation_k ();
+    Harness.ablation_minlen ();
+    Harness.ablation_cto_ltbo ();
+    Harness.ablation_rounds ()
+  | which ->
+    let evals = List.map Harness.evaluate_app Calibro_workload.Apps.all in
+    let all = which = "all" in
+    Harness.table3 ();
+    if all || which = "table1" then Harness.table1 evals;
+    if all then Harness.figure2 ();
+    if all || which = "fig3" then Harness.figure3 evals;
+    if all || which = "fig4" then Harness.figure4 evals;
+    if all then Harness.table2 ();
+    if all || which = "table4" then Harness.table4 evals;
+    if all || which = "table5" then Harness.table5 evals;
+    if all || which = "table6" then Harness.table6 evals;
+    if all || which = "table7" then Harness.table7 evals;
+    if all || which = "fig6" then Harness.figure6 evals;
+    if all || which = "stats" then Harness.ltbo_stats evals;
+    if all then begin
+      Harness.ablation_k ();
+      Harness.ablation_minlen ();
+      Harness.ablation_cto_ltbo ();
+      Harness.ablation_rounds ();
+      print_endline "== Bechamel micro-benchmarks ==";
+      Micro.benchmark ()
+    end

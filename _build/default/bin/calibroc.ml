@@ -1,0 +1,184 @@
+(* calibroc — the Calibro command-line driver.
+
+   Subcommands:
+   - build:   compile a .dexsim file to an OAT, with CTO/LTBO options
+   - run:     load an OAT and invoke an entry method in the simulator
+   - analyze: the section 2.2 redundancy analysis of an OAT file
+   - gen:     emit one of the synthetic evaluation apps as .dexsim *)
+
+open Cmdliner
+open Calibro_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_apk path =
+  match Calibro_dex.Dex_text.parse (read_file path) with
+  | Ok apk -> Ok apk
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* ---- build ---------------------------------------------------------------- *)
+
+let build_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.dexsim")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.oat")
+  in
+  let cto = Arg.(value & flag & info [ "cto" ] ~doc:"Enable compilation-time outlining.") in
+  let ltbo = Arg.(value & flag & info [ "ltbo" ] ~doc:"Enable link-time binary outlining (implies CTO metadata collection).") in
+  let parallel =
+    Arg.(value & opt int 1 & info [ "j"; "parallel" ] ~docv:"K"
+           ~doc:"Number of paralleled suffix trees (PlOpti).")
+  in
+  let hot_profile =
+    Arg.(value & opt (some file) None & info [ "hot-profile" ] ~docv:"PROFILE"
+           ~doc:"simpleperf-style profile enabling hot-function filtering.")
+  in
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the oatdump of the result.") in
+  let run input output cto ltbo parallel hot_profile dump =
+    match parse_apk input with
+    | Error e -> prerr_endline e; exit 1
+    | Ok apk -> (
+      let hot_methods =
+        match hot_profile with
+        | None -> []
+        | Some path -> (
+          match Calibro_profile.Profile.load path with
+          | Ok prof -> Calibro_profile.Profile.hot_set prof
+          | Error e ->
+            prerr_endline ("bad profile: " ^ e);
+            exit 1)
+      in
+      let config =
+        { Config.baseline with
+          Config.name = "cli";
+          cto = cto || ltbo;
+          ltbo;
+          parallel_trees = parallel;
+          hot_methods }
+      in
+      match Pipeline.build ~config apk with
+      | exception Pipeline.Build_error e -> prerr_endline e; exit 1
+      | build ->
+        let oat = build.Pipeline.b_oat in
+        Printf.printf "text segment: %d bytes (%d methods, %d thunks, %d outlined)\n"
+          (Calibro_oat.Oat_file.text_size oat)
+          (List.length oat.Calibro_oat.Oat_file.methods)
+          (List.length oat.Calibro_oat.Oat_file.thunks)
+          (List.length oat.Calibro_oat.Oat_file.outlined);
+        List.iter
+          (fun (phase, t) -> Printf.printf "  %-8s %.3fs\n" phase t)
+          build.Pipeline.b_timings;
+        (match build.Pipeline.b_ltbo_stats with
+         | Some s ->
+           Printf.printf "  ltbo: %d outlined functions, %d occurrences, %d instructions saved\n"
+             s.Ltbo.s_outlined_functions s.Ltbo.s_occurrences_replaced
+             s.Ltbo.s_instructions_saved
+         | None -> ());
+        (match output with
+         | Some path ->
+           Calibro_oat.Oat_file.save oat path;
+           Printf.printf "wrote %s\n" path
+         | None -> ());
+        if dump then print_string (Calibro_oat.Oatdump.dump oat))
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Compile a .dexsim file to an OAT image.")
+    Term.(const run $ input $ output $ cto $ ltbo $ parallel $ hot_profile $ dump)
+
+(* ---- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oat") in
+  let entry =
+    Arg.(required & opt (some string) None & info [ "entry" ] ~docv:"CLASS.METHOD")
+  in
+  let args =
+    Arg.(value & opt (list int) [] & info [ "args" ] ~docv:"N,N,...")
+  in
+  let run input entry args =
+    match Calibro_oat.Oat_file.load input with
+    | Error e -> prerr_endline e; exit 1
+    | Ok oat ->
+      let name =
+        match String.rindex_opt entry '.' with
+        | None -> prerr_endline "entry must be CLASS.METHOD"; exit 1
+        | Some i ->
+          { Calibro_dex.Dex_ir.class_name = String.sub entry 0 i;
+            method_name = String.sub entry (i + 1) (String.length entry - i - 1) }
+      in
+      let t = Calibro_vm.Interp.load oat in
+      (match Calibro_vm.Interp.call t name args with
+       | Calibro_vm.Interp.Returned v -> Printf.printf "returned %d\n" v
+       | Calibro_vm.Interp.Thrown fn ->
+         Printf.printf "threw %s\n" (Calibro_dex.Dex_ir.runtime_fn_name fn)
+       | Calibro_vm.Interp.Fault m -> Printf.printf "FAULT: %s\n" m; exit 2);
+      List.iter (Printf.printf "log: %d\n") (Calibro_vm.Interp.log t);
+      Printf.printf "%d instructions, %d cycles\n"
+        (Calibro_vm.Interp.instructions_retired t)
+        (Calibro_vm.Interp.cycles t)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute an entry method of an OAT image in the simulator.")
+    Term.(const run $ input $ entry $ args)
+
+(* ---- analyze ----------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oat") in
+  let run input =
+    match Calibro_oat.Oat_file.load input with
+    | Error e -> prerr_endline e; exit 1
+    | Ok oat ->
+      let a = Redundancy.analyze oat in
+      Printf.printf "analysed %d instructions\n" a.Redundancy.a_text_words;
+      Printf.printf "repetitive sequences: %d\n" a.Redundancy.a_repeats;
+      Printf.printf "estimated reduction: %d instructions (%.2f%%)\n"
+        a.Redundancy.a_saved_instructions
+        (100.0 *. a.Redundancy.a_ratio);
+      let c = Redundancy.pattern_census oat in
+      Printf.printf "ART patterns: java-call %d, runtime-call %d, stack-check %d\n"
+        c.Redundancy.c_java_call c.Redundancy.c_runtime_call
+        c.Redundancy.c_stack_check
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Estimate code redundancy of an OAT image (paper section 2.2).")
+    Term.(const run $ input)
+
+(* ---- gen ----------------------------------------------------------------------- *)
+
+let gen_cmd =
+  let app_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP"
+           ~doc:"One of: toutiao taobao fanqie meituan kuaishou wechat demo")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.dexsim")
+  in
+  let run name output =
+    let profile =
+      if String.lowercase_ascii name = "demo" then Some Calibro_workload.Apps.demo
+      else Calibro_workload.Apps.by_name name
+    in
+    match profile with
+    | None -> prerr_endline ("unknown app " ^ name); exit 1
+    | Some p ->
+      let a = Calibro_workload.Appgen.generate p in
+      let text = Calibro_dex.Dex_text.to_string a.Calibro_workload.Appgen.app in
+      (match output with
+       | Some path ->
+         let oc = open_out path in
+         Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+             output_string oc text);
+         Printf.printf "wrote %s (%d methods)\n" path
+           (Calibro_dex.Dex_ir.method_count a.Calibro_workload.Appgen.app)
+       | None -> print_string text)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic evaluation app as .dexsim text.")
+    Term.(const run $ app_name $ output)
+
+let () =
+  let info = Cmd.info "calibroc" ~doc:"Calibro: compilation-assisted link-time binary code outlining." in
+  exit (Cmd.eval (Cmd.group info [ build_cmd; run_cmd; analyze_cmd; gen_cmd ]))

@@ -1,0 +1,20 @@
+(* oatdump — disassemble and inspect a Calibro OAT image. *)
+
+open Cmdliner
+
+let dump_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oat") in
+  let no_methods =
+    Arg.(value & flag & info [ "no-methods" ] ~doc:"Only print the segment map.")
+  in
+  let run input no_methods =
+    match Calibro_oat.Oat_file.load input with
+    | Error e -> prerr_endline e; exit 1
+    | Ok oat ->
+      print_string (Calibro_oat.Oatdump.dump ~methods:(not no_methods) oat)
+  in
+  Term.(const run $ input $ no_methods)
+
+let () =
+  let info = Cmd.info "oatdump" ~doc:"Dump a Calibro OAT image." in
+  exit (Cmd.eval (Cmd.v info dump_cmd))

@@ -1,0 +1,27 @@
+(* The six-app sweep: build every evaluation app under each configuration
+   and print the code-size matrix (a quick version of the full benchmark's
+   Table 4).
+
+   Run with: dune exec examples/appstore_sweep.exe *)
+
+open Calibro_core
+open Calibro_workload
+
+let () =
+  Printf.printf "%-9s %10s %10s %10s %10s | %8s %8s %8s\n" "app" "baseline"
+    "cto" "cto+ltbo" "+plopti" "cto%" "ltbo%" "plopti%";
+  List.iter
+    (fun profile ->
+      let a = Appgen.generate profile in
+      let apk = a.Appgen.app in
+      let base = Pipeline.build ~config:Config.baseline apk in
+      let cto = Pipeline.build ~config:Config.cto apk in
+      let ltbo = Pipeline.build ~config:Config.cto_ltbo apk in
+      let pl = Pipeline.build ~config:(Config.cto_ltbo_pl ~k:8 ()) apk in
+      let r b = 100.0 *. Pipeline.reduction_vs ~baseline:base b in
+      Printf.printf "%-9s %9dB %9dB %9dB %9dB | %7.2f%% %7.2f%% %7.2f%%\n%!"
+        apk.Calibro_dex.Dex_ir.apk_name
+        (Pipeline.text_size base) (Pipeline.text_size cto)
+        (Pipeline.text_size ltbo) (Pipeline.text_size pl)
+        (r cto) (r ltbo) (r pl))
+    Apps.all

@@ -1,0 +1,1 @@
+lib/aarch64/decode.ml: Array Bytes Encode Int32 Isa Sys

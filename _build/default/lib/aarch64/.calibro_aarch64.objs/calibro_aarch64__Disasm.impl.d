@@ -1,0 +1,1 @@
+lib/aarch64/disasm.ml: Buffer Bytes Decode Encode Isa Printf

@@ -1,0 +1,1 @@
+lib/aarch64/encode.ml: Bytes Fmt Int32 Isa List

@@ -1,0 +1,178 @@
+(* Decoder: the inverse of {!Encode} on the supported subset.
+
+   A word that matches no pattern decodes to [Data w]. This mirrors the real
+   disassembly hazard the paper describes in section 3.2: embedded data is
+   indistinguishable from instructions at the byte level, which is exactly
+   why LTBO needs the compilation-time embedded-data metadata. *)
+
+open Isa
+
+let sign_extend ~bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let field w ~lo ~len = (w lsr lo) land ((1 lsl len) - 1)
+
+let size_of_sf = function 0 -> W | _ -> X
+
+let decode w =
+  let w = w land 0xFFFFFFFF in
+  let data () = Data (Int32.of_int w) in
+  if w = 0xD503201F then Nop
+  else if w land 0xFFFFFC1F = 0xD63F0000 then Blr (field w ~lo:5 ~len:5)
+  else if w land 0xFFFFFC1F = 0xD61F0000 then Br (field w ~lo:5 ~len:5)
+  else if w = 0xD65F03C0 then Ret
+  else if w land 0xFFE0001F = 0xD4200000 then Brk (field w ~lo:5 ~len:16)
+  else if w land 0x7C000000 = 0x14000000 then begin
+    (* B / BL *)
+    let disp = sign_extend ~bits:26 (field w ~lo:0 ~len:26) * 4 in
+    if field w ~lo:31 ~len:1 = 1 then Bl { target = Rel disp } else B { disp }
+  end
+  else if w land 0xFF000010 = 0x54000000 && field w ~lo:0 ~len:4 <> 15 then
+    (* cond 0b1111 is the architecturally-reserved NV encoding; treat as
+       data so decode/encode stay mutually inverse. *)
+    B_cond
+      { cond = cond_of_code (field w ~lo:0 ~len:4);
+        disp = sign_extend ~bits:19 (field w ~lo:5 ~len:19) * 4 }
+  else if w land 0x7E000000 = 0x34000000 then begin
+    (* CBZ / CBNZ *)
+    let size = size_of_sf (field w ~lo:31 ~len:1) in
+    let rt = field w ~lo:0 ~len:5 in
+    let disp = sign_extend ~bits:19 (field w ~lo:5 ~len:19) * 4 in
+    if field w ~lo:24 ~len:1 = 0 then Cbz { size; rt; disp }
+    else Cbnz { size; rt; disp }
+  end
+  else if w land 0x7E000000 = 0x36000000 then begin
+    (* TBZ / TBNZ *)
+    let bit = (field w ~lo:31 ~len:1 lsl 5) lor field w ~lo:19 ~len:5 in
+    let rt = field w ~lo:0 ~len:5 in
+    let disp = sign_extend ~bits:14 (field w ~lo:5 ~len:14) * 4 in
+    if field w ~lo:24 ~len:1 = 0 then Tbz { rt; bit; disp }
+    else Tbnz { rt; bit; disp }
+  end
+  else if w land 0x1F000000 = 0x10000000 then begin
+    (* ADR / ADRP *)
+    let rd = field w ~lo:0 ~len:5 in
+    let v =
+      sign_extend ~bits:21
+        ((field w ~lo:5 ~len:19 lsl 2) lor field w ~lo:29 ~len:2)
+    in
+    if field w ~lo:31 ~len:1 = 0 then Adr { rd; disp = v }
+    else Adrp { rd; disp = v * 4096 }
+  end
+  else if w land 0x3F000000 = 0x18000000 && field w ~lo:30 ~len:2 <= 1 then
+    Ldr_lit
+      { size = (if field w ~lo:30 ~len:2 = 0 then W else X);
+        rt = field w ~lo:0 ~len:5;
+        disp = sign_extend ~bits:19 (field w ~lo:5 ~len:19) * 4 }
+  else if w land 0xBFC00000 = 0xB9400000 then begin
+    (* LDR unsigned offset, W/X *)
+    let size = if field w ~lo:30 ~len:1 = 1 then X else W in
+    let scale = match size with W -> 4 | X -> 8 in
+    Ldr
+      { size;
+        rt = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        imm = field w ~lo:10 ~len:12 * scale }
+  end
+  else if w land 0xBFC00000 = 0xB9000000 then begin
+    (* STR unsigned offset, W/X *)
+    let size = if field w ~lo:30 ~len:1 = 1 then X else W in
+    let scale = match size with W -> 4 | X -> 8 in
+    Str
+      { size;
+        rt = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        imm = field w ~lo:10 ~len:12 * scale }
+  end
+  else if w land 0x3E000000 = 0x28000000 && field w ~lo:30 ~len:1 = 0 then begin
+    (* LDP / STP, post/pre/offset variants; opc must be 00 or 10 (the W/X
+       forms) — 01 (ldpsw) and 11 are outside the subset. *)
+    let mode =
+      match field w ~lo:23 ~len:3 with
+      | 0b001 -> Some Post
+      | 0b011 -> Some Pre
+      | 0b010 -> Some Offset
+      | _ -> None
+    in
+    match mode with
+    | None -> data ()
+    | Some mode ->
+      let size = if field w ~lo:31 ~len:1 = 1 then X else W in
+      let scale = match size with W -> 4 | X -> 8 in
+      let imm = sign_extend ~bits:7 (field w ~lo:15 ~len:7) * scale in
+      let rt = field w ~lo:0 ~len:5
+      and rt2 = field w ~lo:10 ~len:5
+      and rn = field w ~lo:5 ~len:5 in
+      if field w ~lo:22 ~len:1 = 1 then Ldp { size; rt; rt2; rn; imm; mode }
+      else Stp { size; rt; rt2; rn; imm; mode }
+  end
+  else if w land 0x1F800000 = 0x11000000 then
+    Add_sub_imm
+      { op = (if field w ~lo:30 ~len:1 = 0 then ADD else SUB);
+        size = size_of_sf (field w ~lo:31 ~len:1);
+        set_flags = field w ~lo:29 ~len:1 = 1;
+        rd = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        imm12 = field w ~lo:10 ~len:12;
+        shift12 = field w ~lo:22 ~len:1 = 1 }
+  else if w land 0x1FE00000 = 0x0B000000 && field w ~lo:10 ~len:6 = 0 then
+    Add_sub_reg
+      { op = (if field w ~lo:30 ~len:1 = 0 then ADD else SUB);
+        size = size_of_sf (field w ~lo:31 ~len:1);
+        set_flags = field w ~lo:29 ~len:1 = 1;
+        rd = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        rm = field w ~lo:16 ~len:5 }
+  else if w land 0x1FE00000 = 0x0A000000 && field w ~lo:10 ~len:6 = 0 then
+    Logic_reg
+      { op =
+          (match field w ~lo:29 ~len:2 with
+           | 0 -> AND | 1 -> ORR | 2 -> EOR | _ -> ANDS);
+        size = size_of_sf (field w ~lo:31 ~len:1);
+        rd = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        rm = field w ~lo:16 ~len:5 }
+  else if w land 0x7FE0FC00 = 0x1AC00C00 then
+    Sdiv
+      { size = size_of_sf (field w ~lo:31 ~len:1);
+        rd = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        rm = field w ~lo:16 ~len:5 }
+  else if w land 0x7FE08000 = 0x1B008000 then
+    Msub
+      { size = size_of_sf (field w ~lo:31 ~len:1);
+        rd = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        rm = field w ~lo:16 ~len:5;
+        ra = field w ~lo:10 ~len:5 }
+  else if w land 0x7FE08000 = 0x1B000000 && field w ~lo:10 ~len:5 = zr then
+    (* MADD with ra = zr, i.e. plain MUL *)
+    Mul
+      { size = size_of_sf (field w ~lo:31 ~len:1);
+        rd = field w ~lo:0 ~len:5;
+        rn = field w ~lo:5 ~len:5;
+        rm = field w ~lo:16 ~len:5 }
+  else if field w ~lo:23 ~len:6 = 0b100101
+          && not (field w ~lo:31 ~len:1 = 0 && field w ~lo:21 ~len:2 > 1)
+  then begin
+    (* Wide moves; 32-bit forms only allow hw in {0,1}. *)
+    match field w ~lo:29 ~len:2 with
+    | 0 | 2 | 3 ->
+      Mov_wide
+        { kind =
+            (match field w ~lo:29 ~len:2 with
+             | 0 -> MOVN | 2 -> MOVZ | _ -> MOVK);
+          size = size_of_sf (field w ~lo:31 ~len:1);
+          rd = field w ~lo:0 ~len:5;
+          imm16 = field w ~lo:5 ~len:16;
+          hw = field w ~lo:21 ~len:2 }
+    | _ -> data ()
+  end
+  else data ()
+
+(* Decode a whole code buffer into an instruction array (one entry per
+   32-bit word). *)
+let of_bytes buf =
+  let n = Bytes.length buf / instr_bytes in
+  Array.init n (fun i -> decode (Encode.word_of_bytes buf (i * instr_bytes)))

@@ -1,0 +1,140 @@
+(* Textual disassembly, in a format close to what the paper's listings use
+   (e.g. Table 2: "cbz w0, #+0xc (addr 0x13832c)"). *)
+
+open Isa
+
+let reg_name ~size ~sp_ctx r =
+  let prefix = match size with W -> "w" | X -> "x" in
+  if r = 31 then (if sp_ctx then "sp" else prefix ^ "zr")
+  else Printf.sprintf "%s%d" prefix r
+
+let xreg ?(sp_ctx = false) r = reg_name ~size:X ~sp_ctx r
+let reg ~size r = reg_name ~size ~sp_ctx:false r
+
+let cond_name = function
+  | EQ -> "eq" | NE -> "ne" | HS -> "hs" | LO -> "lo"
+  | MI -> "mi" | PL -> "pl" | VS -> "vs" | VC -> "vc"
+  | HI -> "hi" | LS -> "ls" | GE -> "ge" | LT -> "lt"
+  | GT -> "gt" | LE -> "le" | AL -> "al"
+
+let disp_str ~addr disp =
+  let signed = Printf.sprintf "#%s%#x" (if disp < 0 then "-" else "+") (abs disp) in
+  if addr < 0 then signed
+  else Printf.sprintf "%s (addr %#x)" signed (addr + disp)
+
+(* Render one instruction. [addr] is its address, used to print absolute
+   branch targets; pass a negative address to omit them. *)
+let to_string ?(addr = -1) t =
+  match t with
+  | Add_sub_imm { op; size; set_flags; rd; rn; imm12; shift12 } ->
+    let imm = if shift12 then imm12 lsl 12 else imm12 in
+    let mnem =
+      match (op, set_flags) with
+      | ADD, false -> "add" | ADD, true -> "adds"
+      | SUB, false -> "sub" | SUB, true -> "subs"
+    in
+    if set_flags && rd = zr then
+      Printf.sprintf "cmp %s, #%#x" (reg_name ~size ~sp_ctx:true rn) imm
+    else
+      Printf.sprintf "%s %s, %s, #%#x" mnem
+        (reg_name ~size ~sp_ctx:true rd)
+        (reg_name ~size ~sp_ctx:true rn)
+        imm
+  | Add_sub_reg { op; size; set_flags; rd; rn; rm } ->
+    let mnem =
+      match (op, set_flags) with
+      | ADD, false -> "add" | ADD, true -> "adds"
+      | SUB, false -> "sub" | SUB, true -> "subs"
+    in
+    if set_flags && rd = zr then
+      Printf.sprintf "cmp %s, %s" (reg ~size rn) (reg ~size rm)
+    else
+      Printf.sprintf "%s %s, %s, %s" mnem (reg ~size rd) (reg ~size rn)
+        (reg ~size rm)
+  | Logic_reg { op; size; rd; rn; rm } ->
+    if op = ORR && rn = zr then
+      Printf.sprintf "mov %s, %s" (reg ~size rd) (reg ~size rm)
+    else
+      let mnem =
+        match op with
+        | AND -> "and" | ORR -> "orr" | EOR -> "eor" | ANDS -> "ands"
+      in
+      Printf.sprintf "%s %s, %s, %s" mnem (reg ~size rd) (reg ~size rn)
+        (reg ~size rm)
+  | Mov_wide { kind; size; rd; imm16; hw } ->
+    let mnem =
+      match kind with MOVZ -> "movz" | MOVN -> "movn" | MOVK -> "movk"
+    in
+    if hw = 0 then Printf.sprintf "%s %s, #%#x" mnem (reg ~size rd) imm16
+    else
+      Printf.sprintf "%s %s, #%#x, lsl #%d" mnem (reg ~size rd) imm16 (hw * 16)
+  | Mul { size; rd; rn; rm } ->
+    Printf.sprintf "mul %s, %s, %s" (reg ~size rd) (reg ~size rn)
+      (reg ~size rm)
+  | Sdiv { size; rd; rn; rm } ->
+    Printf.sprintf "sdiv %s, %s, %s" (reg ~size rd) (reg ~size rn)
+      (reg ~size rm)
+  | Msub { size; rd; rn; rm; ra } ->
+    Printf.sprintf "msub %s, %s, %s, %s" (reg ~size rd) (reg ~size rn)
+      (reg ~size rm) (reg ~size ra)
+  | Ldr { size; rt; rn; imm } ->
+    if imm = 0 then
+      Printf.sprintf "ldr %s, [%s]" (reg ~size rt) (xreg ~sp_ctx:true rn)
+    else
+      Printf.sprintf "ldr %s, [%s, #%d]" (reg ~size rt)
+        (xreg ~sp_ctx:true rn) imm
+  | Str { size; rt; rn; imm } ->
+    if imm = 0 then
+      Printf.sprintf "str %s, [%s]" (reg ~size rt) (xreg ~sp_ctx:true rn)
+    else
+      Printf.sprintf "str %s, [%s, #%d]" (reg ~size rt)
+        (xreg ~sp_ctx:true rn) imm
+  | Ldp { size; rt; rt2; rn; imm; mode } | Stp { size; rt; rt2; rn; imm; mode }
+    ->
+    let mnem = match t with Ldp _ -> "ldp" | _ -> "stp" in
+    let base = xreg ~sp_ctx:true rn in
+    let addr_s =
+      match mode with
+      | Offset ->
+        if imm = 0 then Printf.sprintf "[%s]" base
+        else Printf.sprintf "[%s, #%d]" base imm
+      | Pre -> Printf.sprintf "[%s, #%d]!" base imm
+      | Post -> Printf.sprintf "[%s], #%d" base imm
+    in
+    Printf.sprintf "%s %s, %s, %s" mnem (reg ~size rt) (reg ~size rt2) addr_s
+  | Ldr_lit { size; rt; disp } ->
+    Printf.sprintf "ldr %s, %s" (reg ~size rt) (disp_str ~addr disp)
+  | Adr { rd; disp } -> Printf.sprintf "adr %s, %s" (xreg rd) (disp_str ~addr disp)
+  | Adrp { rd; disp } ->
+    Printf.sprintf "adrp %s, %s" (xreg rd) (disp_str ~addr disp)
+  | B { disp } -> Printf.sprintf "b %s" (disp_str ~addr disp)
+  | B_cond { cond; disp } ->
+    Printf.sprintf "b.%s %s" (cond_name cond) (disp_str ~addr disp)
+  | Bl { target = Sym s } -> Printf.sprintf "bl <sym %d>" s
+  | Bl { target = Rel disp } -> Printf.sprintf "bl %s" (disp_str ~addr disp)
+  | Blr r -> Printf.sprintf "blr %s" (xreg r)
+  | Br r -> Printf.sprintf "br %s" (xreg r)
+  | Ret -> "ret"
+  | Cbz { size; rt; disp } ->
+    Printf.sprintf "cbz %s, %s" (reg ~size rt) (disp_str ~addr disp)
+  | Cbnz { size; rt; disp } ->
+    Printf.sprintf "cbnz %s, %s" (reg ~size rt) (disp_str ~addr disp)
+  | Tbz { rt; bit; disp } ->
+    Printf.sprintf "tbz %s, #%d, %s" (xreg rt) bit (disp_str ~addr disp)
+  | Tbnz { rt; bit; disp } ->
+    Printf.sprintf "tbnz %s, #%d, %s" (xreg rt) bit (disp_str ~addr disp)
+  | Nop -> "nop"
+  | Brk imm -> Printf.sprintf "brk #%#x" imm
+  | Data w -> Printf.sprintf ".word %#lx" w
+
+(* Disassemble a code buffer; one line per word, paper-listing style. *)
+let dump ?(base = 0) buf =
+  let b = Buffer.create 1024 in
+  let n = Bytes.length buf / instr_bytes in
+  for i = 0 to n - 1 do
+    let off = i * instr_bytes in
+    let addr = base + off in
+    let instr = Decode.decode (Encode.word_of_bytes buf off) in
+    Buffer.add_string b (Printf.sprintf "%#x: %s\n" addr (to_string ~addr instr))
+  done;
+  Buffer.contents b

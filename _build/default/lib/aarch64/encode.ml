@@ -1,0 +1,159 @@
+(* Bit-exact A64 encodings for the subset in {!Isa}.
+
+   Words are represented as OCaml [int]s in the range [0, 2^32); byte
+   serialization is little-endian, as on real AArch64. *)
+
+open Isa
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let check_reg r = if r < 0 || r > 31 then errf "register out of range: %d" r
+
+(* Encode a signed byte displacement into a word-scaled field of [bits]
+   bits. [what] names the field for error messages. *)
+let scaled_signed ~what ~bits ~scale disp =
+  if disp mod scale <> 0 then
+    errf "%s: displacement %d not a multiple of %d" what disp scale;
+  let v = disp / scale in
+  let lo = -(1 lsl (bits - 1)) and hi = (1 lsl (bits - 1)) - 1 in
+  if v < lo || v > hi then errf "%s: displacement %d out of range" what disp;
+  v land ((1 lsl bits) - 1)
+
+let sf = function W -> 0 | X -> 1
+
+let encode t =
+  let reg r = check_reg r; r in
+  match t with
+  | Add_sub_imm { op; size; set_flags; rd; rn; imm12; shift12 } ->
+    if imm12 < 0 || imm12 > 0xfff then errf "add/sub imm12 out of range: %d" imm12;
+    (sf size lsl 31)
+    lor ((match op with ADD -> 0 | SUB -> 1) lsl 30)
+    lor ((if set_flags then 1 else 0) lsl 29)
+    lor (0b100010 lsl 23)
+    lor ((if shift12 then 1 else 0) lsl 22)
+    lor (imm12 lsl 10) lor (reg rn lsl 5) lor reg rd
+  | Add_sub_reg { op; size; set_flags; rd; rn; rm } ->
+    (sf size lsl 31)
+    lor ((match op with ADD -> 0 | SUB -> 1) lsl 30)
+    lor ((if set_flags then 1 else 0) lsl 29)
+    lor (0b01011 lsl 24)
+    lor (reg rm lsl 16) lor (reg rn lsl 5) lor reg rd
+  | Logic_reg { op; size; rd; rn; rm } ->
+    let opc = match op with AND -> 0 | ORR -> 1 | EOR -> 2 | ANDS -> 3 in
+    (sf size lsl 31) lor (opc lsl 29) lor (0b01010 lsl 24)
+    lor (reg rm lsl 16) lor (reg rn lsl 5) lor reg rd
+  | Mov_wide { kind; size; rd; imm16; hw } ->
+    if imm16 < 0 || imm16 > 0xffff then errf "mov imm16 out of range: %d" imm16;
+    let max_hw = match size with W -> 1 | X -> 3 in
+    if hw < 0 || hw > max_hw then errf "mov hw out of range: %d" hw;
+    let opc = match kind with MOVN -> 0 | MOVZ -> 2 | MOVK -> 3 in
+    (sf size lsl 31) lor (opc lsl 29) lor (0b100101 lsl 23)
+    lor (hw lsl 21) lor (imm16 lsl 5) lor reg rd
+  | Mul { size; rd; rn; rm } ->
+    (* MADD rd, rn, rm, zr *)
+    (sf size lsl 31) lor (0b0011011000 lsl 21)
+    lor (reg rm lsl 16) lor (zr lsl 10) lor (reg rn lsl 5) lor reg rd
+  | Sdiv { size; rd; rn; rm } ->
+    (sf size lsl 31) lor (0b0011010110 lsl 21)
+    lor (reg rm lsl 16) lor (0b000011 lsl 10) lor (reg rn lsl 5) lor reg rd
+  | Msub { size; rd; rn; rm; ra } ->
+    (sf size lsl 31) lor (0b0011011000 lsl 21)
+    lor (reg rm lsl 16) lor (1 lsl 15) lor (reg ra lsl 10)
+    lor (reg rn lsl 5) lor reg rd
+  | Ldr { size; rt; rn; imm } ->
+    let scale = match size with W -> 4 | X -> 8 in
+    if imm < 0 || imm mod scale <> 0 || imm / scale > 0xfff then
+      errf "ldr offset invalid: %d" imm;
+    ((match size with W -> 0b10 | X -> 0b11) lsl 30)
+    lor (0b11100101 lsl 22)
+    lor ((imm / scale) lsl 10) lor (reg rn lsl 5) lor reg rt
+  | Str { size; rt; rn; imm } ->
+    let scale = match size with W -> 4 | X -> 8 in
+    if imm < 0 || imm mod scale <> 0 || imm / scale > 0xfff then
+      errf "str offset invalid: %d" imm;
+    ((match size with W -> 0b10 | X -> 0b11) lsl 30)
+    lor (0b11100100 lsl 22)
+    lor ((imm / scale) lsl 10) lor (reg rn lsl 5) lor reg rt
+  | Ldp { size; rt; rt2; rn; imm; mode } | Stp { size; rt; rt2; rn; imm; mode }
+    ->
+    let is_load = match t with Ldp _ -> 1 | _ -> 0 in
+    let scale = match size with W -> 4 | X -> 8 in
+    let imm7 = scaled_signed ~what:"ldp/stp" ~bits:7 ~scale imm in
+    let variant =
+      match mode with Post -> 0b001 | Pre -> 0b011 | Offset -> 0b010
+    in
+    ((match size with W -> 0b00 | X -> 0b10) lsl 30)
+    lor (0b101 lsl 27) lor (variant lsl 23) lor (is_load lsl 22)
+    lor (imm7 lsl 15) lor (reg rt2 lsl 10) lor (reg rn lsl 5) lor reg rt
+  | Ldr_lit { size; rt; disp } ->
+    let imm19 = scaled_signed ~what:"ldr literal" ~bits:19 ~scale:4 disp in
+    ((match size with W -> 0b00 | X -> 0b01) lsl 30)
+    lor (0b011000 lsl 24) lor (imm19 lsl 5) lor reg rt
+  | Adr { rd; disp } ->
+    if disp < -(1 lsl 20) || disp >= 1 lsl 20 then
+      errf "adr displacement out of range: %d" disp;
+    let v = disp land 0x1fffff in
+    (0 lsl 31) lor ((v land 3) lsl 29) lor (0b10000 lsl 24)
+    lor ((v lsr 2) lsl 5) lor reg rd
+  | Adrp { rd; disp } ->
+    if disp mod 4096 <> 0 then errf "adrp displacement not page-aligned: %d" disp;
+    let pages = disp asr 12 in
+    if pages < -(1 lsl 20) || pages >= 1 lsl 20 then
+      errf "adrp displacement out of range: %d" disp;
+    let v = pages land 0x1fffff in
+    (1 lsl 31) lor ((v land 3) lsl 29) lor (0b10000 lsl 24)
+    lor ((v lsr 2) lsl 5) lor reg rd
+  | B { disp } ->
+    (0b000101 lsl 26) lor scaled_signed ~what:"b" ~bits:26 ~scale:4 disp
+  | Bl { target = Sym _ } ->
+    (* Unrelocated call: imm26 left as zero; the linker fills it in. *)
+    0b100101 lsl 26
+  | Bl { target = Rel disp } ->
+    (0b100101 lsl 26) lor scaled_signed ~what:"bl" ~bits:26 ~scale:4 disp
+  | B_cond { cond; disp } ->
+    (0b01010100 lsl 24)
+    lor (scaled_signed ~what:"b.cond" ~bits:19 ~scale:4 disp lsl 5)
+    lor cond_code cond
+  | Blr r -> 0xD63F0000 lor (reg r lsl 5)
+  | Br r -> 0xD61F0000 lor (reg r lsl 5)
+  | Ret -> 0xD65F0000 lor (lr lsl 5)
+  | Cbz { size; rt; disp } ->
+    (sf size lsl 31) lor (0b0110100 lsl 24)
+    lor (scaled_signed ~what:"cbz" ~bits:19 ~scale:4 disp lsl 5) lor reg rt
+  | Cbnz { size; rt; disp } ->
+    (sf size lsl 31) lor (0b0110101 lsl 24)
+    lor (scaled_signed ~what:"cbnz" ~bits:19 ~scale:4 disp lsl 5) lor reg rt
+  | Tbz { rt; bit; disp } | Tbnz { rt; bit; disp } ->
+    if bit < 0 || bit > 63 then errf "tbz bit out of range: %d" bit;
+    let op = match t with Tbz _ -> 0 | _ -> 1 in
+    ((bit lsr 5) lsl 31) lor (0b011011 lsl 25) lor (op lsl 24)
+    lor ((bit land 0x1f) lsl 19)
+    lor (scaled_signed ~what:"tbz" ~bits:14 ~scale:4 disp lsl 5)
+    lor reg rt
+  | Nop -> 0xD503201F
+  | Brk imm ->
+    if imm < 0 || imm > 0xffff then errf "brk imm out of range: %d" imm;
+    0xD4200000 lor (imm lsl 5)
+  | Data w -> Int32.to_int w land 0xFFFFFFFF
+
+(* ---- Byte-level helpers --------------------------------------------- *)
+
+let word_to_bytes buf off w =
+  Bytes.set_uint8 buf off (w land 0xff);
+  Bytes.set_uint8 buf (off + 1) ((w lsr 8) land 0xff);
+  Bytes.set_uint8 buf (off + 2) ((w lsr 16) land 0xff);
+  Bytes.set_uint8 buf (off + 3) ((w lsr 24) land 0xff)
+
+let word_of_bytes buf off =
+  Bytes.get_uint8 buf off
+  lor (Bytes.get_uint8 buf (off + 1) lsl 8)
+  lor (Bytes.get_uint8 buf (off + 2) lsl 16)
+  lor (Bytes.get_uint8 buf (off + 3) lsl 24)
+
+(* Encode a whole instruction sequence into a fresh byte buffer. *)
+let to_bytes instrs =
+  let buf = Bytes.create (List.length instrs * instr_bytes) in
+  List.iteri (fun i t -> word_to_bytes buf (i * instr_bytes) (encode t)) instrs;
+  buf

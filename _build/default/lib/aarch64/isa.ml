@@ -1,0 +1,220 @@
+(* A64 instruction subset used by the Calibro reproduction.
+
+   The subset covers everything the DEX2OAT-style code generator emits:
+   integer data processing, loads/stores (including register pairs and
+   PC-relative literals), the full family of PC-relative branches the paper
+   enumerates in section 3.3.4 (b, bl, cbz, cbnz, tbz, tbnz, adr, adrp,
+   ldr-literal), indirect branches, and embedded data words. *)
+
+type reg = int
+(** General-purpose register number, 0..30. Register 31 is [sp] for
+    address operands of loads/stores and add/sub, and [xzr]/[wzr]
+    elsewhere, matching the architectural convention. *)
+
+let x0 = 0
+let x1 = 1
+let x2 = 2
+let x3 = 3
+let x4 = 4
+let x16 = 16
+let x17 = 17
+let x19 = 19
+let x20 = 20
+let x29 = 29
+let lr = 30
+let sp = 31
+let zr = 31
+
+type size = W | X  (** 32-bit ([W]) or 64-bit ([X]) operand size. *)
+
+type cond =
+  | EQ | NE | HS | LO | MI | PL | VS | VC
+  | HI | LS | GE | LT | GT | LE | AL
+
+let cond_code = function
+  | EQ -> 0 | NE -> 1 | HS -> 2 | LO -> 3
+  | MI -> 4 | PL -> 5 | VS -> 6 | VC -> 7
+  | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11
+  | GT -> 12 | LE -> 13 | AL -> 14
+
+let cond_of_code = function
+  | 0 -> EQ | 1 -> NE | 2 -> HS | 3 -> LO
+  | 4 -> MI | 5 -> PL | 6 -> VS | 7 -> VC
+  | 8 -> HI | 9 -> LS | 10 -> GE | 11 -> LT
+  | 12 -> GT | 13 -> LE | _ -> AL
+
+(* The condition that branches iff the given condition does not. *)
+let invert_cond = function
+  | EQ -> NE | NE -> EQ | HS -> LO | LO -> HS
+  | MI -> PL | PL -> MI | VS -> VC | VC -> VS
+  | HI -> LS | LS -> HI | GE -> LT | LT -> GE
+  | GT -> LE | LE -> GT | AL -> AL
+
+type as_op = ADD | SUB
+(** Add/subtract; immediate and shifted-register forms. *)
+
+type logic_op = AND | ORR | EOR | ANDS
+(** Logical operations, shifted-register form only (bitmask immediates are
+    out of scope for the subset). *)
+
+type wide_kind = MOVZ | MOVN | MOVK
+
+type addr_mode = Offset | Pre | Post
+(** Addressing mode for load/store pair instructions. *)
+
+type bl_target =
+  | Sym of int   (** Unresolved symbol id; imm26 stays 0 until relocation. *)
+  | Rel of int   (** Resolved byte displacement from this instruction. *)
+
+type t =
+  | Add_sub_imm of
+      { op : as_op; size : size; set_flags : bool;
+        rd : reg; rn : reg; imm12 : int; shift12 : bool }
+  | Add_sub_reg of
+      { op : as_op; size : size; set_flags : bool;
+        rd : reg; rn : reg; rm : reg }
+  | Logic_reg of
+      { op : logic_op; size : size; rd : reg; rn : reg; rm : reg }
+  | Mov_wide of
+      { kind : wide_kind; size : size; rd : reg; imm16 : int; hw : int }
+  | Mul of { size : size; rd : reg; rn : reg; rm : reg }
+  | Sdiv of { size : size; rd : reg; rn : reg; rm : reg }
+  | Msub of { size : size; rd : reg; rn : reg; rm : reg; ra : reg }
+      (** rd = ra - rn * rm; used with sdiv to lower remainders. *)
+  | Ldr of { size : size; rt : reg; rn : reg; imm : int }
+      (** Unsigned scaled offset form; [imm] is the byte offset. *)
+  | Str of { size : size; rt : reg; rn : reg; imm : int }
+  | Ldp of
+      { size : size; rt : reg; rt2 : reg; rn : reg;
+        imm : int; mode : addr_mode }
+  | Stp of
+      { size : size; rt : reg; rt2 : reg; rn : reg;
+        imm : int; mode : addr_mode }
+  | Ldr_lit of { size : size; rt : reg; disp : int }
+      (** PC-relative literal load; [disp] in bytes from this instruction. *)
+  | Adr of { rd : reg; disp : int }
+  | Adrp of { rd : reg; disp : int }
+      (** [disp] is the byte distance between the target page base and this
+          instruction's page base; a multiple of 4096. *)
+  | B of { disp : int }
+  | B_cond of { cond : cond; disp : int }
+  | Bl of { target : bl_target }
+  | Blr of reg
+  | Br of reg
+  | Ret
+  | Cbz of { size : size; rt : reg; disp : int }
+  | Cbnz of { size : size; rt : reg; disp : int }
+  | Tbz of { rt : reg; bit : int; disp : int }
+  | Tbnz of { rt : reg; bit : int; disp : int }
+  | Nop
+  | Brk of int
+  | Data of int32  (** An embedded data word living inside the text. *)
+
+let instr_bytes = 4
+
+(* ---- Classification predicates ------------------------------------- *)
+
+(* Paper section 3.2: instructions terminating a basic block. *)
+let is_terminator = function
+  | B _ | B_cond _ | Cbz _ | Cbnz _ | Tbz _ | Tbnz _ | Br _ | Ret -> true
+  | _ -> false
+
+let is_call = function Bl _ | Blr _ -> true | _ -> false
+
+(* Paper section 3.3.4: b, bl, cbz, cbnz, tbz, tbnz, adr, adrp, ldr(lit). *)
+let is_pc_relative = function
+  | B _ | B_cond _ | Cbz _ | Cbnz _ | Tbz _ | Tbnz _
+  | Adr _ | Adrp _ | Ldr_lit _ -> true
+  | Bl { target = Rel _ } -> true
+  | Bl { target = Sym _ } -> false (* relocated by the linker, not patched *)
+  | _ -> false
+
+let is_indirect_jump = function Br _ -> true | _ -> false
+
+(* Displacement of a PC-relative instruction, in bytes from the
+   instruction's own address. *)
+let pc_rel_disp = function
+  | B { disp } | B_cond { disp; _ } | Cbz { disp; _ } | Cbnz { disp; _ }
+  | Tbz { disp; _ } | Tbnz { disp; _ } | Adr { disp; _ }
+  | Adrp { disp; _ } | Ldr_lit { disp; _ } -> Some disp
+  | Bl { target = Rel disp } -> Some disp
+  | _ -> None
+
+let with_pc_rel_disp t disp =
+  match t with
+  | B _ -> B { disp }
+  | B_cond b -> B_cond { b with disp }
+  | Cbz b -> Cbz { b with disp }
+  | Cbnz b -> Cbnz { b with disp }
+  | Tbz b -> Tbz { b with disp }
+  | Tbnz b -> Tbnz { b with disp }
+  | Adr b -> Adr { b with disp }
+  | Adrp b -> Adrp { b with disp }
+  | Ldr_lit b -> Ldr_lit { b with disp }
+  | Bl { target = Rel _ } -> Bl { target = Rel disp }
+  | _ -> invalid_arg "Isa.with_pc_rel_disp: not PC-relative"
+
+(* Registers read / written, for LR-liveness tracking during codegen. *)
+let reads t =
+  match t with
+  | Add_sub_imm { rn; _ } -> [ rn ]
+  | Add_sub_reg { rn; rm; _ } | Logic_reg { rn; rm; _ }
+  | Mul { rn; rm; _ } | Sdiv { rn; rm; _ } -> [ rn; rm ]
+  | Msub { rn; rm; ra; _ } -> [ rn; rm; ra ]
+  | Mov_wide { kind = MOVK; rd; _ } -> [ rd ]
+  | Mov_wide _ -> []
+  | Ldr { rn; _ } -> [ rn ]
+  | Str { rt; rn; _ } -> [ rt; rn ]
+  | Ldp { rn; _ } -> [ rn ]
+  | Stp { rt; rt2; rn; _ } -> [ rt; rt2; rn ]
+  | Ldr_lit _ | Adr _ | Adrp _ | B _ | B_cond _ | Bl _ | Nop | Brk _
+  | Data _ -> []
+  | Blr r | Br r -> [ r ]
+  | Ret -> [ lr ]
+  | Cbz { rt; _ } | Cbnz { rt; _ } | Tbz { rt; _ } | Tbnz { rt; _ } -> [ rt ]
+
+let writes t =
+  match t with
+  | Add_sub_imm { rd; set_flags; _ } | Add_sub_reg { rd; set_flags; _ } ->
+    if set_flags && rd = zr then [] else [ rd ]
+  | Logic_reg { rd; _ } | Mov_wide { rd; _ } | Mul { rd; _ }
+  | Sdiv { rd; _ } | Msub { rd; _ } -> [ rd ]
+  | Ldr { rt; _ } | Ldr_lit { rt; _ } -> [ rt ]
+  | Ldp { rt; rt2; _ } -> [ rt; rt2 ]
+  | Adr { rd; _ } | Adrp { rd; _ } -> [ rd ]
+  | Bl _ | Blr _ -> [ lr ]
+  | Str _ | Stp _ | B _ | B_cond _ | Br _ | Ret | Cbz _ | Cbnz _ | Tbz _
+  | Tbnz _ | Nop | Brk _ | Data _ -> []
+
+let reads_lr t = List.mem lr (reads t)
+let writes_lr t = List.mem lr (writes t)
+
+(* ---- Convenience builders (codegen templates use these) ------------- *)
+
+let mov_imm ~size rd imm = Mov_wide { kind = MOVZ; size; rd; imm16 = imm land 0xffff; hw = 0 }
+let mov_reg ~size rd rm = Logic_reg { op = ORR; size; rd; rn = zr; rm }
+let add ~size rd rn imm12 =
+  Add_sub_imm { op = ADD; size; set_flags = false; rd; rn; imm12; shift12 = false }
+let sub ~size rd rn imm12 =
+  Add_sub_imm { op = SUB; size; set_flags = false; rd; rn; imm12; shift12 = false }
+let cmp_imm ~size rn imm12 =
+  Add_sub_imm { op = SUB; size; set_flags = true; rd = zr; rn; imm12; shift12 = false }
+let cmp_reg ~size rn rm =
+  Add_sub_reg { op = SUB; size; set_flags = true; rd = zr; rn; rm }
+
+(* The three ART-specific patterns of Figure 4. *)
+
+(* Figure 4a: the Java function calling pattern (tail of the sequence). *)
+let java_call_pattern ~entry_offset =
+  [ Ldr { size = X; rt = lr; rn = x0; imm = entry_offset }; Blr lr ]
+
+(* Figure 4b: the ART native (runtime) function calling pattern. *)
+let runtime_call_pattern ~fn_offset =
+  [ Ldr { size = X; rt = lr; rn = x19; imm = fn_offset }; Blr lr ]
+
+(* Figure 4c: the stack overflow checking pattern. *)
+let stack_check_pattern =
+  [ Add_sub_imm
+      { op = SUB; size = X; set_flags = false; rd = x16; rn = sp;
+        imm12 = 2; shift12 = true (* 0x2000 = 2 << 12 *) };
+    Ldr { size = W; rt = zr; rn = x16; imm = 0 } ]

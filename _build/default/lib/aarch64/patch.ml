@@ -1,0 +1,34 @@
+(* Patching PC-relative immediates inside encoded words (paper §3.3.4).
+
+   All LTBO rewriting happens on the binary: a patch decodes the 32-bit
+   word, substitutes the new displacement, and re-encodes, failing loudly if
+   the new displacement does not fit the immediate field. *)
+
+exception Not_pc_relative of int
+
+(* Re-encode [word] so that its PC-relative displacement becomes [disp]
+   bytes. Raises [Not_pc_relative] if the word is not a PC-relative
+   instruction and [Encode.Error] if [disp] does not fit. *)
+let patch_word word ~disp =
+  let instr = Decode.decode word in
+  match Isa.pc_rel_disp instr with
+  | None -> raise (Not_pc_relative word)
+  | Some _ -> Encode.encode (Isa.with_pc_rel_disp instr disp)
+
+(* Read the current displacement of the PC-relative instruction encoded at
+   [off] in [buf]. *)
+let read_disp buf ~off =
+  let word = Encode.word_of_bytes buf off in
+  match Isa.pc_rel_disp (Decode.decode word) with
+  | None -> raise (Not_pc_relative word)
+  | Some d -> d
+
+(* Patch the instruction at byte offset [off] in [buf] in place so that its
+   displacement becomes [disp]. *)
+let patch_bytes buf ~off ~disp =
+  let word = Encode.word_of_bytes buf off in
+  Encode.word_to_bytes buf off (patch_word word ~disp)
+
+(* Relocate an unlinked [bl] at [off] to target absolute offset [target]
+   (both relative to the same base as [off]). *)
+let relocate_bl buf ~off ~target = patch_bytes buf ~off ~disp:(target - off)

@@ -1,0 +1,21 @@
+(** Patching PC-relative immediates inside encoded words (paper section
+    3.3.4). All rewriting happens on the binary: decode the 32-bit word,
+    substitute the displacement, re-encode. *)
+
+exception Not_pc_relative of int
+(** The word does not encode a PC-relative instruction. *)
+
+val patch_word : int -> disp:int -> int
+(** Re-encode [word] with a new byte displacement.
+    @raise Not_pc_relative if the word is not PC-relative.
+    @raise Encode.Error if [disp] does not fit the immediate field. *)
+
+val read_disp : bytes -> off:int -> int
+(** Current displacement of the PC-relative instruction at byte [off]. *)
+
+val patch_bytes : bytes -> off:int -> disp:int -> unit
+(** In-place variant of {!patch_word}. *)
+
+val relocate_bl : bytes -> off:int -> target:int -> unit
+(** Bind the [bl] at [off] to the absolute offset [target] (both relative
+    to the same base): the linker's call relocation. *)

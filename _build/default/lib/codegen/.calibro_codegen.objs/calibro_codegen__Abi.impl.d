@@ -1,0 +1,1 @@
+lib/codegen/abi.ml: Calibro_aarch64 Calibro_dex List

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Abi Array Bytes Calibro_aarch64 Calibro_dex Calibro_hgraph Char Compiled_method Encode Hashtbl Int32 Isa List Meta Option Printf Stackmap String

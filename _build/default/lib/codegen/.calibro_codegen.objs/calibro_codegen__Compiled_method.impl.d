@@ -1,0 +1,1 @@
+lib/codegen/compiled_method.ml: Bytes Calibro_dex Meta Stackmap

@@ -1,0 +1,1 @@
+lib/codegen/stackmap.ml: List Printf

@@ -1,0 +1,24 @@
+(* The output of compiling one method: encoded binary code plus everything
+   the linker and the link-time outliner need (paper Figure 5: "binary
+   code" boxes flowing into LTBO.2 and linking). *)
+
+open Calibro_dex.Dex_ir
+
+type t = {
+  name : method_ref;
+  slot : int;           (** ArtMethod slot; also the method's symbol id. *)
+  code : bytes;
+      (** Encoded instructions; unresolved [bl] sites carry imm26 = 0 and a
+          relocation entry. *)
+  relocs : (int * int) list;
+      (** (byte offset of a bl, target symbol id). *)
+  meta : Meta.t;        (** LTBO.1 compilation-time metadata. *)
+  stackmap : Stackmap.t;
+  num_params : int;
+  is_entry : bool;
+  cto_hits : (string * int) list;
+      (** How many times each CTO pattern fired (census for Figure 4). *)
+}
+
+let code_size t = Bytes.length t.code
+let is_native t = t.meta.Meta.is_native

@@ -1,0 +1,54 @@
+(* LTBO.1: per-method metadata collected during compilation (paper section
+   3.2). All offsets are byte offsets relative to the method's first
+   instruction. *)
+
+type range = { r_start : int; r_len : int }
+
+let in_range r off = off >= r.r_start && off < r.r_start + r.r_len
+
+type t = {
+  embedded : range list;
+      (** Embedded data (string pool entries, switch tables): never
+          disassembled, never outlined. *)
+  pc_rel : (int * int) list;
+      (** PC-relative addressing instructions: (instruction offset, target
+          offset). Patched after outlining (section 3.3.4). *)
+  terminators : int list;
+      (** Offsets of basic-block-terminating instructions. *)
+  calls : int list;
+      (** Offsets of call instructions (bl/blr): safepoints; also sequence
+          separators because they read or write the link register. *)
+  slowpaths : range list;
+      (** Cold exception-path code at the method tail; outlinable even in
+          hot methods (section 3.4.2). *)
+  has_indirect_jump : bool;
+      (** Method contains br through a computed register: excluded from
+          outlining (section 3.3.1). *)
+  is_native : bool;
+      (** Java native method: excluded from outlining (section 3.2). *)
+}
+
+let empty =
+  { embedded = []; pc_rel = []; terminators = []; calls = []; slowpaths = [];
+    has_indirect_jump = false; is_native = false }
+
+let is_embedded t off = List.exists (fun r -> in_range r off) t.embedded
+let in_slowpath t off = List.exists (fun r -> in_range r off) t.slowpaths
+
+(* Methods eligible for link-time outlining (section 3.3.1). *)
+let outlinable t = not (t.has_indirect_jump || t.is_native)
+
+(* Shift every offset in the metadata through [remap : int -> int], used
+   after outlining moves code around. [remap] receives an old offset and
+   returns the new one. Ranges are remapped by their start; their length is
+   preserved (outlining never rewrites inside an embedded/slowpath range of
+   a method it modifies — slowpath ranges may shrink only via whole-range
+   preservation of relative layout). *)
+let remap_offsets t ~remap ~remap_target =
+  { t with
+    embedded = List.map (fun r -> { r with r_start = remap r.r_start }) t.embedded;
+    pc_rel =
+      List.map (fun (off, tgt) -> (remap off, remap_target tgt)) t.pc_rel;
+    terminators = List.map remap t.terminators;
+    calls = List.map remap t.calls;
+    slowpaths = List.map (fun r -> { r with r_start = remap r.r_start }) t.slowpaths }

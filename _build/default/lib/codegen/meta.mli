@@ -1,0 +1,42 @@
+(** LTBO.1 — per-method metadata collected at compilation time (paper
+    section 3.2). All offsets are bytes relative to the method's first
+    instruction. The linking-time outliner consumes this instead of
+    attempting thorough disassembly and binary analysis. *)
+
+type range = { r_start : int; r_len : int }
+
+val in_range : range -> int -> bool
+
+type t = {
+  embedded : range list;
+      (** Embedded data (string pools, jump tables): never disassembled,
+          never outlined. *)
+  pc_rel : (int * int) list;
+      (** PC-relative instructions: (instruction offset, target offset);
+          patched after outlining (section 3.3.4). *)
+  terminators : int list;
+      (** Offsets of basic-block-terminating instructions. *)
+  calls : int list;
+      (** Offsets of call instructions: safepoints, and sequence separators
+          (they touch the link register). *)
+  slowpaths : range list;
+      (** Cold exception paths at the method tail; outlinable even in hot
+          methods (section 3.4.2). *)
+  has_indirect_jump : bool;
+      (** [br] through a computed register: the method is excluded from
+          outlining (section 3.3.1). *)
+  is_native : bool;
+      (** Java native method: excluded from outlining (section 3.2). *)
+}
+
+val empty : t
+
+val is_embedded : t -> int -> bool
+val in_slowpath : t -> int -> bool
+
+val outlinable : t -> bool
+(** Candidate-method criterion of section 3.3.1. *)
+
+val remap_offsets : t -> remap:(int -> int) -> remap_target:(int -> int) -> t
+(** Rebuild all offsets through a relocation map after outlining moved
+    code. *)

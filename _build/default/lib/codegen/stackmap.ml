@@ -1,0 +1,38 @@
+(* StackMaps (paper section 3.5): the mapping between native code positions
+   and the abstract DEX machine state that ART needs for stack walking,
+   GC and exception delivery. Any binary-level rewrite must keep them
+   consistent with the code; the outliner repositions native PCs through
+   its offset map and the checker below is run afterwards. *)
+
+type entry = {
+  native_pc : int;
+      (** Byte offset (method-relative) of the instruction *after* the
+          call, i.e. the return address the runtime observes on the stack. *)
+  dex_pc : int;  (** Index of the originating HGraph instruction. *)
+  live_vregs : int;  (** Bitmask of virtual registers live at the point. *)
+}
+
+type t = entry list
+
+let empty : t = []
+
+let remap (t : t) ~remap_pc =
+  List.map (fun e -> { e with native_pc = remap_pc e.native_pc }) t
+
+(* Consistency: native PCs must be word-aligned, strictly inside the
+   method, and in increasing order. *)
+let validate (t : t) ~code_size =
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest ->
+      if e.native_pc mod 4 <> 0 then
+        Error (Printf.sprintf "stackmap pc %d not word aligned" e.native_pc)
+      else if e.native_pc <= 0 || e.native_pc > code_size then
+        Error
+          (Printf.sprintf "stackmap pc %d outside method of %d bytes"
+             e.native_pc code_size)
+      else if e.native_pc < last then
+        Error (Printf.sprintf "stackmap pcs not ordered at %d" e.native_pc)
+      else go e.native_pc rest
+  in
+  go 0 t

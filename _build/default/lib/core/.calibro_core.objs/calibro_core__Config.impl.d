@@ -1,0 +1,1 @@
+lib/core/config.ml: Calibro_dex Hashtbl List Ltbo

@@ -1,0 +1,1 @@
+lib/core/ltbo.mli: Calibro_codegen Calibro_dex Calibro_oat Compiled_method

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Calibro_codegen Compiled_method Domain List Ltbo Meta

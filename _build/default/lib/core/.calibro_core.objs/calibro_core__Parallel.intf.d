@@ -1,0 +1,1 @@
+lib/core/parallel.mli: Calibro_codegen Compiled_method Ltbo

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Calibro_dex Calibro_oat Config Dex_ir Ltbo

@@ -1,0 +1,1 @@
+lib/core/redundancy.ml: Array Benefit Calibro_aarch64 Calibro_codegen Calibro_oat Calibro_suffix_tree Decode Encode Hashtbl Isa List Meta Oat_file Option Suffix_tree

@@ -1,0 +1,1 @@
+lib/core/redundancy.mli: Calibro_oat Oat_file

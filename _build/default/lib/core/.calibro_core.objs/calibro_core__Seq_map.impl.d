@@ -1,0 +1,1 @@
+lib/core/seq_map.ml: Bytes Calibro_aarch64 Calibro_codegen Compiled_method Decode Encode Hashtbl Isa List Meta

@@ -1,0 +1,1 @@
+lib/core/seq_map.mli: Calibro_codegen Compiled_method

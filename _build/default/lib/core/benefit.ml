@@ -1,0 +1,28 @@
+(* The benefit model of Figure 2:
+
+     OriginalSize   = Length x RepeatedTimes
+     OptimizedSize  = RepeatedTimes + 1 + Length
+     ReductionRatio = (OriginalSize - OptimizedSize) / OriginalSize
+
+   Length and RepeatedTimes are in instructions; the "+1" is the extra
+   return instruction ([br x30]) of the outlined function. *)
+
+let original_size ~length ~repeats = length * repeats
+
+let optimized_size ~length ~repeats = repeats + 1 + length
+
+(* Net instruction saving; positive iff outlining shrinks the code. *)
+let saving ~length ~repeats =
+  original_size ~length ~repeats - optimized_size ~length ~repeats
+
+let worthwhile ~length ~repeats = saving ~length ~repeats > 0
+
+let reduction_ratio ~length ~repeats =
+  let o = original_size ~length ~repeats in
+  if o = 0 then 0.0 else float_of_int (saving ~length ~repeats) /. float_of_int o
+
+(* Smallest number of repeats that makes a sequence of [length] worth
+   outlining: L*N - (N+1+L) > 0  <=>  N > (L+1)/(L-1). *)
+let min_repeats ~length =
+  if length <= 1 then max_int
+  else ((length + 1) / (length - 1)) + 1

@@ -1,0 +1,25 @@
+(** The code-outlining benefit model of the paper's Figure 2:
+
+    {v
+    OriginalSize   = Length x RepeatedTimes
+    OptimizedSize  = RepeatedTimes + 1 + Length
+    ReductionRatio = (OriginalSize - OptimizedSize) / OriginalSize
+    v}
+
+    Sizes are in instructions; the "+1" is the [br x30] return of the
+    outlined function. *)
+
+val original_size : length:int -> repeats:int -> int
+val optimized_size : length:int -> repeats:int -> int
+
+val saving : length:int -> repeats:int -> int
+(** Net instruction saving; positive iff outlining shrinks the code. *)
+
+val worthwhile : length:int -> repeats:int -> bool
+(** [saving > 0]: the paper's section 3.3.3 outlining criterion. *)
+
+val reduction_ratio : length:int -> repeats:int -> float
+
+val min_repeats : length:int -> int
+(** Smallest repeat count making a sequence of [length] worth outlining
+    (e.g. 4 for length 2, 2 for length 4); [max_int] for length <= 1. *)

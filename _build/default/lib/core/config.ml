@@ -1,0 +1,46 @@
+(* The evaluation configurations of the paper's section 4.1. *)
+
+open Calibro_dex.Dex_ir
+
+type t = {
+  name : string;
+  optimize_ir : bool;     (** HGraph passes (all configs keep them on:
+                              "all available code size optimization
+                              enabled" in the baseline). *)
+  cto : bool;             (** compilation-time outlining (3.1) *)
+  ltbo : bool;            (** link-time binary outlining (3.2/3.3) *)
+  parallel_trees : int;   (** 1 = single global suffix tree; >1 = PlOpti *)
+  hot_methods : method_ref list;
+      (** non-empty enables HfOpti: these methods outline only their
+          slowpaths *)
+  ltbo_min_length : int;
+  ltbo_max_length : int;
+  ltbo_rounds : int;
+      (** whole-program outlining rounds (>1 harvests second-order repeats,
+          the iteration Chabbi et al. use on iOS) *)
+}
+
+let baseline =
+  { name = "Baseline"; optimize_ir = true; cto = false; ltbo = false;
+    parallel_trees = 1; hot_methods = []; ltbo_min_length = 2;
+    ltbo_max_length = 64; ltbo_rounds = 1 }
+
+let cto = { baseline with name = "CTO"; cto = true }
+
+let cto_ltbo = { cto with name = "CTO+LTBO"; ltbo = true }
+
+let cto_ltbo_pl ?(k = 8) () =
+  { cto_ltbo with name = "CTO+LTBO+PlOpti"; parallel_trees = k }
+
+let cto_ltbo_pl_hf ?(k = 8) ~hot_methods () =
+  { cto_ltbo with name = "CTO+LTBO+PlOpti+HfOpti"; parallel_trees = k;
+    hot_methods }
+
+let is_hot t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace tbl m ()) t.hot_methods;
+  fun name -> Hashtbl.mem tbl name
+
+let ltbo_options t =
+  { Ltbo.min_length = t.ltbo_min_length; max_length = t.ltbo_max_length;
+    is_hot = is_hot t }

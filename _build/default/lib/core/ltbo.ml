@@ -1,0 +1,421 @@
+(* LTBO.2 — Linking-Time Binary code Outlining (paper section 3.3).
+
+   Runs after all methods are compiled and before the final link, in four
+   steps exactly as the paper lays out:
+
+   1. choosing candidate methods (3.3.1): methods with indirect jumps and
+      Java native methods are excluded via the LTBO.1 metadata; under
+      hot-function filtering, hot methods participate only with their
+      slowpath ranges (3.4.2);
+   2. detecting repetitive code sequences (3.3.2): the candidate code is
+      mapped to an integer sequence ({!Seq_map}) and a suffix tree finds
+      the repeats;
+   3. outlining (3.3.3): repeats worth outlining under the Figure 2
+      benefit model are extracted into outlined functions ending in
+      [br x30]; each occurrence is replaced by one [bl] carrying a symbol
+      relocation (bound by the later link, per section 3.2);
+   4. patching PC-relative addressing instructions (3.3.4): every recorded
+      (instruction, target) pair is re-encoded against the new layout; the
+      stackmaps are repositioned the same way (3.5). *)
+
+open Calibro_aarch64
+open Calibro_codegen
+open Calibro_suffix_tree
+
+let outlined_sym_base = 0x500000
+
+type options = {
+  min_length : int;          (** shortest candidate sequence, in instructions *)
+  max_length : int;          (** longest, bounds tree traversal *)
+  is_hot : Calibro_dex.Dex_ir.method_ref -> bool;
+      (** hot-function filtering predicate (3.4.2); hot methods only
+          outline their slowpaths *)
+}
+
+let default_options =
+  { min_length = 2; max_length = 64; is_hot = (fun _ -> false) }
+
+(* An accepted outlining decision. *)
+type decision = {
+  d_length : int;  (** instructions *)
+  d_words : int array;  (** the sequence's encoded words *)
+  d_occurrences : (int * int) list;  (** (method index, byte offset) *)
+}
+
+type stats = {
+  s_candidate_methods : int;
+  s_sequence_elements : int;
+  s_tree_nodes : int;
+  s_repeats_considered : int;
+  s_outlined_functions : int;
+  s_occurrences_replaced : int;
+  s_instructions_saved : int;
+}
+
+let empty_stats =
+  { s_candidate_methods = 0; s_sequence_elements = 0; s_tree_nodes = 0;
+    s_repeats_considered = 0; s_outlined_functions = 0;
+    s_occurrences_replaced = 0; s_instructions_saved = 0 }
+
+let merge_stats a b =
+  { s_candidate_methods = a.s_candidate_methods + b.s_candidate_methods;
+    s_sequence_elements = a.s_sequence_elements + b.s_sequence_elements;
+    s_tree_nodes = a.s_tree_nodes + b.s_tree_nodes;
+    s_repeats_considered = a.s_repeats_considered + b.s_repeats_considered;
+    s_outlined_functions = a.s_outlined_functions + b.s_outlined_functions;
+    s_occurrences_replaced = a.s_occurrences_replaced + b.s_occurrences_replaced;
+    s_instructions_saved = a.s_instructions_saved + b.s_instructions_saved }
+
+(* ---- Step 2: detection over one group of methods ---------------------- *)
+
+(* Build the mapped sequence for [group] (indices into [methods]) and
+   detect repeats. Returns decisions (occurrences expressed against global
+   method indices) and statistics. *)
+let detect ~options (methods : Compiled_method.t array) (group : int list) :
+    decision list * stats =
+  let a = Seq_map.new_allocator () in
+  (* Concatenate per-method element lists; record the provenance of every
+     sequence slot. *)
+  let values = ref [] and prov = ref [] in
+  let n_elements = ref 0 in
+  List.iter
+    (fun mi ->
+      let cm = methods.(mi) in
+      let hot = options.is_hot cm.Compiled_method.name in
+      let eligible off =
+        (not hot) || Meta.in_slowpath cm.Compiled_method.meta off
+      in
+      let elements = Seq_map.map_method ~eligible cm a in
+      List.iter
+        (fun (v, elt) ->
+          values := v :: !values;
+          incr n_elements;
+          prov :=
+            (match elt with
+             | Seq_map.Word (_, off) -> Some (mi, off)
+             | Seq_map.Separator -> None)
+            :: !prov)
+        elements;
+      (* Hard separator at every method boundary. *)
+      values := Seq_map.fresh_sep a :: !values;
+      incr n_elements;
+      prov := None :: !prov)
+    group;
+  let seq = Array.of_list (List.rev !values) in
+  let prov = Array.of_list (List.rev !prov) in
+  let tree = Suffix_tree.build seq in
+  (* Gather repeats worth considering. *)
+  let considered = ref 0 in
+  let candidates =
+    Suffix_tree.fold_repeats ~min_length:options.min_length
+      ~max_length:options.max_length tree ~init:[]
+      ~f:(fun acc (r : Suffix_tree.repeat) ->
+        incr considered;
+        let repeats = List.length r.Suffix_tree.positions in
+        if Benefit.worthwhile ~length:r.Suffix_tree.length ~repeats then
+          r :: acc
+        else acc)
+  in
+  (* Largest estimated saving first; ties broken towards longer sequences
+     for stability. *)
+  let candidates =
+    List.sort
+      (fun (a : Suffix_tree.repeat) (b : Suffix_tree.repeat) ->
+        let sa =
+          Benefit.saving ~length:a.Suffix_tree.length
+            ~repeats:(List.length a.Suffix_tree.positions)
+        and sb =
+          Benefit.saving ~length:b.Suffix_tree.length
+            ~repeats:(List.length b.Suffix_tree.positions)
+        in
+        match compare sb sa with
+        | 0 -> compare b.Suffix_tree.length a.Suffix_tree.length
+        | c -> c)
+      candidates
+  in
+  (* Greedy selection with a global claimed-interval set (per method). *)
+  let claimed : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let overlaps mi off len =
+    match Hashtbl.find_opt claimed mi with
+    | None -> false
+    | Some l -> List.exists (fun (s, e) -> off < e && s < off + len) !l
+  in
+  let claim mi off len =
+    let l =
+      match Hashtbl.find_opt claimed mi with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace claimed mi l;
+        l
+    in
+    l := (off, off + len) :: !l
+  in
+  let decisions = ref [] in
+  let saved = ref 0 and occ_total = ref 0 in
+  List.iter
+    (fun (r : Suffix_tree.repeat) ->
+      let len = r.Suffix_tree.length in
+      let byte_len = len * 4 in
+      (* Self-overlap filter first (sequence positions), then the global
+         claimed filter (byte ranges). *)
+      let positions =
+        Suffix_tree.non_overlapping ~length:len r.Suffix_tree.positions
+      in
+      let usable =
+        List.filter_map
+          (fun pos ->
+            match prov.(pos) with
+            | None -> None (* starts at a separator slot: impossible, guard *)
+            | Some (mi, off) ->
+              if overlaps mi off byte_len then None else Some (mi, off))
+          positions
+      in
+      let repeats = List.length usable in
+      if Benefit.worthwhile ~length:len ~repeats then begin
+        List.iter (fun (mi, off) -> claim mi off byte_len) usable;
+        let first_pos =
+          (* words of the sequence body, taken from the tree's text *)
+          match List.nth_opt positions 0 with
+          | Some p -> p
+          | None -> assert false
+        in
+        let text = Suffix_tree.text tree in
+        let words = Array.init len (fun k -> text.(first_pos + k)) in
+        decisions :=
+          { d_length = len; d_words = words; d_occurrences = usable }
+          :: !decisions;
+        saved := !saved + Benefit.saving ~length:len ~repeats;
+        occ_total := !occ_total + repeats
+      end)
+    candidates;
+  let st = Suffix_tree.stats tree in
+  ( List.rev !decisions,
+    { s_candidate_methods = List.length group;
+      s_sequence_elements = !n_elements;
+      s_tree_nodes = st.Suffix_tree.nodes;
+      s_repeats_considered = !considered;
+      s_outlined_functions = List.length !decisions;
+      s_occurrences_replaced = !occ_total;
+      s_instructions_saved = !saved } )
+
+(* ---- Steps 3 & 4: rewriting, patching ---------------------------------- *)
+
+(* The simple holder for per-method rewriting input. *)
+type site = { st_off : int; st_len_words : int; st_sym : int }
+
+let rewrite_method_sites (cm : Compiled_method.t) (sites : site list) :
+    Compiled_method.t =
+  if sites = [] then cm
+  else begin
+    let sites = List.sort (fun a b -> compare a.st_off b.st_off) sites in
+    let code = cm.Compiled_method.code in
+    let n_words = Bytes.length code / 4 in
+    let old_size = n_words * 4 in
+    (* Old-offset -> new-offset map, at word granularity, plus one entry for
+       the end-of-method offset (branch targets may point there). Interior
+       words of a replaced region map to the bl's offset (a branch target
+       can only legally be the region start; anything else would have been
+       prevented by the boundary separators). *)
+    let remap = Array.make (n_words + 1) (-1) in
+    let new_words = ref [] in
+    let new_relocs = ref [] in
+    let new_pos = ref 0 in
+    let rec walk w sites =
+      if w >= n_words then ()
+      else
+        match sites with
+        | { st_off; st_len_words; st_sym } :: rest when st_off = w * 4 ->
+          (* Replace the occurrence with one bl. *)
+          remap.(w) <- !new_pos;
+          for k = 1 to st_len_words - 1 do
+            remap.(w + k) <- !new_pos
+          done;
+          new_words :=
+            Encode.encode (Isa.Bl { target = Isa.Sym st_sym }) :: !new_words;
+          new_relocs := (!new_pos, st_sym) :: !new_relocs;
+          new_pos := !new_pos + 4;
+          walk (w + st_len_words) rest
+        | _ ->
+          remap.(w) <- !new_pos;
+          new_words := Encode.word_of_bytes code (w * 4) :: !new_words;
+          new_pos := !new_pos + 4;
+          walk (w + 1) sites
+    in
+    walk 0 sites;
+    remap.(n_words) <- !new_pos;
+    let new_code = Bytes.create !new_pos in
+    List.iteri
+      (fun i w ->
+        Encode.word_to_bytes new_code (!new_pos - 4 - (i * 4)) w)
+      !new_words;
+    let remap_off off =
+      if off land 3 <> 0 || off < 0 || off > old_size then
+        invalid_arg (Printf.sprintf "Ltbo.remap: bad offset %d" off)
+      else remap.(off / 4)
+    in
+    (* Step 4: patch every PC-relative instruction against the new layout
+       (paper 3.3.4). The instruction itself is never inside a replaced
+       region; its target may be a region start (see remap above). *)
+    let meta = cm.Compiled_method.meta in
+    let new_pc_rel =
+      List.map
+        (fun (off, tgt) ->
+          let off' = remap_off off and tgt' = remap_off tgt in
+          Patch.patch_bytes new_code ~off:off' ~disp:(tgt' - off');
+          (off', tgt'))
+        meta.Meta.pc_rel
+    in
+    let remap_range (r : Meta.range) =
+      let s = remap_off r.Meta.r_start
+      and e = remap_off (r.Meta.r_start + r.Meta.r_len) in
+      { Meta.r_start = s; r_len = e - s }
+    in
+    let new_meta =
+      { meta with
+        Meta.pc_rel = new_pc_rel;
+        embedded = List.map remap_range meta.Meta.embedded;
+        slowpaths = List.map remap_range meta.Meta.slowpaths;
+        terminators = List.map remap_off meta.Meta.terminators;
+        calls =
+          List.map remap_off meta.Meta.calls
+          @ List.map (fun (off, _) -> off) !new_relocs
+          |> List.sort_uniq compare }
+    in
+    (* Reposition stackmaps (paper 3.5) and verify consistency. *)
+    let new_stackmap =
+      Stackmap.remap cm.Compiled_method.stackmap ~remap_pc:remap_off
+    in
+    (match Stackmap.validate new_stackmap ~code_size:!new_pos with
+     | Ok () -> ()
+     | Error e ->
+       failwith
+         (Printf.sprintf "LTBO broke stackmaps of %s: %s"
+            (Calibro_dex.Dex_ir.method_ref_to_string cm.Compiled_method.name)
+            e));
+    { cm with
+      Compiled_method.code = new_code;
+      relocs =
+        List.map (fun (off, sym) -> (remap_off off, sym)) cm.Compiled_method.relocs
+        @ List.rev !new_relocs;
+      meta = new_meta;
+      stackmap = new_stackmap }
+  end
+
+(* ---- Top level ---------------------------------------------------------- *)
+
+type result = {
+  methods : Compiled_method.t list;
+  outlined : Calibro_oat.Linker.extra_function list;
+  stats : stats;
+}
+
+(* Run LTBO over [methods]; [groups] partitions the candidate indices (one
+   group = one suffix tree; several groups = the PlOpti configuration,
+   processed by {!Parallel} when asked). [detect_in_parallel] maps [detect]
+   over the groups. *)
+let run_with ?(sym_base = outlined_sym_base)
+    ~(detect_results : (decision list * stats) list)
+    (methods : Compiled_method.t list) : result =
+  let marr = Array.of_list methods in
+  let all_decisions = List.concat_map fst detect_results in
+  let stats =
+    List.fold_left
+      (fun acc (_, s) -> merge_stats acc s)
+      empty_stats detect_results
+  in
+  (* Allocate symbols and outlined bodies. Identical bodies — which arise
+     when several parallel suffix trees independently discover the same
+     sequence (section 3.4.1's cross-tree blindness) — are deduplicated to
+     a single outlined function at this point. *)
+  let outlined = ref [] in
+  let body_syms : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_sym = ref sym_base in
+  let sites_per_method : (int, site list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let body =
+        Array.to_list (Array.map (fun w -> Isa.Data (Int32.of_int w)) d.d_words)
+        @ [ Isa.Br Isa.lr ]
+      in
+      (* Data here is just raw word passthrough: encode emits them verbatim. *)
+      let code = Encode.to_bytes body in
+      let key = Bytes.to_string code in
+      let sym =
+        match Hashtbl.find_opt body_syms key with
+        | Some sym -> sym
+        | None ->
+          let sym = !next_sym in
+          incr next_sym;
+          Hashtbl.replace body_syms key sym;
+          outlined := { Calibro_oat.Linker.xf_sym = sym; xf_code = code }
+                      :: !outlined;
+          sym
+      in
+      List.iter
+        (fun (mi, off) ->
+          let l =
+            match Hashtbl.find_opt sites_per_method mi with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace sites_per_method mi l;
+              l
+          in
+          l := { st_off = off; st_len_words = d.d_length; st_sym = sym } :: !l)
+        d.d_occurrences)
+    all_decisions;
+  let methods' =
+    Array.to_list
+      (Array.mapi
+         (fun mi cm ->
+           match Hashtbl.find_opt sites_per_method mi with
+           | None -> cm
+           | Some sites -> rewrite_method_sites cm !sites)
+         marr)
+  in
+  let stats =
+    { stats with s_outlined_functions = List.length !outlined }
+  in
+  { methods = methods'; outlined = List.rev !outlined; stats }
+
+(* Single global suffix tree (the non-PlOpti configuration). *)
+let run ?(options = default_options) ?sym_base
+    (methods : Compiled_method.t list) : result =
+  let marr = Array.of_list methods in
+  let candidates =
+    List.filteri
+      (fun _ _ -> true)
+      (List.mapi (fun i cm -> (i, cm)) methods)
+    |> List.filter_map (fun (i, cm) ->
+           if Meta.outlinable cm.Compiled_method.meta then Some i else None)
+  in
+  let detect_results = [ detect ~options marr candidates ] in
+  run_with ?sym_base ~detect_results methods
+
+(* ---- Multi-round outlining ------------------------------------------------
+
+   Re-running outlining over already-outlined code can harvest second-order
+   repeats (sequences that only become identical once their differing parts
+   were outlined away) — the whole-program iteration Chabbi et al. describe
+   for iOS and the paper cites as related work. Outlined functions
+   themselves are never re-outlined (they are not methods and carry no
+   metadata), so rounds converge quickly. *)
+let run_rounds ?(options = default_options) ~rounds
+    (methods : Compiled_method.t list) : result =
+  let rec go n sym_base methods acc_outlined acc_stats =
+    if n = 0 then
+      { methods; outlined = List.rev acc_outlined; stats = acc_stats }
+    else begin
+      let r = run ~options ~sym_base methods in
+      if r.stats.s_outlined_functions = 0 then
+        { methods; outlined = List.rev acc_outlined; stats = acc_stats }
+      else
+        go (n - 1)
+          (sym_base + r.stats.s_outlined_functions)
+          r.methods
+          (List.rev_append r.outlined acc_outlined)
+          (merge_stats acc_stats r.stats)
+    end
+  in
+  go rounds outlined_sym_base methods [] empty_stats

@@ -1,0 +1,80 @@
+(** LTBO.2 — Linking-Time Binary code Outlining (paper section 3.3).
+
+    Runs between per-method compilation and the final link. The four steps
+    of section 3.3 map to: candidate selection (via {!Calibro_codegen.Meta}),
+    repeat detection ({!Seq_map} + suffix tree), outlining (extract bodies
+    ending in [br x30]; replace occurrences with relocated [bl]s), and
+    PC-relative patching plus stackmap repositioning. *)
+
+open Calibro_codegen
+
+val outlined_sym_base : int
+(** First symbol id given to outlined functions. *)
+
+type options = {
+  min_length : int;  (** shortest candidate sequence, in instructions *)
+  max_length : int;  (** longest; bounds the tree traversal *)
+  is_hot : Calibro_dex.Dex_ir.method_ref -> bool;
+      (** hot-function filtering (section 3.4.2): hot methods participate
+          only with their slowpath ranges *)
+}
+
+val default_options : options
+
+type decision = {
+  d_length : int;
+  d_words : int array;
+  d_occurrences : (int * int) list;  (** (method index, byte offset) *)
+}
+
+type stats = {
+  s_candidate_methods : int;
+  s_sequence_elements : int;
+  s_tree_nodes : int;
+  s_repeats_considered : int;
+  s_outlined_functions : int;
+  s_occurrences_replaced : int;
+  s_instructions_saved : int;
+}
+
+val empty_stats : stats
+val merge_stats : stats -> stats -> stats
+
+val detect :
+  options:options ->
+  Compiled_method.t array ->
+  int list ->
+  decision list * stats
+(** Detection over one group of method indices (one suffix tree). Pure with
+    respect to shared state, so groups may run on separate domains
+    ({!Parallel}). *)
+
+type site = { st_off : int; st_len_words : int; st_sym : int }
+
+val rewrite_method_sites : Compiled_method.t -> site list -> Compiled_method.t
+(** Steps 3 and 4 for one method: replace each site with a [bl], rebuild
+    the offset map, patch PC-relative instructions in the bytes, remap
+    metadata and stackmaps, and validate the result.
+    @raise Failure if stackmap consistency is broken (a bug). *)
+
+type result = {
+  methods : Compiled_method.t list;
+  outlined : Calibro_oat.Linker.extra_function list;
+  stats : stats;
+}
+
+val run_with :
+  ?sym_base:int ->
+  detect_results:(decision list * stats) list ->
+  Compiled_method.t list ->
+  result
+(** Apply a set of detection results: allocate symbols (identical bodies
+    are deduplicated), rewrite methods, merge statistics. *)
+
+val run : ?options:options -> ?sym_base:int -> Compiled_method.t list -> result
+(** Single global suffix tree (the paper's non-PlOpti configuration). *)
+
+val run_rounds :
+  ?options:options -> rounds:int -> Compiled_method.t list -> result
+(** Iterated whole-program outlining (related-work extension); stops early
+    at a fixpoint. *)

@@ -1,0 +1,84 @@
+(* PlOpti — paralleled suffix trees (paper section 3.4.1).
+
+   "Firstly, we simply partition the candidate methods into K groups evenly
+   in terms of method numbers ... we choose a simple and random partition
+   instead of clustering similar methods ... Secondly, we build a suffix
+   tree for each group in parallel. Thirdly, we detect repetitive code
+   sequences, outline the binary code and patch ... per suffix tree in
+   parallel."
+
+   Detection (the expensive part: tree build + repeat search + selection)
+   runs on one OCaml 5 domain per group. The cost is cross-tree repeats
+   going unseen — exactly the paper's tolerable code-size loss in Table 4. *)
+
+open Calibro_codegen
+
+(* Deterministic "random" partition: shuffle with a seeded LCG, then split
+   evenly. *)
+let partition ~k ~seed (candidates : int list) : int list list =
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let state = ref (seed land 0x3FFFFFFF) in
+  let rand bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  for i = n - 1 downto 1 do
+    let j = rand (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  let k = max 1 (min k (max 1 n)) in
+  let groups = Array.make k [] in
+  Array.iteri (fun i mi -> groups.(i mod k) <- mi :: groups.(i mod k)) arr;
+  Array.to_list groups |> List.filter (fun g -> g <> [])
+
+(* Run [Ltbo.detect] over each group on its own domain. The number of live
+   domains is capped by the hardware's recommended count: spawning domains
+   beyond the core count only adds scheduler and GC overhead (on a 1-core
+   host the groups run sequentially, which still keeps the per-tree working
+   set small — the second benefit the paper describes). *)
+let detect_parallel ~options (methods : Compiled_method.t array)
+    (groups : int list list) : (Ltbo.decision list * Ltbo.stats) list =
+  let max_domains = max 1 (Domain.recommended_domain_count () - 1) in
+  match groups with
+  | [] -> []
+  | [ g ] -> [ Ltbo.detect ~options methods g ]
+  | gs when max_domains <= 1 ->
+    List.map (fun g -> Ltbo.detect ~options methods g) gs
+  | gs ->
+    (* process in waves of [max_domains] *)
+    let rec waves acc = function
+      | [] -> List.concat (List.rev acc)
+      | gs ->
+        let rec take n = function
+          | [] -> ([], [])
+          | x :: rest when n > 0 ->
+            let a, b = take (n - 1) rest in
+            (x :: a, b)
+          | rest -> ([], rest)
+        in
+        let now, later = take max_domains gs in
+        let domains =
+          List.map
+            (fun g -> Domain.spawn (fun () -> Ltbo.detect ~options methods g))
+            now
+        in
+        waves (List.map Domain.join domains :: acc) later
+    in
+    waves [] gs
+
+(* Full PlOpti LTBO: partition into [k] groups, detect in parallel,
+   rewrite. *)
+let run ?(options = Ltbo.default_options) ?(seed = 42) ~k
+    (methods : Compiled_method.t list) : Ltbo.result =
+  let marr = Array.of_list methods in
+  let candidates =
+    List.mapi (fun i (cm : Compiled_method.t) -> (i, cm)) methods
+    |> List.filter_map (fun (i, cm) ->
+           if Meta.outlinable cm.Compiled_method.meta then Some i else None)
+  in
+  let groups = partition ~k ~seed candidates in
+  let detect_results = detect_parallel ~options marr groups in
+  Ltbo.run_with ~detect_results methods

@@ -1,0 +1,28 @@
+(** PlOpti — paralleled suffix trees (paper section 3.4.1): partition the
+    candidate methods into K groups, detect repeats per group (one suffix
+    tree each) on OCaml 5 domains, then rewrite. The cost is cross-tree
+    repeats going unseen — the tolerable code-size loss of Table 4. *)
+
+open Calibro_codegen
+
+val partition : k:int -> seed:int -> int list -> int list list
+(** Deterministic pseudo-random even partition ("a simple and random
+    partition instead of clustering"). Groups are non-empty; their union is
+    the input. *)
+
+val detect_parallel :
+  options:Ltbo.options ->
+  Compiled_method.t array ->
+  int list list ->
+  (Ltbo.decision list * Ltbo.stats) list
+(** Run {!Ltbo.detect} over each group. Live domains are capped at
+    [Domain.recommended_domain_count () - 1]; groups beyond that run in
+    waves (or sequentially on a single-core host). *)
+
+val run :
+  ?options:Ltbo.options ->
+  ?seed:int ->
+  k:int ->
+  Compiled_method.t list ->
+  Ltbo.result
+(** Full PlOpti LTBO over all outlinable methods. *)

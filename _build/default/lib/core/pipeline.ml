@@ -1,0 +1,106 @@
+(* The end-to-end DEX2OAT-with-Calibro pipeline (paper Figure 5):
+
+     apk -> per-method HGraph -> IR opt passes -> codegen (CTO + LTBO.1)
+         -> LTBO.2 (global or paralleled suffix trees)
+         -> linking -> OAT
+
+   Per-phase wall-clock timings are recorded; Table 6 is their ratio
+   across configurations. *)
+
+open Calibro_dex
+open Calibro_hgraph
+open Calibro_codegen
+open Calibro_oat
+
+type build = {
+  b_config : Config.t;
+  b_oat : Oat_file.t;
+  b_timings : (string * float) list;  (** (phase, seconds) in order *)
+  b_ltbo_stats : Ltbo.stats option;
+  b_cto_hits : (string * int) list;   (** summed over methods *)
+}
+
+let total_time b = List.fold_left (fun a (_, t) -> a +. t) 0.0 b.b_timings
+
+exception Build_error of string
+
+let timed phases name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  phases := (name, Unix.gettimeofday () -. t0) :: !phases;
+  r
+
+let build ?(config = Config.baseline) (apk : Dex_ir.apk) : build =
+  (match Dex_check.check apk with
+   | Ok () -> ()
+   | Error errs ->
+     raise
+       (Build_error
+          (String.concat "; " (List.map Dex_check.error_to_string errs))));
+  let phases = ref [] in
+  let methods = Dex_ir.methods_of_apk apk in
+  let slots = Hashtbl.create (List.length methods) in
+  List.iteri
+    (fun i (m : Dex_ir.meth) -> Hashtbl.replace slots m.name i)
+    methods;
+  let slot_of_method name =
+    match Hashtbl.find_opt slots name with
+    | Some s -> s
+    | None ->
+      raise (Build_error ("undefined method " ^ Dex_ir.method_ref_to_string name))
+  in
+  (* Frontend + IR optimization + codegen, per method (Figure 5's per-method
+     lanes). *)
+  let compiled =
+    timed phases "dex2oat" (fun () ->
+        List.map
+          (fun m ->
+            let g = Hgraph.of_method m in
+            if config.Config.optimize_ir then ignore (Passes.optimize g);
+            Codegen.compile
+              ~config:{ Codegen.cto = config.Config.cto }
+              ~slot_of_method g)
+          methods)
+  in
+  (* LTBO.2 *)
+  let compiled, outlined, ltbo_stats =
+    if not config.Config.ltbo then (compiled, [], None)
+    else
+      timed phases "ltbo" (fun () ->
+          let options = Config.ltbo_options config in
+          let result =
+            if config.Config.parallel_trees > 1 then
+              Parallel.run ~options ~k:config.Config.parallel_trees compiled
+            else if config.Config.ltbo_rounds > 1 then
+              Ltbo.run_rounds ~options ~rounds:config.Config.ltbo_rounds
+                compiled
+            else Ltbo.run ~options compiled
+          in
+          (result.Ltbo.methods, result.Ltbo.outlined, Some result.Ltbo.stats))
+  in
+  (* Final link: bind symbols, relocate calls (section 3.2). *)
+  let oat =
+    timed phases "link" (fun () ->
+        Linker.link ~apk_name:apk.Dex_ir.apk_name
+          ~thunks:(if config.Config.cto then Abi.all_thunks else [])
+          ~extra:outlined compiled)
+  in
+  let cto_hits =
+    List.fold_left
+      (fun acc (cm : Compiled_method.t) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let cur = Option.value ~default:0 (List.assoc_opt k acc) in
+            (k, cur + v) :: List.remove_assoc k acc)
+          acc cm.Compiled_method.cto_hits)
+      [] compiled
+  in
+  { b_config = config; b_oat = oat; b_timings = List.rev !phases;
+    b_ltbo_stats = ltbo_stats; b_cto_hits = List.sort compare cto_hits }
+
+(* Convenience: text-segment size, the paper's headline metric. *)
+let text_size b = Oat_file.text_size b.b_oat
+
+let reduction_vs ~baseline b =
+  let bs = float_of_int (text_size baseline) in
+  (bs -. float_of_int (text_size b)) /. bs

@@ -1,0 +1,29 @@
+(** The end-to-end DEX2OAT-with-Calibro pipeline (paper Figure 5):
+    per-method HGraph construction, IR optimization, code generation with
+    CTO and LTBO.1 metadata collection, whole-program LTBO.2 (global or
+    paralleled suffix trees, optionally multi-round), and the final link. *)
+
+open Calibro_dex
+
+type build = {
+  b_config : Config.t;
+  b_oat : Calibro_oat.Oat_file.t;
+  b_timings : (string * float) list;  (** (phase, seconds), in order *)
+  b_ltbo_stats : Ltbo.stats option;
+  b_cto_hits : (string * int) list;   (** CTO pattern census, summed *)
+}
+
+exception Build_error of string
+(** Raised on invalid input (checker failures, undefined callees). *)
+
+val build : ?config:Config.t -> Dex_ir.apk -> build
+(** Compile an application under the given evaluation configuration
+    (default: {!Config.baseline}). *)
+
+val total_time : build -> float
+
+val text_size : build -> int
+(** Text-segment size in bytes: the paper's headline metric. *)
+
+val reduction_vs : baseline:build -> build -> float
+(** Fractional text-size reduction relative to a baseline build. *)

@@ -1,0 +1,31 @@
+(** The code-redundancy analysis of paper section 2.2 (Table 1, Figure 3,
+    Figure 4): map the binary to integers, build a suffix tree, detect
+    repeats, and estimate potential savings with the Figure 2 model. The
+    estimate is deliberately optimistic (no basic-block confinement or
+    candidate exclusions), which is why Table 1 exceeds Table 4. *)
+
+open Calibro_oat
+
+type analysis = {
+  a_text_words : int;          (** analysed instruction count *)
+  a_repeats : int;             (** right-maximal repeated sequences *)
+  a_saved_instructions : int;  (** estimated by the benefit model *)
+  a_ratio : float;             (** estimated reduction ratio *)
+  a_histogram : (int * int) list;
+      (** Figure 3: (sequence length, total number of repeats) *)
+}
+
+val sequence_of_oat : Oat_file.t -> int array
+(** The whole text as one integer sequence; embedded data words become
+    unique separators. *)
+
+val analyze : ?min_length:int -> ?max_length:int -> Oat_file.t -> analysis
+
+type pattern_census = {
+  c_java_call : int;     (** Figure 4a occurrences *)
+  c_runtime_call : int;  (** Figure 4b occurrences *)
+  c_stack_check : int;   (** Figure 4c occurrences *)
+}
+
+val pattern_census : Oat_file.t -> pattern_census
+(** Count the three ART-specific patterns in the linked text. *)

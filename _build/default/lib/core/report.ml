@@ -1,0 +1,57 @@
+(* Table rendering for the benchmark harness: the paper's row/column
+   layout (apps as columns, configurations as rows, plus an AVG column). *)
+
+type table = {
+  title : string;
+  columns : string list;        (** app names *)
+  rows : (string * string list) list;  (** row label, one cell per column *)
+}
+
+let mib bytes = Printf.sprintf "%.2fM" (float_of_int bytes /. 1024.0 /. 1024.0)
+let kib bytes = Printf.sprintf "%.1fK" (float_of_int bytes /. 1024.0)
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let seconds s = Printf.sprintf "%.2fs" s
+
+let mega n = Printf.sprintf "%.1fM" (float_of_int n /. 1.0e6)
+
+let avg_pct xs =
+  pct (List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)))
+
+let render (t : table) =
+  let b = Buffer.create 1024 in
+  let headers = ("" :: t.columns) @ [ "AVG" ] in
+  let rows =
+    List.map
+      (fun (label, cells) ->
+        let cells =
+          if List.length cells = List.length t.columns + 1 then cells
+          else cells @ [ "/" ]
+        in
+        label :: cells)
+      t.rows
+  in
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row c with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 all)
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  Buffer.add_string b ("== " ^ t.title ^ " ==\n");
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun c cell ->
+          Buffer.add_string b (pad cell (List.nth widths c));
+          if c < ncols - 1 then Buffer.add_string b "  ")
+        row;
+      Buffer.add_char b '\n')
+    all;
+  Buffer.contents b
+
+let print t = print_string (render t)

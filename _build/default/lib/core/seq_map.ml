@@ -1,0 +1,85 @@
+(* Instruction -> integer mapping for suffix-tree input (paper section
+   3.3.2): "the encoding number of each instruction can be directly used in
+   the sequence, except that all terminator instructions should be mapped
+   to a single unique separator number".
+
+   We map to a separator not just terminators but every word that a
+   sound binary outliner must never move into an outlined function:
+
+   - terminator instructions (the paper's rule);
+   - PC-relative addressing instructions — their displacement is specific
+     to one address, so a shared outlined copy cannot satisfy two call
+     sites (the [bl sym] form is exempt: it is relocated by symbol, but it
+     is a call and calls are excluded anyway);
+   - calls and any instruction reading or writing x30 — the outlined
+     function returns via [br x30], which both requires the entry [bl]'s
+     link value to survive and forbids the body from depending on x30
+     (DESIGN.md section 4.1);
+   - embedded data words (known from the LTBO.1 metadata, not decoding);
+   - words in offsets the policy rules out (hot non-slowpath code under
+     hot-function filtering);
+   - branch-target boundaries: a virtual separator is inserted *before*
+     every branch target so no candidate sequence straddles one (a branch
+     into the middle of an outlined body cannot be patched).
+
+   Each separator value is unique, so no repeated subsequence can ever
+   contain one (a repeat needs at least two occurrences). *)
+
+open Calibro_aarch64
+open Calibro_codegen
+
+type element =
+  | Word of int * int  (** (mapped value, byte offset in method) *)
+  | Separator          (** unique value, no corresponding word *)
+
+type allocator = { mutable next_sep : int }
+
+let sep_base = 1 lsl 33 (* above any 32-bit encoding *)
+
+let new_allocator () = { next_sep = sep_base }
+
+let fresh_sep a =
+  let v = a.next_sep in
+  a.next_sep <- v + 1;
+  v
+
+(* [eligible off] is the policy hook (hot-function filtering); return false
+   to exclude the word at [off]. *)
+let map_method ?(eligible = fun _ -> true) (cm : Compiled_method.t) a :
+    (int * element) list =
+  let meta = cm.Compiled_method.meta in
+  let code = cm.Compiled_method.code in
+  let n_words = Bytes.length code / 4 in
+  let branch_targets =
+    List.fold_left
+      (fun acc (_, tgt) -> tgt :: acc)
+      [] meta.Meta.pc_rel
+    |> List.sort_uniq compare
+  in
+  let is_target =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun t -> Hashtbl.replace tbl t ()) branch_targets;
+    fun off -> Hashtbl.mem tbl off
+  in
+  let out = ref [] in
+  for w = n_words - 1 downto 0 do
+    let off = w * 4 in
+    let word = Encode.word_of_bytes code off in
+    let elt =
+      if Meta.is_embedded meta off then (fresh_sep a, Separator)
+      else if not (eligible off) then (fresh_sep a, Separator)
+      else begin
+        let instr = Decode.decode word in
+        if Isa.is_terminator instr || Isa.is_call instr
+           || Isa.is_pc_relative instr || Isa.reads_lr instr
+           || Isa.writes_lr instr
+        then (fresh_sep a, Separator)
+        else (word, Word (word, off))
+      end
+    in
+    out := elt :: !out;
+    (* Boundary separator before a branch target (prepended since we walk
+       backwards). *)
+    if off > 0 && is_target off then out := (fresh_sep a, Separator) :: !out
+  done;
+  !out

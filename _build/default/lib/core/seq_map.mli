@@ -1,0 +1,32 @@
+(** Instruction-to-integer mapping for suffix-tree input (paper section
+    3.3.2): encoded words for plain instructions, fresh unique separators
+    for everything a sound binary outliner must never move (terminators,
+    calls, PC-relative instructions, link-register uses, embedded data,
+    policy-excluded offsets), plus a virtual separator before every branch
+    target so candidates never straddle one. See DESIGN.md section 4.2. *)
+
+open Calibro_codegen
+
+type element =
+  | Word of int * int  (** (mapped value, byte offset in the method) *)
+  | Separator          (** unique value; no corresponding outlinable word *)
+
+type allocator
+(** Produces globally unique separator values for one suffix tree. *)
+
+val sep_base : int
+(** All separators are >= [sep_base] (above any 32-bit encoding). *)
+
+val new_allocator : unit -> allocator
+
+val fresh_sep : allocator -> int
+
+val map_method :
+  ?eligible:(int -> bool) ->
+  Compiled_method.t ->
+  allocator ->
+  (int * element) list
+(** The element sequence for one compiled method, in code order. Each item
+    pairs the suffix-tree integer with its classification. [eligible] is
+    the hot-function-filtering hook: offsets where it returns [false] map
+    to separators (section 3.4.2). *)

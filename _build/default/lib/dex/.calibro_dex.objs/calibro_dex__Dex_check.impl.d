@@ -1,0 +1,1 @@
+lib/dex/dex_check.ml: Array Dex_ir Fmt Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/dex/dex_ir.ml: Array List

@@ -1,0 +1,1 @@
+lib/dex/dex_text.ml: Array Buffer Dex_ir Fmt Hashtbl List Printf String

@@ -1,0 +1,122 @@
+(* The DEX-like input bytecode.
+
+   A register-based bytecode in the spirit of dalvik: each method owns
+   [num_vregs] virtual registers v0..v(n-1); parameters arrive in
+   v0..v(num_params-1). Branch targets are instruction indices. An
+   application package ("apk") holds multiple dex files, each with classes
+   holding methods — mirroring Figure 5's input shape. *)
+
+type vreg = int
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+  | Rem -> "rem" | And -> "and" | Or -> "or" | Xor -> "xor"
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let cmp_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+(* ART-provided native runtime entry points (paper Figure 4b: "native
+   functions are preloaded into a memory segment ... addressed by this
+   segment address plus a fixed offset"). *)
+type runtime_fn =
+  | Alloc_object         (** pAllocObjectResolved *)
+  | Alloc_array
+  | Throw_null_pointer
+  | Throw_array_bounds
+  | Throw_stack_overflow
+  | Throw_div_zero
+  | Resolve_string
+  | Log_value            (** observable output channel for tests/examples *)
+
+let runtime_fn_name = function
+  | Alloc_object -> "pAllocObjectResolved"
+  | Alloc_array -> "pAllocArrayResolved"
+  | Throw_null_pointer -> "pThrowNullPointer"
+  | Throw_array_bounds -> "pThrowArrayBounds"
+  | Throw_stack_overflow -> "pThrowStackOverflow"
+  | Throw_div_zero -> "pThrowDivZero"
+  | Resolve_string -> "pResolveString"
+  | Log_value -> "pLogValue"
+
+let all_runtime_fns =
+  [ Alloc_object; Alloc_array; Throw_null_pointer; Throw_array_bounds;
+    Throw_stack_overflow; Throw_div_zero; Resolve_string; Log_value ]
+
+type method_ref = { class_name : string; method_name : string }
+
+let method_ref_to_string { class_name; method_name } =
+  class_name ^ "." ^ method_name
+
+type label = int
+(** Branch target: index into the method's instruction array. *)
+
+type insn =
+  | Const of vreg * int
+  | Move of vreg * vreg
+  | Binop of binop * vreg * vreg * vreg        (** dst, lhs, rhs *)
+  | Binop_lit of binop * vreg * vreg * int     (** dst, lhs, literal *)
+  | Invoke of method_ref * vreg list * vreg option
+      (** Java call (Figure 4a pattern at codegen). *)
+  | Invoke_runtime of runtime_fn * vreg list * vreg option
+      (** ART runtime call (Figure 4b pattern at codegen). *)
+  | New_instance of string * vreg              (** class name, dst *)
+  | Iget of vreg * vreg * int                  (** dst, object, field offset *)
+  | Iput of vreg * vreg * int                  (** src, object, field offset *)
+  | Aget of vreg * vreg * vreg                 (** dst, array, index *)
+  | Aput of vreg * vreg * vreg                 (** src, array, index *)
+  | Array_len of vreg * vreg                   (** dst, array *)
+  | If of cmp * vreg * vreg * label
+  | Ifz of cmp * vreg * label
+  | Goto of label
+  | Switch of vreg * label list
+      (** Packed switch; lowered to an indirect jump through a table, which
+          flags the method as not outlinable (paper section 3.2). *)
+  | Const_string of vreg * string
+      (** Loads the address of string data embedded in the text segment. *)
+  | Return of vreg option
+
+type meth = {
+  name : method_ref;
+  num_params : int;
+  num_vregs : int;
+  is_native : bool;
+      (** Java native methods are never outlined (paper section 3.2). *)
+  is_entry : bool;  (** application entry point, callable from a script *)
+  insns : insn array;
+}
+
+type cls = { cls_name : string; cls_methods : meth list }
+type dex = { dex_name : string; classes : cls list }
+type apk = { apk_name : string; dexes : dex list }
+
+let methods_of_apk apk =
+  List.concat_map
+    (fun dex -> List.concat_map (fun c -> c.cls_methods) dex.classes)
+    apk.dexes
+
+let method_count apk = List.length (methods_of_apk apk)
+
+let insn_count apk =
+  List.fold_left (fun acc m -> acc + Array.length m.insns) 0 (methods_of_apk apk)
+
+let find_method apk ref_ =
+  List.find_opt (fun m -> m.name = ref_) (methods_of_apk apk)
+
+(* Branch targets of an instruction, if any. *)
+let targets = function
+  | If (_, _, _, l) | Ifz (_, _, l) | Goto l -> [ l ]
+  | Switch (_, ls) -> ls
+  | _ -> []
+
+(* Does control fall through to the next instruction? *)
+let falls_through = function
+  | Goto _ | Return _ | Switch _ -> false
+  | _ -> true
+
+let is_block_end = function
+  | If _ | Ifz _ | Goto _ | Switch _ | Return _ -> true
+  | _ -> false

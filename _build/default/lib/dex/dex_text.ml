@@ -1,0 +1,532 @@
+(* Textual format for DEX-like input: the ".dexsim" format.
+
+   A hand-written lexer and recursive-descent parser (no parser-generator
+   dependency), plus a printer that round-trips. Example:
+
+   {v
+   .apk demo
+   .dex classes01
+   .class com.demo.Main
+   .method run params 1 regs 4 entry
+     const v1, #2
+     mul v2, v0, v1
+     ifz eq v2, :zero
+     rtcall pLogValue (v2)
+     goto :done
+   :zero
+     const v2, #0
+   :done
+     return v2
+   .end
+   v} *)
+
+open Dex_ir
+
+exception Parse_error of { line : int; message : string }
+
+let parse_errorf ~line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ---- Lexer ----------------------------------------------------------- *)
+
+type token =
+  | DIRECTIVE of string   (* .apk .dex .class .method .end *)
+  | IDENT of string
+  | REG of int            (* vN *)
+  | INT of int            (* #n *)
+  | LABEL of string       (* :name *)
+  | STRING of string
+  | LPAREN | RPAREN | COMMA | ARROW
+
+type lexed = { token : token; line : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$' || c = '/' || c = '<' || c = '>'
+
+let lex source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  let i = ref 0 in
+  let read_while pred =
+    let start = !i in
+    while !i < n && pred source.[!i] do incr i done;
+    String.sub source start (!i - start)
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' || (c = '/' && !i + 1 < n && source.[!i + 1] = '/') then
+      while !i < n && source.[!i] <> '\n' do incr i done
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = '-' && !i + 1 < n && source.[!i + 1] = '>' then
+      (emit ARROW; i := !i + 2)
+    else if c = '.' then begin
+      incr i;
+      let name = read_while is_ident_char in
+      if name = "" then parse_errorf ~line:!line "stray '.'";
+      emit (DIRECTIVE name)
+    end
+    else if c = ':' then begin
+      incr i;
+      let name = read_while is_ident_char in
+      if name = "" then parse_errorf ~line:!line "empty label after ':'";
+      emit (LABEL name)
+    end
+    else if c = '#' then begin
+      incr i;
+      let neg = !i < n && source.[!i] = '-' in
+      if neg then incr i;
+      let digits =
+        read_while (fun c ->
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+            || (c >= 'A' && c <= 'F') || c = 'x')
+      in
+      (match int_of_string_opt digits with
+       | Some v -> emit (INT (if neg then -v else v))
+       | None -> parse_errorf ~line:!line "bad integer literal #%s" digits)
+    end
+    else if c = '"' then begin
+      incr i;
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then parse_errorf ~line:!line "unterminated string"
+        else
+          match source.[!i] with
+          | '"' -> incr i
+          | '\\' when !i + 1 < n ->
+            let e = source.[!i + 1] in
+            Buffer.add_char b
+              (match e with
+               | 'n' -> '\n' | 't' -> '\t' | '\\' -> '\\' | '"' -> '"'
+               | _ -> parse_errorf ~line:!line "bad escape \\%c" e);
+            i := !i + 2;
+            go ()
+          | ch -> Buffer.add_char b ch; incr i; go ()
+      in
+      go ();
+      emit (STRING (Buffer.contents b))
+    end
+    else if is_ident_char c then begin
+      let word = read_while is_ident_char in
+      (* vN with digits only after the v is a register *)
+      if String.length word >= 2 && word.[0] = 'v'
+         && String.for_all (fun c -> c >= '0' && c <= '9')
+              (String.sub word 1 (String.length word - 1))
+      then emit (REG (int_of_string (String.sub word 1 (String.length word - 1))))
+      else emit (IDENT word)
+    end
+    else parse_errorf ~line:!line "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* ---- Parser ---------------------------------------------------------- *)
+
+type stream = { mutable rest : lexed list; mutable last_line : int }
+
+let peek s = match s.rest with [] -> None | t :: _ -> Some t
+
+let next s =
+  match s.rest with
+  | [] -> parse_errorf ~line:s.last_line "unexpected end of input"
+  | t :: rest ->
+    s.rest <- rest;
+    s.last_line <- t.line;
+    t
+
+let token_name = function
+  | DIRECTIVE d -> "." ^ d
+  | IDENT s -> s
+  | REG r -> Printf.sprintf "v%d" r
+  | INT i -> Printf.sprintf "#%d" i
+  | LABEL l -> ":" ^ l
+  | STRING _ -> "<string>"
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | ARROW -> "->"
+
+let expect s what pred =
+  let t = next s in
+  match pred t.token with
+  | Some v -> v
+  | None -> parse_errorf ~line:t.line "expected %s, got %s" what (token_name t.token)
+
+let expect_ident s =
+  expect s "identifier" (function IDENT v -> Some v | _ -> None)
+
+let expect_reg s = expect s "register" (function REG r -> Some r | _ -> None)
+let expect_int s = expect s "integer" (function INT i -> Some i | _ -> None)
+let expect_label s = expect s "label" (function LABEL l -> Some l | _ -> None)
+
+let expect_tok s tok =
+  let t = next s in
+  if t.token <> tok then
+    parse_errorf ~line:t.line "expected %s, got %s" (token_name tok)
+      (token_name t.token)
+
+let accept s tok =
+  match peek s with
+  | Some t when t.token = tok -> ignore (next s); true
+  | _ -> false
+
+(* Split "com.demo.Bar.helper" into class and method parts. *)
+let split_method_ref ~line name =
+  match String.rindex_opt name '.' with
+  | None -> parse_errorf ~line "method reference %S needs a class prefix" name
+  | Some i ->
+    { class_name = String.sub name 0 i;
+      method_name = String.sub name (i + 1) (String.length name - i - 1) }
+
+let runtime_fn_of_name ~line name =
+  match List.find_opt (fun f -> runtime_fn_name f = name) all_runtime_fns with
+  | Some f -> f
+  | None -> parse_errorf ~line "unknown runtime function %S" name
+
+let binop_of_name = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div" -> Some Div | "rem" -> Some Rem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor
+  | _ -> None
+
+let cmp_of_name ~line = function
+  | "eq" -> Eq | "ne" -> Ne | "lt" -> Lt | "le" -> Le | "gt" -> Gt | "ge" -> Ge
+  | s -> parse_errorf ~line "unknown comparison %S" s
+
+(* Parse argument list "(v0, v1, ...)". *)
+let parse_args s =
+  expect_tok s LPAREN;
+  if accept s RPAREN then []
+  else begin
+    let rec go acc =
+      let r = expect_reg s in
+      if accept s COMMA then go (r :: acc)
+      else begin
+        expect_tok s RPAREN;
+        List.rev (r :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_result_opt s =
+  if accept s ARROW then Some (expect_reg s) else None
+
+(* An instruction or a label definition. *)
+type item = Insn of insn_sym | Label_def of string
+
+(* Instructions with still-symbolic labels. *)
+and insn_sym =
+  | S_plain of (label_resolver -> insn)
+
+and label_resolver = line:int -> string -> int
+
+let parse_insn s ~line mnemonic : insn_sym =
+  let plain f = S_plain f in
+  match mnemonic with
+  | "const" ->
+    let d = expect_reg s in
+    expect_tok s COMMA;
+    let v = expect_int s in
+    plain (fun _ -> Const (d, v))
+  | "move" ->
+    let d = expect_reg s in
+    expect_tok s COMMA;
+    let a = expect_reg s in
+    plain (fun _ -> Move (d, a))
+  | "string" ->
+    let d = expect_reg s in
+    expect_tok s COMMA;
+    let v = expect s "string" (function STRING v -> Some v | _ -> None) in
+    plain (fun _ -> Const_string (d, v))
+  | "new" ->
+    let cls = expect_ident s in
+    expect_tok s COMMA;
+    let d = expect_reg s in
+    plain (fun _ -> New_instance (cls, d))
+  | "iget" | "iput" ->
+    let a = expect_reg s in
+    expect_tok s COMMA;
+    let b = expect_reg s in
+    expect_tok s COMMA;
+    let off = expect_int s in
+    plain (fun _ ->
+        if mnemonic = "iget" then Iget (a, b, off) else Iput (a, b, off))
+  | "aget" | "aput" ->
+    let a = expect_reg s in
+    expect_tok s COMMA;
+    let b = expect_reg s in
+    expect_tok s COMMA;
+    let c = expect_reg s in
+    plain (fun _ -> if mnemonic = "aget" then Aget (a, b, c) else Aput (a, b, c))
+  | "arraylen" ->
+    let d = expect_reg s in
+    expect_tok s COMMA;
+    let a = expect_reg s in
+    plain (fun _ -> Array_len (d, a))
+  | "if" ->
+    let c = cmp_of_name ~line (expect_ident s) in
+    let a = expect_reg s in
+    expect_tok s COMMA;
+    let b = expect_reg s in
+    expect_tok s COMMA;
+    let l = expect_label s in
+    plain (fun resolve -> If (c, a, b, resolve ~line l))
+  | "ifz" ->
+    let c = cmp_of_name ~line (expect_ident s) in
+    let a = expect_reg s in
+    expect_tok s COMMA;
+    let l = expect_label s in
+    plain (fun resolve -> Ifz (c, a, resolve ~line l))
+  | "goto" ->
+    let l = expect_label s in
+    plain (fun resolve -> Goto (resolve ~line l))
+  | "switch" ->
+    let v = expect_reg s in
+    expect_tok s LPAREN;
+    let rec go acc =
+      let l = expect_label s in
+      if accept s COMMA then go (l :: acc)
+      else begin
+        expect_tok s RPAREN;
+        List.rev (l :: acc)
+      end
+    in
+    let labels = go [] in
+    plain (fun resolve -> Switch (v, List.map (resolve ~line) labels))
+  | "invoke" ->
+    let callee = split_method_ref ~line (expect_ident s) in
+    let args = parse_args s in
+    let res = parse_result_opt s in
+    plain (fun _ -> Invoke (callee, args, res))
+  | "rtcall" ->
+    let fn = runtime_fn_of_name ~line (expect_ident s) in
+    let args = parse_args s in
+    let res = parse_result_opt s in
+    plain (fun _ -> Invoke_runtime (fn, args, res))
+  | "return" ->
+    (match peek s with
+     | Some { token = REG r; _ } ->
+       ignore (next s);
+       plain (fun _ -> Return (Some r))
+     | _ -> plain (fun _ -> Return None))
+  | other ->
+    (match binop_of_name other with
+     | Some op ->
+       let d = expect_reg s in
+       expect_tok s COMMA;
+       let a = expect_reg s in
+       expect_tok s COMMA;
+       let t = next s in
+       (match t.token with
+        | REG b -> plain (fun _ -> Binop (op, d, a, b))
+        | INT v -> plain (fun _ -> Binop_lit (op, d, a, v))
+        | tok ->
+          parse_errorf ~line:t.line "expected register or literal, got %s"
+            (token_name tok))
+     | None -> parse_errorf ~line "unknown mnemonic %S" other)
+
+let parse_method s ~name =
+  let ident_kw kw = expect_tok s (IDENT kw) in
+  ident_kw "params";
+  let num_params = expect_int s in
+  ident_kw "regs";
+  let num_vregs = expect_int s in
+  let is_native = ref false and is_entry = ref false in
+  let rec attrs () =
+    match peek s with
+    | Some { token = IDENT "native"; _ } -> ignore (next s); is_native := true; attrs ()
+    | Some { token = IDENT "entry"; _ } -> ignore (next s); is_entry := true; attrs ()
+    | _ -> ()
+  in
+  attrs ();
+  let items = ref [] in
+  let rec body () =
+    match peek s with
+    | Some { token = DIRECTIVE "end"; _ } -> ignore (next s)
+    | Some { token = LABEL l; _ } ->
+      ignore (next s);
+      items := (Label_def l, s.last_line) :: !items;
+      body ()
+    | Some { token = IDENT mnemonic; line } ->
+      ignore (next s);
+      items := (Insn (parse_insn s ~line mnemonic), line) :: !items;
+      body ()
+    | Some t ->
+      parse_errorf ~line:t.line "expected instruction, label or .end, got %s"
+        (token_name t.token)
+    | None -> parse_errorf ~line:s.last_line ".method without .end"
+  in
+  body ();
+  let items = List.rev !items in
+  (* Resolve labels to instruction indices. *)
+  let label_table = Hashtbl.create 8 in
+  let idx = ref 0 in
+  List.iter
+    (fun (item, line) ->
+      match item with
+      | Label_def l ->
+        if Hashtbl.mem label_table l then
+          parse_errorf ~line "duplicate label :%s" l;
+        Hashtbl.replace label_table l !idx
+      | Insn _ -> incr idx)
+    items;
+  let resolve ~line l =
+    match Hashtbl.find_opt label_table l with
+    | Some i -> i
+    | None -> parse_errorf ~line "undefined label :%s" l
+  in
+  let insns =
+    List.filter_map
+      (fun (item, _) ->
+        match item with
+        | Insn (S_plain f) -> Some (f resolve)
+        | Label_def _ -> None)
+      items
+    |> Array.of_list
+  in
+  { name; num_params; num_vregs; is_native = !is_native; is_entry = !is_entry;
+    insns }
+
+let parse_class s ~cls_name =
+  let methods = ref [] in
+  let rec go () =
+    match peek s with
+    | Some { token = DIRECTIVE "method"; _ } ->
+      ignore (next s);
+      let mname = expect_ident s in
+      let m = parse_method s ~name:{ class_name = cls_name; method_name = mname } in
+      methods := m :: !methods;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  { cls_name; cls_methods = List.rev !methods }
+
+let parse_dex s ~dex_name =
+  let classes = ref [] in
+  let rec go () =
+    match peek s with
+    | Some { token = DIRECTIVE "class"; _ } ->
+      ignore (next s);
+      let cname = expect_ident s in
+      classes := parse_class s ~cls_name:cname :: !classes;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  { dex_name; classes = List.rev !classes }
+
+let parse_apk source =
+  let s = { rest = lex source; last_line = 1 } in
+  expect_tok s (DIRECTIVE "apk");
+  let apk_name = expect_ident s in
+  let dexes = ref [] in
+  let rec go () =
+    match peek s with
+    | Some { token = DIRECTIVE "dex"; _ } ->
+      ignore (next s);
+      let dname = expect_ident s in
+      dexes := parse_dex s ~dex_name:dname :: !dexes;
+      go ()
+    | Some t -> parse_errorf ~line:t.line "expected .dex, got %s" (token_name t.token)
+    | None -> ()
+  in
+  go ();
+  { apk_name; dexes = List.rev !dexes }
+
+let parse source =
+  match parse_apk source with
+  | apk -> Ok apk
+  | exception Parse_error { line; message } ->
+    Error (Printf.sprintf "line %d: %s" line message)
+
+(* ---- Printer --------------------------------------------------------- *)
+
+let escape_string v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let print_insn b ~label_of insn =
+  let reg r = Printf.sprintf "v%d" r in
+  let args rs = "(" ^ String.concat ", " (List.map reg rs) ^ ")" in
+  let res = function None -> "" | Some r -> " -> " ^ reg r in
+  let s =
+    match insn with
+    | Const (d, v) -> Printf.sprintf "const %s, #%d" (reg d) v
+    | Move (d, a) -> Printf.sprintf "move %s, %s" (reg d) (reg a)
+    | Binop (op, d, a, bb) ->
+      Printf.sprintf "%s %s, %s, %s" (binop_name op) (reg d) (reg a) (reg bb)
+    | Binop_lit (op, d, a, v) ->
+      Printf.sprintf "%s %s, %s, #%d" (binop_name op) (reg d) (reg a) v
+    | Invoke (callee, aa, r) ->
+      Printf.sprintf "invoke %s %s%s" (method_ref_to_string callee) (args aa)
+        (res r)
+    | Invoke_runtime (fn, aa, r) ->
+      Printf.sprintf "rtcall %s %s%s" (runtime_fn_name fn) (args aa) (res r)
+    | New_instance (cls, d) -> Printf.sprintf "new %s, %s" cls (reg d)
+    | Iget (d, o, off) -> Printf.sprintf "iget %s, %s, #%d" (reg d) (reg o) off
+    | Iput (v, o, off) -> Printf.sprintf "iput %s, %s, #%d" (reg v) (reg o) off
+    | Aget (d, a, i) -> Printf.sprintf "aget %s, %s, %s" (reg d) (reg a) (reg i)
+    | Aput (v, a, i) -> Printf.sprintf "aput %s, %s, %s" (reg v) (reg a) (reg i)
+    | Array_len (d, a) -> Printf.sprintf "arraylen %s, %s" (reg d) (reg a)
+    | If (c, a, bb, l) ->
+      Printf.sprintf "if %s %s, %s, :%s" (cmp_name c) (reg a) (reg bb)
+        (label_of l)
+    | Ifz (c, a, l) ->
+      Printf.sprintf "ifz %s %s, :%s" (cmp_name c) (reg a) (label_of l)
+    | Goto l -> Printf.sprintf "goto :%s" (label_of l)
+    | Switch (v, ls) ->
+      Printf.sprintf "switch %s (%s)" (reg v)
+        (String.concat ", " (List.map (fun l -> ":" ^ label_of l) ls))
+    | Const_string (d, v) ->
+      Printf.sprintf "string %s, \"%s\"" (reg d) (escape_string v)
+    | Return None -> "return"
+    | Return (Some r) -> Printf.sprintf "return %s" (reg r)
+  in
+  Buffer.add_string b ("    " ^ s ^ "\n")
+
+let print_method b (m : meth) =
+  Buffer.add_string b
+    (Printf.sprintf ".method %s params #%d regs #%d%s%s\n" m.name.method_name
+       m.num_params m.num_vregs
+       (if m.is_native then " native" else "")
+       (if m.is_entry then " entry" else ""));
+  (* Collect label targets. *)
+  let targets =
+    Array.to_list m.insns |> List.concat_map targets |> List.sort_uniq compare
+  in
+  let label_of l = Printf.sprintf "L%d" l in
+  Array.iteri
+    (fun i insn ->
+      if List.mem i targets then Buffer.add_string b ("  :" ^ label_of i ^ "\n");
+      print_insn b ~label_of insn)
+    m.insns;
+  (* A label may point one past the last instruction only if unreachable;
+     the checker rejects that, so no trailing label handling needed. *)
+  Buffer.add_string b ".end\n"
+
+let to_string (apk : apk) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf ".apk %s\n" apk.apk_name);
+  List.iter
+    (fun dex ->
+      Buffer.add_string b (Printf.sprintf ".dex %s\n" dex.dex_name);
+      List.iter
+        (fun cls ->
+          Buffer.add_string b (Printf.sprintf ".class %s\n" cls.cls_name);
+          List.iter (print_method b) cls.cls_methods)
+        dex.classes)
+    apk.dexes;
+  Buffer.contents b

@@ -1,0 +1,1 @@
+lib/hgraph/hgraph.ml: Array Buffer Calibro_dex Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/hgraph/passes.ml: Array Calibro_dex Hashtbl Hgraph Int List Option Printf Set

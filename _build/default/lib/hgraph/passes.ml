@@ -1,0 +1,389 @@
+(* HGraph optimization passes, mirroring what dex2oat runs before code
+   generation (paper section 5: constant propagation, copy propagation,
+   common subexpression elimination, dead code elimination, branch
+   simplification).
+
+   All passes are semantics-preserving; the end-to-end differential tests
+   in the VM compare program behaviour with passes on and off. Arithmetic
+   here must agree with {!Calibro_vm}: both use native OCaml [int]
+   semantics (the simulator models a 63-bit machine; see DESIGN.md). *)
+
+open Calibro_dex.Dex_ir
+open Hgraph
+
+(* Evaluate a binary operation the same way the simulated machine does.
+   Division by zero is never evaluated here (guarded by the caller). *)
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> a / b
+  | Rem -> a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+
+let eval_cmp c a b =
+  match c with
+  | Eq -> a = b | Ne -> a <> b | Lt -> a < b
+  | Le -> a <= b | Gt -> a > b | Ge -> a >= b
+
+(* ---- Constant folding (local) ---------------------------------------- *)
+
+let const_fold (g : t) =
+  let changed = ref false in
+  Array.iter
+    (fun b ->
+      let consts : (vreg, int) Hashtbl.t = Hashtbl.create 8 in
+      let kill d = Hashtbl.remove consts d in
+      let known r = Hashtbl.find_opt consts r in
+      let rewrite insn =
+        let fold d v =
+          changed := true;
+          Hashtbl.replace consts d v;
+          Some (HConst (d, v))
+        in
+        match insn with
+        | HConst (d, v) -> Hashtbl.replace consts d v; Some insn
+        | HMove (d, a) -> (
+          match known a with
+          | Some v -> fold d v
+          | None -> kill d; Some insn)
+        | HBinop (op, d, a, bb) -> (
+          match (known a, known bb) with
+          | Some va, Some vb when not ((op = Div || op = Rem) && vb = 0) ->
+            fold d (eval_binop op va vb)
+          | _, Some vb when op <> Div && op <> Rem ->
+            kill d;
+            changed := true;
+            Some (HBinop_lit (op, d, a, vb))
+          | _ -> kill d; Some insn)
+        | HBinop_lit (op, d, a, v) -> (
+          match known a with
+          | Some va when not ((op = Div || op = Rem) && v = 0) ->
+            fold d (eval_binop op va v)
+          | _ -> kill d; Some insn)
+        | HDiv_zero_check r -> (
+          match known r with
+          | Some v when v <> 0 ->
+            changed := true;
+            None (* provably non-zero: drop the check *)
+          | _ -> Some insn)
+        | other ->
+          Option.iter kill (insn_def other);
+          Some other
+      in
+      b.insns <- List.filter_map rewrite b.insns;
+      (* Fold the terminator when its operands are known. *)
+      let goto t = changed := true; TGoto t in
+      b.term <-
+        (match b.term with
+         | TIf (c, x, y, t, f) as term -> (
+           match (known x, known y) with
+           | Some vx, Some vy -> goto (if eval_cmp c vx vy then t else f)
+           | _ -> term)
+         | TIfz (c, x, t, f) as term -> (
+           match known x with
+           | Some vx -> goto (if eval_cmp c vx 0 then t else f)
+           | None -> term)
+         | TSwitch (v, cases, default) as term -> (
+           match known v with
+           | Some vv ->
+             goto
+               (if vv >= 0 && vv < List.length cases then List.nth cases vv
+                else default)
+           | None -> term)
+         | term -> term))
+    g.blocks;
+  !changed
+
+(* ---- Copy propagation (local) ----------------------------------------- *)
+
+let copy_prop (g : t) =
+  let changed = ref false in
+  Array.iter
+    (fun b ->
+      let copies : (vreg, vreg) Hashtbl.t = Hashtbl.create 8 in
+      let resolve r =
+        match Hashtbl.find_opt copies r with
+        | Some src -> changed := true; src
+        | None -> r
+      in
+      let kill d =
+        Hashtbl.remove copies d;
+        (* any copy whose source was d is no longer valid *)
+        let stale =
+          Hashtbl.fold (fun k v acc -> if v = d then k :: acc else acc) copies []
+        in
+        List.iter (Hashtbl.remove copies) stale
+      in
+      let subst insn =
+        let s = resolve in
+        match insn with
+        | HConst _ | HConst_string _ | HNew_instance _ -> insn
+        | HMove (d, a) -> HMove (d, s a)
+        | HBinop (op, d, a, bb) -> HBinop (op, d, s a, s bb)
+        | HBinop_lit (op, d, a, v) -> HBinop_lit (op, d, s a, v)
+        | HInvoke (m, args, res) -> HInvoke (m, List.map s args, res)
+        | HInvoke_runtime (f, args, res) ->
+          HInvoke_runtime (f, List.map s args, res)
+        | HNull_check a -> HNull_check (s a)
+        | HBounds_check (i, a) -> HBounds_check (s i, s a)
+        | HDiv_zero_check a -> HDiv_zero_check (s a)
+        | HIget (d, o, off) -> HIget (d, s o, off)
+        | HIput (v, o, off) -> HIput (s v, s o, off)
+        | HAget (d, a, i) -> HAget (d, s a, s i)
+        | HAput (v, a, i) -> HAput (s v, s a, s i)
+        | HArray_len (d, a) -> HArray_len (d, s a)
+      in
+      b.insns <-
+        List.map
+          (fun insn ->
+            let insn = subst insn in
+            (match insn with
+             | HMove (d, a) when d <> a ->
+               kill d;
+               Hashtbl.replace copies d a
+             | _ -> Option.iter kill (insn_def insn));
+            insn)
+          b.insns;
+      b.term <-
+        (match b.term with
+         | TIf (c, x, y, t, f) -> TIf (c, resolve x, resolve y, t, f)
+         | TIfz (c, x, t, f) -> TIfz (c, resolve x, t, f)
+         | TSwitch (v, cases, d) -> TSwitch (resolve v, cases, d)
+         | TReturn (Some r) -> TReturn (Some (resolve r))
+         | term -> term))
+    g.blocks;
+  !changed
+
+(* ---- Local common subexpression elimination ---------------------------- *)
+
+type expr_key = E_binop of binop * vreg * vreg | E_binop_lit of binop * vreg * int
+
+let cse (g : t) =
+  let changed = ref false in
+  Array.iter
+    (fun b ->
+      let exprs : (expr_key, vreg) Hashtbl.t = Hashtbl.create 8 in
+      let kill d =
+        (* drop expressions that read or produced d *)
+        let stale =
+          Hashtbl.fold
+            (fun k v acc ->
+              let reads =
+                match k with
+                | E_binop (_, a, bb) -> a = d || bb = d
+                | E_binop_lit (_, a, _) -> a = d
+              in
+              if reads || v = d then k :: acc else acc)
+            exprs []
+        in
+        List.iter (Hashtbl.remove exprs) stale
+      in
+      b.insns <-
+        List.map
+          (fun insn ->
+            match insn with
+            | HBinop (op, d, a, bb) when insn_is_pure insn -> (
+              match Hashtbl.find_opt exprs (E_binop (op, a, bb)) with
+              | Some prev when prev <> d ->
+                changed := true;
+                kill d;
+                HMove (d, prev)
+              | _ ->
+                kill d;
+                Hashtbl.replace exprs (E_binop (op, a, bb)) d;
+                insn)
+            | HBinop_lit (op, d, a, v) when insn_is_pure insn -> (
+              match Hashtbl.find_opt exprs (E_binop_lit (op, a, v)) with
+              | Some prev when prev <> d ->
+                changed := true;
+                kill d;
+                HMove (d, prev)
+              | _ ->
+                kill d;
+                Hashtbl.replace exprs (E_binop_lit (op, a, v)) d;
+                insn)
+            | insn ->
+              Option.iter kill (insn_def insn);
+              insn)
+          b.insns)
+    g.blocks;
+  !changed
+
+(* ---- Dead code elimination (global liveness) --------------------------- *)
+
+module VSet = Set.Make (Int)
+
+let dce (g : t) =
+  let nb = Array.length g.blocks in
+  if nb = 0 then false
+  else begin
+    let live_in = Array.make nb VSet.empty in
+    let block_live_out b =
+      List.fold_left
+        (fun acc s -> VSet.union acc live_in.(s))
+        VSet.empty
+        (successors g.blocks.(b).term)
+    in
+    (* Fixpoint over live_in. *)
+    let changed_flow = ref true in
+    while !changed_flow do
+      changed_flow := false;
+      for b = nb - 1 downto 0 do
+        let blk = g.blocks.(b) in
+        let live = ref (block_live_out b) in
+        live := VSet.union !live (VSet.of_list (term_uses blk.term));
+        List.iter
+          (fun insn ->
+            (match insn_def insn with
+             | Some d -> live := VSet.remove d !live
+             | None -> ());
+            live := VSet.union !live (VSet.of_list (insn_uses insn)))
+          (List.rev blk.insns);
+        if not (VSet.equal !live live_in.(b)) then begin
+          live_in.(b) <- !live;
+          changed_flow := true
+        end
+      done
+    done;
+    (* Sweep: drop pure instructions whose definition is dead. *)
+    let changed = ref false in
+    Array.iteri
+      (fun bidx blk ->
+        let live = ref (block_live_out bidx) in
+        live := VSet.union !live (VSet.of_list (term_uses blk.term));
+        let kept =
+          List.fold_left
+            (fun kept insn ->
+              let dead =
+                insn_is_pure insn
+                &&
+                match insn_def insn with
+                | Some d -> not (VSet.mem d !live)
+                | None -> true
+              in
+              if dead then begin
+                changed := true;
+                kept
+              end
+              else begin
+                (match insn_def insn with
+                 | Some d -> live := VSet.remove d !live
+                 | None -> ());
+                live := VSet.union !live (VSet.of_list (insn_uses insn));
+                insn :: kept
+              end)
+            []
+            (List.rev blk.insns)
+        in
+        blk.insns <- kept)
+      g.blocks;
+    !changed
+  end
+
+(* ---- Branch simplification and unreachable-code removal ---------------- *)
+
+let simplify_branches (g : t) =
+  let changed = ref false in
+  (* 1. if with identical arms -> goto *)
+  Array.iter
+    (fun b ->
+      match b.term with
+      | TIf (_, _, _, t, f) when t = f -> changed := true; b.term <- TGoto t
+      | TIfz (_, _, t, f) when t = f -> changed := true; b.term <- TGoto t
+      | _ -> ())
+    g.blocks;
+  (* 2. thread jumps through empty goto-only blocks *)
+  let nb = Array.length g.blocks in
+  let final = Array.make nb (-1) in
+  let rec resolve b visiting =
+    if final.(b) >= 0 then final.(b)
+    else if List.mem b visiting then b (* goto cycle: leave as is *)
+    else begin
+      let r =
+        match g.blocks.(b) with
+        | { insns = []; term = TGoto t; _ } when t <> b ->
+          resolve t (b :: visiting)
+        | _ -> b
+      in
+      final.(b) <- r;
+      r
+    end
+  in
+  for b = 0 to nb - 1 do ignore (resolve b []) done;
+  Array.iter
+    (fun b ->
+      let t' =
+        map_successors
+          (fun s ->
+            let r = final.(s) in
+            if r <> s then changed := true;
+            r)
+          b.term
+      in
+      b.term <- t')
+    g.blocks;
+  (* 3. drop unreachable blocks and renumber *)
+  let seen = reachable g in
+  let any_unreachable = Array.exists not seen && nb > 0 in
+  if any_unreachable then begin
+    changed := true;
+    let remap = Array.make nb (-1) in
+    let next = ref 0 in
+    for b = 0 to nb - 1 do
+      if seen.(b) then begin
+        remap.(b) <- !next;
+        incr next
+      end
+    done;
+    let kept =
+      Array.to_list g.blocks
+      |> List.filter (fun b -> seen.(b.bid))
+      |> List.map (fun b ->
+             { b with bid = remap.(b.bid);
+               term = map_successors (fun s -> remap.(s)) b.term })
+    in
+    g.blocks <- Array.of_list kept
+  end;
+  !changed
+
+(* ---- Pass manager ------------------------------------------------------ *)
+
+type pass = { pass_name : string; run : t -> bool }
+
+let all_passes =
+  [ { pass_name = "const_fold"; run = const_fold };
+    { pass_name = "copy_prop"; run = copy_prop };
+    { pass_name = "cse"; run = cse };
+    { pass_name = "dce"; run = dce };
+    { pass_name = "simplify_branches"; run = simplify_branches } ]
+
+(* Run the pass pipeline to a fixpoint (bounded), verifying after each
+   pass. Returns the number of iterations taken. *)
+let optimize ?(max_rounds = 8) (g : t) =
+  if g.g_is_native then 0
+  else begin
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !rounds < max_rounds do
+      incr rounds;
+      let changed =
+        List.fold_left
+          (fun acc pass ->
+            let c = pass.run g in
+            (try verify g
+             with Invalid msg ->
+               failwith
+                 (Printf.sprintf "pass %s broke %s: %s" pass.pass_name
+                    (method_ref_to_string g.g_name)
+                    msg));
+            acc || c)
+          false all_passes
+      in
+      continue_ := changed
+    done;
+    !rounds
+  end

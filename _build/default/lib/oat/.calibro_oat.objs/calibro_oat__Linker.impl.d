@@ -1,0 +1,1 @@
+lib/oat/linker.ml: Abi Bytes Calibro_aarch64 Calibro_codegen Compiled_method Encode Hashtbl List Oat_file Patch Printf

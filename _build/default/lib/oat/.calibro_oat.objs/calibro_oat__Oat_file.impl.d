@@ -1,0 +1,1 @@
+lib/oat/oat_file.ml: Abi Buffer Bytes Calibro_codegen Calibro_dex Fun Int32 List Marshal Meta Printexc Printf Stackmap String

@@ -1,0 +1,1 @@
+lib/oat/oatdump.ml: Abi Buffer Bytes Calibro_aarch64 Calibro_codegen Calibro_dex Decode Disasm Encode List Meta Oat_file Printf

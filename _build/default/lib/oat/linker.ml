@@ -1,0 +1,106 @@
+(* The linker: lays out compiled methods (plus CTO thunks and LTBO outlined
+   functions) into one text segment, binds symbols, and relocates calls.
+
+   Per the paper (section 3.2), link-time outlining runs *before* this final
+   binding: "the target labels of call instructions ... have not been bound
+   to addresses or offsets at this time. Instead, the later linking phase
+   ... will bind function labels to addresses, and relocate the call
+   instructions". So the input here may already contain [bl] sites whose
+   symbols point at outlined functions. *)
+
+open Calibro_aarch64
+open Calibro_codegen
+
+type extra_function = {
+  xf_sym : int;       (** symbol id call sites reference *)
+  xf_code : bytes;    (** position-independent body *)
+}
+
+exception Link_error of string
+
+let link ~apk_name ?(thunks = []) ?(extra = [])
+    (methods : Compiled_method.t list) : Oat_file.t =
+  let methods =
+    List.sort (fun a b -> compare a.Compiled_method.slot b.Compiled_method.slot) methods
+  in
+  (* ---- Layout: thunks, then methods, then extra (outlined) functions. *)
+  let symtab : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pos = ref 0 in
+  let thunk_entries =
+    List.map
+      (fun th ->
+        let code = Encode.to_bytes (Abi.thunk_body th) in
+        let off = !pos in
+        Hashtbl.replace symtab (Abi.thunk_sym th) off;
+        pos := !pos + Bytes.length code;
+        (th, off, code))
+      thunks
+  in
+  let method_entries =
+    List.map
+      (fun (m : Compiled_method.t) ->
+        let off = !pos in
+        Hashtbl.replace symtab m.slot off;
+        pos := !pos + Bytes.length m.code;
+        (m, off))
+      methods
+  in
+  let extra_entries =
+    List.map
+      (fun xf ->
+        let off = !pos in
+        Hashtbl.replace symtab xf.xf_sym off;
+        pos := !pos + Bytes.length xf.xf_code;
+        (xf, off))
+      extra
+  in
+  let text = Bytes.create !pos in
+  List.iter
+    (fun (_, off, code) -> Bytes.blit code 0 text off (Bytes.length code))
+    thunk_entries;
+  List.iter
+    (fun ((m : Compiled_method.t), off) ->
+      Bytes.blit m.code 0 text off (Bytes.length m.code))
+    method_entries;
+  List.iter
+    (fun (xf, off) ->
+      Bytes.blit xf.xf_code 0 text off (Bytes.length xf.xf_code))
+    extra_entries;
+  (* ---- Relocate bl sites. *)
+  let resolve sym =
+    match Hashtbl.find_opt symtab sym with
+    | Some off -> off
+    | None -> raise (Link_error (Printf.sprintf "undefined symbol %d" sym))
+  in
+  List.iter
+    (fun ((m : Compiled_method.t), off) ->
+      List.iter
+        (fun (site, sym) ->
+          let target = resolve sym in
+          Patch.relocate_bl text ~off:(off + site) ~target)
+        m.relocs)
+    method_entries;
+  { Oat_file.apk_name;
+    text;
+    methods =
+      List.map
+        (fun ((m : Compiled_method.t), off) ->
+          { Oat_file.me_name = m.name;
+            me_slot = m.slot;
+            me_offset = off;
+            me_size = Bytes.length m.code;
+            me_meta = m.meta;
+            me_stackmap = m.stackmap;
+            me_num_params = m.num_params;
+            me_is_entry = m.is_entry })
+        method_entries;
+    thunks =
+      List.map
+        (fun (th, off, code) ->
+          { Oat_file.th; th_offset = off; th_size = Bytes.length code })
+        thunk_entries;
+    outlined =
+      List.map
+        (fun (xf, off) ->
+          { Oat_file.ol_offset = off; ol_size = Bytes.length xf.xf_code })
+        extra_entries }

@@ -1,0 +1,124 @@
+(* The OAT container: the linked output of DEX2OAT.
+
+   Real OAT files are specialized ELF files; ours keeps the same moral
+   structure — a header, a method table (the "oatmethod" headers), auxiliary
+   data (stackmaps, LTBO metadata) and the text segment holding all
+   compiled code, CTO thunks and LTBO outlined functions. The text segment
+   is loaded at {!Calibro_codegen.Abi.text_base}. *)
+
+open Calibro_dex.Dex_ir
+open Calibro_codegen
+
+type method_entry = {
+  me_name : method_ref;
+  me_slot : int;
+  me_offset : int;  (** byte offset of the method's code in [text] *)
+  me_size : int;
+  me_meta : Meta.t;       (** offsets are method-relative *)
+  me_stackmap : Stackmap.t;
+  me_num_params : int;
+  me_is_entry : bool;
+}
+
+type thunk_entry = { th : Abi.thunk; th_offset : int; th_size : int }
+
+type outlined_entry = { ol_offset : int; ol_size : int }
+
+type t = {
+  apk_name : string;
+  text : bytes;  (** fully relocated code *)
+  methods : method_entry list;  (** in slot order *)
+  thunks : thunk_entry list;
+  outlined : outlined_entry list;  (** LTBO outlined functions *)
+}
+
+let text_size t = Bytes.length t.text
+
+let find_method t name =
+  List.find_opt (fun m -> m.me_name = name) t.methods
+
+let method_by_slot t slot =
+  List.find_opt (fun m -> m.me_slot = slot) t.methods
+
+let entry_methods t = List.filter (fun m -> m.me_is_entry) t.methods
+
+(* Size of the non-code ("data") portion the runtime keeps resident:
+   method headers and stackmaps (the auxiliary information of paper section
+   3.5), plus a fixed header page. Used by the memory-usage experiment
+   (Table 5), where OAT memory = data + resident code pages; outlining does
+   not shrink this part, which is why memory reductions (Table 5) are
+   smaller than text reductions (Table 4). *)
+let method_header_bytes = 32
+let stackmap_entry_bytes = 12
+
+let data_size t =
+  4096
+  + List.fold_left
+      (fun acc m ->
+        acc + method_header_bytes
+        + (stackmap_entry_bytes * List.length m.me_stackmap))
+      0 t.methods
+  + (16 * List.length t.thunks)
+  (* outlined functions carry no headers or stackmaps: they contain no
+     safepoints (calls are never outlined), so the runtime never needs to
+     describe them *)
+
+(* ---- On-disk serialization -------------------------------------------- *)
+
+let magic = "CALIBOAT"
+let version = 2
+
+let to_bytes (t : t) : bytes =
+  let b = Buffer.create (Bytes.length t.text + 4096) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int version);
+  let payload = Marshal.to_string (t.apk_name, t.methods, t.thunks, t.outlined) [] in
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_le b (Int32.of_int (Bytes.length t.text));
+  Buffer.add_bytes b t.text;
+  Buffer.to_bytes b
+
+let of_bytes (buf : bytes) : (t, string) result =
+  try
+    let m = Bytes.sub_string buf 0 (String.length magic) in
+    if m <> magic then Error "bad magic"
+    else begin
+      let pos = ref (String.length magic) in
+      let read_i32 () =
+        let v = Int32.to_int (Bytes.get_int32_le buf !pos) in
+        pos := !pos + 4;
+        v
+      in
+      let v = read_i32 () in
+      if v <> version then Error (Printf.sprintf "bad version %d" v)
+      else begin
+        let payload_len = read_i32 () in
+        let payload = Bytes.sub_string buf !pos payload_len in
+        pos := !pos + payload_len;
+        let apk_name, methods, thunks, outlined =
+          (Marshal.from_string payload 0
+            : string * method_entry list * thunk_entry list * outlined_entry list)
+        in
+        let text_len = read_i32 () in
+        let text = Bytes.sub buf !pos text_len in
+        Ok { apk_name; text; methods; thunks; outlined }
+      end
+    end
+  with e -> Error (Printexc.to_string e)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      of_bytes buf)

@@ -1,0 +1,59 @@
+(* Textual dump of a linked OAT file — the debugging tool every real OAT
+   workflow leans on. Prints the segment map, per-method headers and the
+   disassembly with embedded-data ranges rendered as data. *)
+
+open Calibro_aarch64
+open Calibro_codegen
+
+let dump_method buf (oat : Oat_file.t) (m : Oat_file.method_entry) =
+  Buffer.add_string buf
+    (Printf.sprintf "method %s (slot %d) at +%#x, %d bytes%s%s\n"
+       (Calibro_dex.Dex_ir.method_ref_to_string m.me_name)
+       m.me_slot m.me_offset m.me_size
+       (if m.me_meta.Meta.is_native then " [native]" else "")
+       (if m.me_meta.Meta.has_indirect_jump then " [indirect-jump]" else ""));
+  let base = Abi.text_base + m.me_offset in
+  let words = m.me_size / 4 in
+  for i = 0 to words - 1 do
+    let off = i * 4 in
+    let addr = base + off in
+    let w = Encode.word_of_bytes oat.Oat_file.text (m.me_offset + off) in
+    let line =
+      if Meta.is_embedded m.me_meta off then Printf.sprintf ".data %#010x" w
+      else Disasm.to_string ~addr (Decode.decode w)
+    in
+    let annot =
+      (if List.mem off m.me_meta.Meta.terminators then " ; terminator" else "")
+      ^ (if List.mem_assoc off m.me_meta.Meta.pc_rel then " ; pc-rel" else "")
+      ^ (if Meta.in_slowpath m.me_meta off then " ; slowpath" else "")
+    in
+    Buffer.add_string buf (Printf.sprintf "  %#x: %s%s\n" addr line annot)
+  done
+
+let dump ?(methods = true) (oat : Oat_file.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "OAT %s: text %d bytes, %d methods, %d thunks, %d outlined functions\n"
+       oat.Oat_file.apk_name (Oat_file.text_size oat)
+       (List.length oat.Oat_file.methods)
+       (List.length oat.Oat_file.thunks)
+       (List.length oat.Oat_file.outlined));
+  List.iter
+    (fun (t : Oat_file.thunk_entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "thunk %s at +%#x, %d bytes\n" (Abi.thunk_name t.th)
+           t.th_offset t.th_size);
+      Buffer.add_string buf
+        (Disasm.dump ~base:(Abi.text_base + t.th_offset)
+           (Bytes.sub oat.Oat_file.text t.th_offset t.th_size)))
+    oat.Oat_file.thunks;
+  if methods then List.iter (dump_method buf oat) oat.Oat_file.methods;
+  List.iter
+    (fun (o : Oat_file.outlined_entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "outlined at +%#x, %d bytes\n" o.ol_offset o.ol_size);
+      Buffer.add_string buf
+        (Disasm.dump ~base:(Abi.text_base + o.ol_offset)
+           (Bytes.sub oat.Oat_file.text o.ol_offset o.ol_size)))
+    oat.Oat_file.outlined;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Calibro_dex Calibro_vm Fun Hashtbl List Option Printf String

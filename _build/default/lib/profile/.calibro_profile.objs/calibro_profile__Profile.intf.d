@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Calibro_dex Calibro_vm

@@ -1,0 +1,32 @@
+(** The simpleperf substitute (paper section 3.4.2, Figure 6):
+    per-function execution-time profiles and hot-set selection. *)
+
+open Calibro_dex.Dex_ir
+
+type sample = { s_method : method_ref; s_cycles : int }
+
+type t = sample list
+
+val total : t -> int
+(** Sum of all samples' cycles. *)
+
+val of_interp : Calibro_vm.Interp.t -> t
+(** Collect the per-method cycle attribution of a finished simulator run. *)
+
+val merge : t -> t -> t
+(** Pointwise sum, sorted hottest-first. *)
+
+val hot_set : ?coverage:float -> t -> method_ref list
+(** The top functions accounting for [coverage] (default 0.8) of total
+    execution time — the paper's hot-function set. Zero-cycle methods are
+    never hot. *)
+
+val to_string : t -> string
+(** One "class method cycles" line per sample (Figure 6's profiling data
+    file). *)
+
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+
+val load : string -> (t, string) result

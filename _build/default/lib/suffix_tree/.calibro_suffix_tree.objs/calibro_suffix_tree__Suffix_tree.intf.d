@@ -1,0 +1,1 @@
+lib/suffix_tree/suffix_tree.mli:

@@ -1,0 +1,241 @@
+(* Ukkonen's on-line suffix tree construction over integer sequences
+   (paper section 2.1.2; Ukkonen 1995). O(n) time and space.
+
+   The element domain is OCaml [int]. Calibro maps each machine instruction
+   to an integer (its 32-bit encoding, or a unique separator for
+   terminators/PC-relative instructions, see {!Calibro_core.Seq_map});
+   separators occur exactly once in the input, so no repeated substring can
+   ever contain one — which is how the paper confines repeats to basic
+   blocks. A reserved terminal symbol is appended internally; inputs must
+   not contain it. *)
+
+let terminal = min_int
+(** Reserved end-of-sequence sentinel (the "$" of Figure 1). *)
+
+type node = {
+  id : int;
+  mutable start : int;  (** start index of the incoming edge label *)
+  mutable end_ : int ref;
+      (** one past the last index; leaves share the global end *)
+  mutable suffix_link : node option;
+  children : (int, node) Hashtbl.t;
+  mutable suffix_index : int;  (** for leaves: suffix start position; -1 otherwise *)
+}
+
+type t = {
+  text : int array;  (** input plus terminal sentinel *)
+  root : node;
+  n_nodes : int;
+}
+
+let text t = t.text
+let input_length t = Array.length t.text - 1
+let node_count t = t.n_nodes
+
+let edge_length node = !(node.end_) - node.start
+
+let build input =
+  Array.iter
+    (fun x -> if x = terminal then invalid_arg "Suffix_tree.build: input contains the reserved terminal")
+    input;
+  let text = Array.append input [| terminal |] in
+  let n = Array.length text in
+  let next_id = ref 0 in
+  let mk_node ~start ~end_ =
+    let node =
+      { id = !next_id; start; end_; suffix_link = None;
+        children = Hashtbl.create 4; suffix_index = -1 }
+    in
+    incr next_id;
+    node
+  in
+  let root = mk_node ~start:(-1) ~end_:(ref (-1)) in
+  let global_end = ref 0 in
+  let active_node = ref root in
+  let active_edge = ref 0 (* index into [text] of the edge's first symbol *) in
+  let active_length = ref 0 in
+  let remaining = ref 0 in
+  for i = 0 to n - 1 do
+    global_end := i + 1;
+    incr remaining;
+    let last_new_node = ref None in
+    let continue_phase = ref true in
+    while !remaining > 0 && !continue_phase do
+      if !active_length = 0 then active_edge := i;
+      match Hashtbl.find_opt !active_node.children text.(!active_edge) with
+      | None ->
+        (* Rule 2: no edge starts with text.(i) here; add a leaf. *)
+        let leaf = mk_node ~start:i ~end_:global_end in
+        Hashtbl.replace !active_node.children text.(!active_edge) leaf;
+        (match !last_new_node with
+         | Some internal ->
+           internal.suffix_link <- Some !active_node;
+           last_new_node := None
+         | None -> ());
+        decr remaining;
+        if !active_node == root && !active_length > 0 then begin
+          decr active_length;
+          active_edge := i - !remaining + 1
+        end
+        else if !active_node != root then
+          active_node :=
+            (match !active_node.suffix_link with
+             | Some l -> l
+             | None -> root)
+      | Some next ->
+        let el = edge_length next in
+        if !active_length >= el then begin
+          (* Walk down (skip/count trick). *)
+          active_node := next;
+          active_edge := !active_edge + el;
+          active_length := !active_length - el
+        end
+        else if text.(next.start + !active_length) = text.(i) then begin
+          (* Rule 3: already present; extend the active point and stop. *)
+          (match !last_new_node with
+           | Some internal ->
+             internal.suffix_link <- Some !active_node;
+             last_new_node := None
+           | None -> ());
+          incr active_length;
+          continue_phase := false
+        end
+        else begin
+          (* Rule 2 with split. *)
+          let split = mk_node ~start:next.start ~end_:(ref (next.start + !active_length)) in
+          Hashtbl.replace !active_node.children text.(!active_edge) split;
+          next.start <- next.start + !active_length;
+          Hashtbl.replace split.children text.(next.start) next;
+          let leaf = mk_node ~start:i ~end_:global_end in
+          Hashtbl.replace split.children text.(i) leaf;
+          (match !last_new_node with
+           | Some internal -> internal.suffix_link <- Some split
+           | None -> ());
+          last_new_node := Some split;
+          decr remaining;
+          if !active_node == root && !active_length > 0 then begin
+            decr active_length;
+            active_edge := i - !remaining + 1
+          end
+          else if !active_node != root then
+            active_node :=
+              (match !active_node.suffix_link with
+               | Some l -> l
+               | None -> root)
+        end
+    done
+  done;
+  (* Set suffix indices by depth-first traversal. *)
+  let rec assign node depth =
+    if Hashtbl.length node.children = 0 then node.suffix_index <- n - depth
+    else
+      Hashtbl.iter
+        (fun _ child -> assign child (depth + edge_length child))
+        node.children
+  in
+  Hashtbl.iter (fun _ c -> assign c (edge_length c)) root.children;
+  { text; root; n_nodes = !next_id }
+
+(* ---- Queries --------------------------------------------------------- *)
+
+(* Walk from the root along [pattern]; return the landing point. *)
+let walk t pattern =
+  let m = Array.length pattern in
+  let rec go node i =
+    if i >= m then Some (node, i)
+    else
+      match Hashtbl.find_opt node.children pattern.(i) with
+      | None -> None
+      | Some child ->
+        let el = edge_length child in
+        let rec scan j =
+          if j >= el || i + j >= m then Some j
+          else if t.text.(child.start + j) = pattern.(i + j) then scan (j + 1)
+          else None
+        in
+        (match scan 0 with
+         | None -> None
+         | Some j -> if i + j >= m then Some (child, i + j) else go child (i + j))
+  in
+  if m = 0 then Some (t.root, 0) else go t.root 0
+
+let contains t pattern = walk t pattern <> None
+
+let rec leaves_under node acc =
+  if Hashtbl.length node.children = 0 then node.suffix_index :: acc
+  else Hashtbl.fold (fun _ c acc -> leaves_under c acc) node.children acc
+
+(* All start positions at which [pattern] occurs in the input. *)
+let occurrences t pattern =
+  match walk t pattern with
+  | None -> []
+  | Some (node, _) -> List.sort compare (leaves_under node [])
+
+let count_occurrences t pattern = List.length (occurrences t pattern)
+
+(* ---- Repeats (paper section 2.1.2 / 2.2 step 3) ---------------------- *)
+
+type repeat = {
+  length : int;      (** number of elements in the repeated sequence *)
+  positions : int list;  (** sorted start positions (may overlap) *)
+}
+
+(* Fold over every right-maximal repeated substring: each internal node
+   (other than the root) with >= 2 transitively descendant leaves yields a
+   repeat whose length is the node's string depth and whose occurrence
+   positions are the suffix indices of its descendant leaves. [min_length]
+   and [max_length] prune the traversal. *)
+let fold_repeats ?(min_length = 1) ?(max_length = max_int) t ~init ~f =
+  let acc = ref init in
+  (* Returns the leaf positions under the node. *)
+  let rec visit node depth =
+    if Hashtbl.length node.children = 0 then [ node.suffix_index ]
+    else begin
+      let positions =
+        Hashtbl.fold
+          (fun _ child acc -> List.rev_append (visit child (depth + edge_length child)) acc)
+          node.children []
+      in
+      if node != t.root && depth >= min_length && depth <= max_length
+         && List.compare_length_with positions 2 >= 0
+      then begin
+        let repeat = { length = depth; positions = List.sort compare positions } in
+        acc := f !acc repeat
+      end;
+      positions
+    end
+  in
+  ignore (visit t.root 0);
+  !acc
+
+let repeats ?min_length ?max_length t =
+  fold_repeats ?min_length ?max_length t ~init:[] ~f:(fun acc r -> r :: acc)
+
+(* Drop overlapping occurrences, keeping the leftmost of each overlapping
+   cluster (paper section 2.1.2: "a small modification should be applied to
+   selectively skip such ones"). Positions must be sorted ascending. *)
+let non_overlapping ~length positions =
+  let rec go last acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if p >= last then go (p + length) (p :: acc) rest else go last acc rest
+  in
+  go min_int [] positions
+
+(* ---- Statistics ------------------------------------------------------ *)
+
+type stats = { nodes : int; internal : int; leaves : int; max_depth : int }
+
+let stats t =
+  let internal = ref 0 and leaves = ref 0 and max_depth = ref 0 in
+  let rec visit node depth =
+    if depth > !max_depth then max_depth := depth;
+    if Hashtbl.length node.children = 0 then incr leaves
+    else begin
+      if node != t.root then incr internal;
+      Hashtbl.iter (fun _ c -> visit c (depth + edge_length c)) node.children
+    end
+  in
+  visit t.root 0;
+  { nodes = t.n_nodes; internal = !internal; leaves = !leaves;
+    max_depth = !max_depth }

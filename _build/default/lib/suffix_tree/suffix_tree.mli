@@ -1,0 +1,62 @@
+(** Ukkonen suffix trees over integer sequences (paper section 2.1.2).
+
+    Construction is O(n) time and space in the input length. Calibro maps
+    machine instructions to integers and assigns every terminator /
+    PC-relative instruction / call a globally unique "separator" integer;
+    because a separator occurs exactly once, no repeated substring can
+    contain one, which confines repeats to basic blocks as section 3.3.2
+    requires. *)
+
+type t
+(** A suffix tree built from one integer sequence. *)
+
+val terminal : int
+(** Reserved end-of-sequence sentinel (the "$" of the paper's Figure 1);
+    inputs must not contain it. *)
+
+val build : int array -> t
+(** [build input] constructs the tree with Ukkonen's on-line algorithm.
+    @raise Invalid_argument if the input contains {!terminal}. *)
+
+val text : t -> int array
+(** The input with the terminal sentinel appended. *)
+
+val input_length : t -> int
+(** Length of the original input. *)
+
+val node_count : t -> int
+
+val contains : t -> int array -> bool
+(** Substring query in O(pattern length). *)
+
+val occurrences : t -> int array -> int list
+(** All start positions of the pattern, sorted ascending. *)
+
+val count_occurrences : t -> int array -> int
+
+type repeat = {
+  length : int;  (** number of elements in the repeated sequence *)
+  positions : int list;  (** sorted start positions; may overlap *)
+}
+
+val fold_repeats :
+  ?min_length:int ->
+  ?max_length:int ->
+  t ->
+  init:'a ->
+  f:('a -> repeat -> 'a) ->
+  'a
+(** Fold over every right-maximal repeated substring: each internal node
+    with at least two descendant leaves yields a repeat whose [length] is
+    the node's string depth (paper section 2.1.2). *)
+
+val repeats : ?min_length:int -> ?max_length:int -> t -> repeat list
+
+val non_overlapping : length:int -> int list -> int list
+(** Greedy left-to-right filter dropping occurrences that overlap an
+    already-kept one (the paper's "small modification" for overlapping
+    repeats like "ana" in "banana"). Positions must be sorted. *)
+
+type stats = { nodes : int; internal : int; leaves : int; max_depth : int }
+
+val stats : t -> stats

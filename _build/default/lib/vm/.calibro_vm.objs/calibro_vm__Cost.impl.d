@@ -1,0 +1,1 @@
+lib/vm/cost.ml: Array Calibro_aarch64 Hashtbl

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Abi Array Calibro_aarch64 Calibro_codegen Calibro_dex Calibro_oat Cost Decode Encode Hashtbl Isa List Machine Meta Printf

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Bytes Calibro_aarch64 Calibro_codegen Char Hashtbl Int32 Int64 String

@@ -1,0 +1,395 @@
+(* The execution simulator: loads a linked OAT image into simulated memory
+   and interprets the *encoded* text segment — the same bytes the outliner
+   rewrote. It stands in for the Pixel 7 of the paper's evaluation: the
+   cycle counters replace simpleperf (Table 7), the page tracker replaces
+   the memory measurements (Table 5), and differential execution against
+   an un-outlined build is the correctness oracle for the whole system.
+
+   The ART runtime contract of {!Calibro_codegen.Abi} is materialized in
+   memory: ArtMethod structs with entry pointers (so the Figure 4a pattern
+   executes unmodified), a runtime function table pointed to by x19
+   (Figure 4b), and stack-probe semantics for Figure 4c. *)
+
+open Calibro_aarch64
+open Calibro_dex.Dex_ir
+open Calibro_codegen
+module M = Machine
+
+let halt_addr = 0xDEAD0000
+let runtime_code_base = 0xB000000
+
+type outcome =
+  | Returned of int            (** normal return; the value of x0 *)
+  | Thrown of runtime_fn       (** a runtime exception (throw family) *)
+  | Fault of string            (** machine-level failure: a real bug *)
+
+exception Throw of runtime_fn
+exception Fault_exn of string
+
+type region = R_method of int | R_thunk of int | R_outlined of int
+
+type t = {
+  oat : Calibro_oat.Oat_file.t;
+  machine : M.t;
+  decoded : Isa.t array;        (** pre-decoded text *)
+  region_of : int array;        (** word index -> region table index *)
+  regions : region array;
+  cost : Cost.t;
+  native_impls : (method_ref, M.t -> unit) Hashtbl.t;
+  mutable fuel : int;
+  mutable last_region : int;
+  regions_touched : bool array;
+  region_sizes : int array;
+}
+
+let text_end oat = Abi.text_base + Calibro_oat.Oat_file.text_size oat
+
+(* ---- Loading ----------------------------------------------------------- *)
+
+let load ?(cost_params = Cost.default) ?(fuel = 500_000_000)
+    (oat : Calibro_oat.Oat_file.t) : t =
+  let m = M.create () in
+  (* Map the text segment. *)
+  M.write_bytes m Abi.text_base oat.text;
+  (* Forget the pages touched while loading: residency tracking starts
+     clean; execution re-touches what it uses. The text pages stay mapped
+     (the data is there), we only reset the *executed* set, and data-page
+     accounting excludes the text range at query time. *)
+  (* Runtime function table (x19 points here). *)
+  List.iteri
+    (fun i _fn ->
+      M.write64 m (Abi.runtime_table_base + (8 * i)) (runtime_code_base + (8 * i)))
+    all_runtime_fns;
+  (* ArtMethod structs. *)
+  List.iter
+    (fun (me : Calibro_oat.Oat_file.method_entry) ->
+      let base = Abi.art_method_addr ~slot:me.me_slot in
+      M.write64 m base me.me_slot;
+      let entry =
+        if me.me_meta.Meta.is_native then
+          Abi.native_entry_base + (8 * me.me_slot)
+        else Abi.text_base + me.me_offset
+      in
+      M.write64 m (base + Abi.entry_point_offset) entry)
+    oat.methods;
+  (* Pre-decode the text and build the region map. *)
+  let n_words = Calibro_oat.Oat_file.text_size oat / 4 in
+  let decoded =
+    Array.init n_words (fun i ->
+        Decode.decode (Encode.word_of_bytes oat.text (i * 4)))
+  in
+  let regions =
+    Array.of_list
+      (List.mapi (fun i (me : Calibro_oat.Oat_file.method_entry) ->
+           ignore me; R_method i)
+         oat.methods
+      @ List.mapi (fun i _ -> R_thunk i) oat.thunks
+      @ List.mapi (fun i _ -> R_outlined i) oat.outlined)
+  in
+  let region_of = Array.make n_words (-1) in
+  let fill off size rid =
+    for w = off / 4 to (off + size) / 4 - 1 do
+      region_of.(w) <- rid
+    done
+  in
+  let rid = ref 0 in
+  List.iter
+    (fun (me : Calibro_oat.Oat_file.method_entry) ->
+      fill me.me_offset me.me_size !rid;
+      incr rid)
+    oat.methods;
+  List.iter
+    (fun (th : Calibro_oat.Oat_file.thunk_entry) ->
+      fill th.th_offset th.th_size !rid;
+      incr rid)
+    oat.thunks;
+  List.iter
+    (fun (ol : Calibro_oat.Oat_file.outlined_entry) ->
+      fill ol.ol_offset ol.ol_size !rid;
+      incr rid)
+    oat.outlined;
+  let region_sizes =
+    Array.of_list
+      (List.map (fun (me : Calibro_oat.Oat_file.method_entry) -> me.me_size)
+         oat.methods
+      @ List.map (fun (th : Calibro_oat.Oat_file.thunk_entry) -> th.th_size)
+          oat.thunks
+      @ List.map (fun (ol : Calibro_oat.Oat_file.outlined_entry) -> ol.ol_size)
+          oat.outlined)
+  in
+  { oat; machine = m; decoded; region_of; regions;
+    cost = Cost.create ~params:cost_params ~n_regions:(Array.length regions) ();
+    native_impls = Hashtbl.create 8; fuel; last_region = -1;
+    regions_touched = Array.make (Array.length regions) false;
+    region_sizes }
+
+let register_native t name impl = Hashtbl.replace t.native_impls name impl
+
+(* ---- Runtime functions -------------------------------------------------- *)
+
+let alloc t size =
+  let m = t.machine in
+  let aligned = (size + 15) / 16 * 16 in
+  let addr = m.M.heap_next in
+  if addr + aligned > Abi.heap_limit then raise (Fault_exn "heap exhausted");
+  m.M.heap_next <- addr + aligned;
+  addr
+
+let dispatch_runtime t fn =
+  let m = t.machine in
+  Cost.on_runtime_call t.cost ~region:t.last_region;
+  (match fn with
+   | Alloc_object -> M.set_reg m 0 (alloc t 4096)
+   | Alloc_array ->
+     let len = M.get_reg m 0 in
+     if len < 0 then raise (Throw Throw_array_bounds);
+     let addr = alloc t (8 + (8 * len)) in
+     M.write64 m addr len;
+     M.set_reg m 0 addr
+   | Throw_null_pointer -> raise (Throw Throw_null_pointer)
+   | Throw_array_bounds -> raise (Throw Throw_array_bounds)
+   | Throw_stack_overflow -> raise (Throw Throw_stack_overflow)
+   | Throw_div_zero -> raise (Throw Throw_div_zero)
+   | Resolve_string -> () (* identity: x0 already holds the pool address *)
+   | Log_value -> m.M.log <- M.get_reg m 0 :: m.M.log);
+  m.M.pc <- M.get_reg m Isa.lr
+
+let dispatch_native t slot =
+  let m = t.machine in
+  (match Calibro_oat.Oat_file.method_by_slot t.oat slot with
+   | None -> raise (Fault_exn (Printf.sprintf "native call to unknown slot %d" slot))
+   | Some me -> (
+     match Hashtbl.find_opt t.native_impls me.me_name with
+     | Some impl -> impl m
+     | None -> M.set_reg m 0 0));
+  m.M.pc <- M.get_reg m Isa.lr
+
+(* ---- Instruction semantics ---------------------------------------------- *)
+
+let check_data_access t addr =
+  (* The Figure 4c probe reads below sp; a read under the stack limit means
+     the stack would overflow. *)
+  if addr < Abi.stack_limit && addr >= Abi.stack_limit - (2 * Abi.stack_probe_distance)
+  then raise (Throw Throw_stack_overflow);
+  ignore t
+
+let exec t instr =
+  let m = t.machine in
+  let open Isa in
+  let next = m.M.pc + 4 in
+  let taken = ref false in
+  (match instr with
+   | Add_sub_imm { op; set_flags; rd; rn; imm12; shift12; _ } ->
+     let a = M.get_reg_sp m rn in
+     let imm = if shift12 then imm12 lsl 12 else imm12 in
+     let r = match op with ADD -> a + imm | SUB -> a - imm in
+     if set_flags then begin
+       (match op with
+        | SUB -> M.set_flags_sub m a imm
+        | ADD -> M.set_flags_logic m r);
+       if rd <> 31 then M.set_reg m rd r
+     end
+     else M.set_reg_sp m rd r
+   | Add_sub_reg { op; set_flags; rd; rn; rm; _ } ->
+     let a = M.get_reg m rn and b = M.get_reg m rm in
+     let r = match op with ADD -> a + b | SUB -> a - b in
+     if set_flags then begin
+       (match op with
+        | SUB -> M.set_flags_sub m a b
+        | ADD -> M.set_flags_logic m r);
+       if rd <> 31 then M.set_reg m rd r
+     end
+     else M.set_reg m rd r
+   | Logic_reg { op; rd; rn; rm; _ } ->
+     let a = M.get_reg m rn and b = M.get_reg m rm in
+     let r =
+       match op with
+       | AND | ANDS -> a land b
+       | ORR -> a lor b
+       | EOR -> a lxor b
+     in
+     if op = ANDS then M.set_flags_logic m r;
+     M.set_reg m rd r
+   | Mov_wide { kind; rd; imm16; hw; _ } ->
+     let s = 16 * hw in
+     (match kind with
+      | MOVZ -> M.set_reg m rd (imm16 lsl s)
+      | MOVN -> M.set_reg m rd (lnot (imm16 lsl s))
+      | MOVK ->
+        let old = M.get_reg m rd in
+        M.set_reg m rd ((old land lnot (0xffff lsl s)) lor (imm16 lsl s)))
+   | Mul { rd; rn; rm; _ } -> M.set_reg m rd (M.get_reg m rn * M.get_reg m rm)
+   | Sdiv { rd; rn; rm; _ } ->
+     let b = M.get_reg m rm in
+     M.set_reg m rd (if b = 0 then 0 else M.get_reg m rn / b)
+   | Msub { rd; rn; rm; ra; _ } ->
+     M.set_reg m rd (M.get_reg m ra - (M.get_reg m rn * M.get_reg m rm))
+   | Ldr { size; rt; rn; imm } ->
+     let addr = M.get_reg_sp m rn + imm in
+     check_data_access t addr;
+     let v = match size with X -> M.read64 m addr | W -> M.read32 m addr in
+     M.set_reg m rt v
+   | Str { size; rt; rn; imm } ->
+     let addr = M.get_reg_sp m rn + imm in
+     check_data_access t addr;
+     (match size with
+      | X -> M.write64 m addr (M.get_reg m rt)
+      | W ->
+        for b = 0 to 3 do
+          M.write_u8 m (addr + b) ((M.get_reg m rt lsr (8 * b)) land 0xff)
+        done)
+   | Ldp { rt; rt2; rn; imm; mode; _ } ->
+     let base = M.get_reg_sp m rn in
+     let ea = match mode with Post -> base | _ -> base + imm in
+     M.set_reg m rt (M.read64 m ea);
+     M.set_reg m rt2 (M.read64 m (ea + 8));
+     (match mode with
+      | Pre | Post -> M.set_reg_sp m rn (base + imm)
+      | Offset -> ())
+   | Stp { rt; rt2; rn; imm; mode; _ } ->
+     let base = M.get_reg_sp m rn in
+     let ea = match mode with Post -> base | _ -> base + imm in
+     M.write64 m ea (M.get_reg m rt);
+     M.write64 m (ea + 8) (M.get_reg m rt2);
+     (match mode with
+      | Pre | Post -> M.set_reg_sp m rn (base + imm)
+      | Offset -> ())
+   | Ldr_lit { rt; disp; _ } -> M.set_reg m rt (M.read64 m (m.M.pc + disp))
+   | Adr { rd; disp } -> M.set_reg m rd (m.M.pc + disp)
+   | Adrp { rd; disp } -> M.set_reg m rd ((m.M.pc land lnot 4095) + disp)
+   | B { disp } ->
+     taken := true;
+     m.M.pc <- m.M.pc + disp - 4 (* compensate the +4 below *)
+   | B_cond { cond; disp } ->
+     if M.cond_holds m cond then begin
+       taken := true;
+       m.M.pc <- m.M.pc + disp - 4
+     end
+   | Bl { target = Rel disp } ->
+     M.set_reg m lr next;
+     taken := true;
+     m.M.pc <- m.M.pc + disp - 4
+   | Bl { target = Sym s } ->
+     raise (Fault_exn (Printf.sprintf "executed unrelocated bl (sym %d)" s))
+   | Blr r ->
+     (* Read the target before writing the link register: blr x30 is the
+        Figure 4a pattern itself. *)
+     let target = M.get_reg m r in
+     M.set_reg m lr next;
+     taken := true;
+     m.M.pc <- target - 4
+   | Br r ->
+     taken := true;
+     m.M.pc <- M.get_reg m r - 4
+   | Ret ->
+     taken := true;
+     m.M.pc <- M.get_reg m lr - 4
+   | Cbz { rt; disp; _ } ->
+     if M.get_reg m rt = 0 then begin
+       taken := true;
+       m.M.pc <- m.M.pc + disp - 4
+     end
+   | Cbnz { rt; disp; _ } ->
+     if M.get_reg m rt <> 0 then begin
+       taken := true;
+       m.M.pc <- m.M.pc + disp - 4
+     end
+   | Tbz { rt; bit; disp } ->
+     if (M.get_reg m rt lsr bit) land 1 = 0 then begin
+       taken := true;
+       m.M.pc <- m.M.pc + disp - 4
+     end
+   | Tbnz { rt; bit; disp } ->
+     if (M.get_reg m rt lsr bit) land 1 = 1 then begin
+       taken := true;
+       m.M.pc <- m.M.pc + disp - 4
+     end
+   | Nop -> ()
+   | Brk imm -> raise (Fault_exn (Printf.sprintf "brk #%#x" imm))
+   | Data w ->
+     raise
+       (Fault_exn
+          (Printf.sprintf "executed embedded data %#lx at %#x" w m.M.pc)));
+  m.M.pc <- m.M.pc + 4;
+  !taken
+
+(* ---- Main loop ----------------------------------------------------------- *)
+
+let run t =
+  let m = t.machine in
+  let tend = text_end t.oat in
+  let nat_end = Abi.native_entry_base + (8 * 100000) in
+  let rt_end = runtime_code_base + (8 * List.length all_runtime_fns) in
+  try
+    while m.M.pc <> halt_addr do
+      if t.fuel <= 0 then raise (Fault_exn "out of fuel");
+      let pc = m.M.pc in
+      if pc >= Abi.text_base && pc < tend then begin
+        t.fuel <- t.fuel - 1;
+        let w = (pc - Abi.text_base) / 4 in
+        let instr = t.decoded.(w) in
+        let region = t.region_of.(w) in
+        if region >= 0 && not t.regions_touched.(region) then
+          t.regions_touched.(region) <- true;
+        t.last_region <- region;
+        M.touch_exec m pc;
+        let taken = exec t instr in
+        Cost.on_fetch t.cost ~region ~pc instr ~taken
+      end
+      else if pc >= runtime_code_base && pc < rt_end then
+        dispatch_runtime t (List.nth all_runtime_fns ((pc - runtime_code_base) / 8))
+      else if pc >= Abi.native_entry_base && pc < nat_end then
+        dispatch_native t ((pc - Abi.native_entry_base) / 8)
+      else raise (Fault_exn (Printf.sprintf "wild pc %#x" pc))
+    done;
+    Returned (M.get_reg m 0)
+  with
+  | Throw fn -> Thrown fn
+  | Fault_exn msg -> Fault msg
+
+(* Invoke an entry method the way the runtime would: x0 = ArtMethod*, the
+   arguments in x1.., a halt sentinel as the return address. *)
+let call t (name : method_ref) (args : int list) =
+  let m = t.machine in
+  match Calibro_oat.Oat_file.find_method t.oat name with
+  | None -> Fault (Printf.sprintf "no such method %s" (method_ref_to_string name))
+  | Some me ->
+    if List.length args > Abi.max_java_args then Fault "too many arguments"
+    else begin
+      M.set_reg m Abi.thread_reg Abi.runtime_table_base;
+      M.set_reg m Abi.method_table_reg Abi.method_table_base;
+      m.M.sp <- Abi.stack_top;
+      M.set_reg m 0 (Abi.art_method_addr ~slot:me.me_slot);
+      List.iteri (fun i v -> M.set_reg m (i + 1) v) args;
+      M.set_reg m Isa.lr halt_addr;
+      m.M.pc <- M.read64 m (Abi.art_method_addr ~slot:me.me_slot + Abi.entry_point_offset);
+      run t
+    end
+
+(* ---- Measurements -------------------------------------------------------- *)
+
+let cycles t = t.cost.Cost.cycles
+let instructions_retired t = t.cost.Cost.instructions
+let log t = List.rev t.machine.M.log
+
+(* Per-method cycle attribution, for the simpleperf substitute. *)
+let method_cycles t =
+  List.mapi
+    (fun i (me : Calibro_oat.Oat_file.method_entry) ->
+      (me.me_name, t.cost.Cost.per_region.(i)))
+    t.oat.methods
+
+(* Resident code pages touched by execution. *)
+let resident_code_pages t = M.touched_exec_page_count t.machine
+
+(* Resident code at method granularity: the total size of every method,
+   thunk and outlined function execution entered. At the repository's
+   ~1000:1 size scale, 4-KiB pages are three orders of magnitude too
+   coarse to see outlining's effect on residency, so Table 5 uses this
+   scale-consistent measure instead (see DESIGN.md). *)
+let resident_code_bytes t =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i touched -> if touched then acc := !acc + t.region_sizes.(i))
+    t.regions_touched;
+  !acc

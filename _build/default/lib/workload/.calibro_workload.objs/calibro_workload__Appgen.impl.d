@@ -1,0 +1,1 @@
+lib/workload/appgen.ml: Array Calibro_dex Hashtbl List Mb Option Printf Random

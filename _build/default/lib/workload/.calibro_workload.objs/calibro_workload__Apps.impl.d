@@ -1,0 +1,1 @@
+lib/workload/apps.ml: Appgen List String

@@ -1,0 +1,1 @@
+lib/workload/mb.ml: Array Calibro_dex Hashtbl List Printf

@@ -1,0 +1,78 @@
+(* The six evaluation apps (paper section 4.1: "the top six downloaded
+   applications from the OPPO App market"), scaled ~1000:1 in text size.
+
+   Per-app parameters are calibrated so the paper's relative shapes hold:
+   - text sizes proportional to the paper's Table 4 baselines
+     (Toutiao 357M, Taobao 225M, Fanqie 264M, Meituan 247M, Kuaishou 612M,
+     Wechat 388M);
+   - estimated redundancy around 25-30% (Table 1);
+   - Kuaishou reduces most, Taobao least (Table 4).
+
+   Knobs: [scale] sets method count (and thus text size); [pool] is the
+   idiom-pool size (smaller = more repeats); [perturb] deviates idiom
+   instantiations; [filler] interleaves unique noise; [layouts] is the
+   number of distinct register layouts (more = less binary-level
+   repetition); [dispatchers] weights the LTBO-excluded indirect-jump
+   methods, which widen the estimate-vs-realized gap. *)
+
+open Appgen
+
+let profile ~name ~seed ~scale ~pool ~perturb ~filler ~layouts ~dispatchers
+    ~repeats =
+  { p_name = name;
+    p_seed = seed;
+    p_n_arith = 26 * scale;
+    p_idiom_pool = pool;
+    p_idioms_per_method = 6;
+    p_perturb = perturb;
+    p_filler = filler;
+    p_layouts = layouts;
+    p_n_field = 8 * scale;
+    p_field_stanzas = 12;
+    p_n_serializer = 6 * scale;
+    p_serializer_stanzas = 12;
+    p_n_compute = 2 * scale;
+    p_compute_iters = 30;
+    p_n_dispatcher = dispatchers * scale;
+    p_n_strings = 4 * scale;
+    p_n_native = max 1 (scale / 2);
+    p_n_glue = 6 * scale;
+    p_script_repeats = repeats }
+
+let toutiao =
+  profile ~name:"Toutiao" ~seed:101 ~scale:19 ~pool:20 ~perturb:0.10
+    ~filler:12 ~layouts:22 ~dispatchers:6 ~repeats:20
+
+let taobao =
+  profile ~name:"Taobao" ~seed:102 ~scale:12 ~pool:30 ~perturb:0.16
+    ~filler:20 ~layouts:40 ~dispatchers:8 ~repeats:20
+
+let fanqie =
+  profile ~name:"Fanqie" ~seed:103 ~scale:14 ~pool:22 ~perturb:0.11
+    ~filler:12 ~layouts:24 ~dispatchers:6 ~repeats:20
+
+let meituan =
+  profile ~name:"Meituan" ~seed:104 ~scale:13 ~pool:26 ~perturb:0.13
+    ~filler:14 ~layouts:28 ~dispatchers:7 ~repeats:20
+
+let kuaishou =
+  profile ~name:"Kuaishou" ~seed:105 ~scale:26 ~pool:14 ~perturb:0.06
+    ~filler:8 ~layouts:12 ~dispatchers:4 ~repeats:20
+
+let wechat =
+  profile ~name:"Wechat" ~seed:106 ~scale:21 ~pool:24 ~perturb:0.12
+    ~filler:12 ~layouts:24 ~dispatchers:6 ~repeats:20
+
+let all = [ toutiao; taobao; fanqie; meituan; kuaishou; wechat ]
+
+let by_name name =
+  List.find_opt
+    (fun p -> String.lowercase_ascii p.p_name = String.lowercase_ascii name)
+    all
+
+let generate_all () = List.map Appgen.generate all
+
+(* A small app for quick examples and tests. *)
+let demo =
+  profile ~name:"Demo" ~seed:7 ~scale:2 ~pool:10 ~perturb:0.08 ~filler:8
+    ~layouts:8 ~dispatchers:2 ~repeats:2

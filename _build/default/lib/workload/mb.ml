@@ -1,0 +1,64 @@
+(* A small method builder: emit DEX-like instructions against symbolic
+   labels and resolve them to instruction indices at [finish]. The app
+   generator uses it to write templates without index arithmetic. *)
+
+open Calibro_dex.Dex_ir
+
+type item = Ins of insn | Lbl of int
+
+type t = {
+  mutable items : item list;  (* reversed *)
+  mutable next_label : int;
+}
+
+let create () = { items = []; next_label = 0 }
+
+let fresh_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let emit b i = b.items <- Ins i :: b.items
+let place b l = b.items <- Lbl l :: b.items
+
+(* Convenience emitters. *)
+let const b d v = emit b (Const (d, v))
+let move b d a = emit b (Move (d, a))
+let binop b op d x y = emit b (Binop (op, d, x, y))
+let binop_lit b op d x v = emit b (Binop_lit (op, d, x, v))
+let invoke b callee args res = emit b (Invoke (callee, args, res))
+let rtcall b fn args res = emit b (Invoke_runtime (fn, args, res))
+let ret b r = emit b (Return r)
+
+let finish b ~name ~num_params ~num_vregs ?(is_native = false)
+    ?(is_entry = false) () : meth =
+  let items = List.rev b.items in
+  (* Label -> instruction index. *)
+  let table = Hashtbl.create 8 in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Lbl l -> Hashtbl.replace table l !idx
+      | Ins _ -> incr idx)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt table l with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Mb.finish: unplaced label %d" l)
+  in
+  let insns =
+    List.filter_map
+      (function
+        | Lbl _ -> None
+        | Ins i ->
+          Some
+            (match i with
+             | If (c, x, y, l) -> If (c, x, y, resolve l)
+             | Ifz (c, x, l) -> Ifz (c, x, resolve l)
+             | Goto l -> Goto (resolve l)
+             | Switch (v, ls) -> Switch (v, List.map resolve ls)
+             | other -> other))
+      items
+    |> Array.of_list
+  in
+  { name; num_params; num_vregs; is_native; is_entry; insns }

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_aarch64 Test_core Test_dex Test_edge Test_hgraph Test_ltbo Test_oat Test_suffix_tree Test_vm Test_workload

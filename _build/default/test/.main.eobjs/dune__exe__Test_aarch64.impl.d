@@ -1,0 +1,1 @@
+test/test_aarch64.ml: Alcotest Array Calibro_aarch64 Decode Disasm Encode Gen Isa List Patch Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dex.ml: Alcotest Array Astring Calibro_dex Dex_check Dex_ir Dex_text List Option String

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Astring Calibro_aarch64 Calibro_codegen Calibro_core Calibro_dex Calibro_oat Calibro_vm Compiled_method Encode Interp Isa Linker Meta Patch Printf Result Stackmap

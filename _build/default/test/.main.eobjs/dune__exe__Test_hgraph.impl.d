@@ -1,0 +1,1 @@
+test/test_hgraph.ml: Alcotest Array Calibro_dex Calibro_hgraph Hgraph List Passes

@@ -1,0 +1,1 @@
+test/test_oat.ml: Abi Alcotest Astring Bytes Calibro_aarch64 Calibro_codegen Calibro_dex Calibro_oat Compiled_method Decode Disasm Encode Isa Linker List Meta Oat_file Oatdump Printf Stackmap

@@ -1,0 +1,1 @@
+test/test_suffix_tree.ml: Alcotest Array Calibro_suffix_tree Char Gen List Map QCheck QCheck_alcotest String Suffix_tree

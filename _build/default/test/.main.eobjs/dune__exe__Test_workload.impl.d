@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Appgen Apps Array Calibro_core Calibro_dex Calibro_workload Dex_check Dex_ir Dex_text List String

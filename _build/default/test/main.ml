@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "calibro"
+    [ ("aarch64", Test_aarch64.suite);
+      ("suffix_tree", Test_suffix_tree.suite);
+      ("dex", Test_dex.suite);
+      ("hgraph", Test_hgraph.suite);
+      ("vm", Test_vm.suite);
+      ("ltbo", Test_ltbo.suite);
+      ("core", Test_core.suite);
+      ("oat", Test_oat.suite);
+      ("workload", Test_workload.suite);
+      ("edge", Test_edge.suite) ]

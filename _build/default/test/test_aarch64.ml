@@ -1,0 +1,297 @@
+(* Tests for the A64 subset: encodings, decoder inverse, patching,
+   disassembly. Encodings are checked against ground-truth words produced by
+   a reference assembler (GNU as) for representative instructions. *)
+
+open Calibro_aarch64
+open Isa
+
+let check_word name expected instr =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check int) name expected (Encode.encode instr))
+
+(* Ground-truth encodings (verified against GNU binutils output). *)
+let golden_encodings =
+  [ check_word "nop" 0xD503201F Nop;
+    check_word "ret" 0xD65F03C0 Ret;
+    check_word "blr x30" 0xD63F03C0 (Blr lr);
+    check_word "br x30" 0xD61F03C0 (Br lr);
+    check_word "br x16" 0xD61F0200 (Br x16);
+    check_word "add x0, x1, #4"
+      0x91001020
+      (Add_sub_imm { op = ADD; size = X; set_flags = false;
+                     rd = 0; rn = 1; imm12 = 4; shift12 = false });
+    check_word "sub sp, sp, #32"
+      0xD10083FF
+      (Add_sub_imm { op = SUB; size = X; set_flags = false;
+                     rd = sp; rn = sp; imm12 = 32; shift12 = false });
+    (* The stack-overflow-check pattern of Figure 4c. *)
+    check_word "sub x16, sp, #0x2000"
+      0xD1400BF0
+      (List.nth stack_check_pattern 0);
+    check_word "ldr wzr, [x16]" 0xB940021F (List.nth stack_check_pattern 1);
+    (* The Java-call pattern of Figure 4a with entry offset 16. *)
+    check_word "ldr x30, [x0, #16]"
+      0xF940081E
+      (List.nth (java_call_pattern ~entry_offset:16) 0);
+    check_word "blr x30 (java call)"
+      0xD63F03C0
+      (List.nth (java_call_pattern ~entry_offset:16) 1);
+    check_word "cmp w2, w1" 0x6B01005F (cmp_reg ~size:W 2 1);
+    check_word "mov x3, x4" 0xAA0403E3 (mov_reg ~size:X 3 4);
+    check_word "movz x5, #0x2a" 0xD2800545
+      (Mov_wide { kind = MOVZ; size = X; rd = 5; imm16 = 0x2a; hw = 0 });
+    check_word "movk x5, #0x1, lsl #16" 0xF2A00025
+      (Mov_wide { kind = MOVK; size = X; rd = 5; imm16 = 1; hw = 1 });
+    check_word "b #+8" 0x14000002 (B { disp = 8 });
+    check_word "b #-4" 0x17FFFFFF (B { disp = -4 });
+    check_word "bl #+0x100" 0x94000040 (Bl { target = Rel 0x100 });
+    check_word "bl unresolved" 0x94000000 (Bl { target = Sym 7 });
+    check_word "b.eq #+12" 0x54000060 (B_cond { cond = EQ; disp = 12 });
+    check_word "cbz w0, #+0xc" 0x34000060 (Cbz { size = W; rt = 0; disp = 0xc });
+    check_word "cbnz x3, #-8" 0xB5FFFFC3 (Cbnz { size = X; rt = 3; disp = -8 });
+    check_word "tbz x1, #3, #+16" 0x36180081 (Tbz { rt = 1; bit = 3; disp = 16 });
+    check_word "tbnz x1, #33, #+16" 0xB7080081
+      (Tbnz { rt = 1; bit = 33; disp = 16 });
+    check_word "ldr x2, [x0]" 0xF9400002 (Ldr { size = X; rt = 2; rn = 0; imm = 0 });
+    check_word "ldr w2, [x0]" 0xB9400002 (Ldr { size = W; rt = 2; rn = 0; imm = 0 });
+    check_word "str x2, [sp, #16]" 0xF9000BE2
+      (Str { size = X; rt = 2; rn = sp; imm = 16 });
+    check_word "stp x29, x30, [sp, #-16]!" 0xA9BF7BFD
+      (Stp { size = X; rt = 29; rt2 = 30; rn = sp; imm = -16; mode = Pre });
+    check_word "ldp x29, x30, [sp], #16" 0xA8C17BFD
+      (Ldp { size = X; rt = 29; rt2 = 30; rn = sp; imm = 16; mode = Post });
+    check_word "ldr x1, #+0x20 (literal)" 0x58000101
+      (Ldr_lit { size = X; rt = 1; disp = 0x20 });
+    check_word "adr x0, #+0x18" 0x100000C0 (Adr { rd = 0; disp = 0x18 });
+    check_word "adrp x0, #+0x1000" 0xB0000000 (Adrp { rd = 0; disp = 0x1000 });
+    check_word "mul x0, x1, x2" 0x9B027C20 (Mul { size = X; rd = 0; rn = 1; rm = 2 });
+    check_word "sdiv x0, x1, x2" 0x9AC20C20
+      (Sdiv { size = X; rd = 0; rn = 1; rm = 2 });
+    check_word "msub x0, x1, x2, x3" 0x9B028C20
+      (Msub { size = X; rd = 0; rn = 1; rm = 2; ra = 3 });
+    check_word "and w1, w2, w3" 0x0A030041
+      (Logic_reg { op = AND; size = W; rd = 1; rn = 2; rm = 3 });
+    check_word "brk #0" 0xD4200000 (Brk 0)
+  ]
+
+(* ---- Round-trip: decode (encode i) = i ------------------------------ *)
+
+(* QCheck generator of arbitrary subset instructions with valid fields. *)
+let gen_instr =
+  let open QCheck.Gen in
+  let reg = int_range 0 30 in
+  let any_reg = int_range 0 31 in
+  let size = oneofl [ W; X ] in
+  let disp19 = map (fun v -> v * 4) (int_range (-1000) 1000) in
+  let disp14 = map (fun v -> v * 4) (int_range (-500) 500) in
+  let disp26 = map (fun v -> v * 4) (int_range (-100000) 100000) in
+  let cond =
+    oneofl [ EQ; NE; HS; LO; MI; PL; VS; VC; HI; LS; GE; LT; GT; LE ]
+  in
+  oneof
+    [ return Nop; return Ret;
+      map (fun r -> Blr r) reg;
+      map (fun r -> Br r) reg;
+      map (fun i -> Brk i) (int_range 0 0xffff);
+      (let* op = oneofl [ ADD; SUB ] in
+       let* size = size in
+       let* set_flags = bool in
+       let* rd = any_reg and* rn = any_reg in
+       let* imm12 = int_range 0 0xfff in
+       let* shift12 = bool in
+       return (Add_sub_imm { op; size; set_flags; rd; rn; imm12; shift12 }));
+      (let* op = oneofl [ ADD; SUB ] in
+       let* size = size in
+       let* set_flags = bool in
+       let* rd = any_reg and* rn = any_reg and* rm = any_reg in
+       return (Add_sub_reg { op; size; set_flags; rd; rn; rm }));
+      (let* op = oneofl [ AND; ORR; EOR; ANDS ] in
+       let* size = size in
+       let* rd = any_reg and* rn = any_reg and* rm = any_reg in
+       return (Logic_reg { op; size; rd; rn; rm }));
+      (let* kind = oneofl [ MOVZ; MOVN; MOVK ] in
+       let* size = size in
+       let* rd = any_reg in
+       let* imm16 = int_range 0 0xffff in
+       let* hw = int_range 0 (match size with W -> 1 | X -> 3) in
+       return (Mov_wide { kind; size; rd; imm16; hw }));
+      (let* size = size in
+       let* rd = any_reg and* rn = any_reg and* rm = any_reg in
+       return (Mul { size; rd; rn; rm }));
+      (let* size = size in
+       let* rd = any_reg and* rn = any_reg and* rm = any_reg in
+       return (Sdiv { size; rd; rn; rm }));
+      (let* size = size in
+       let* rd = any_reg and* rn = any_reg and* rm = any_reg in
+       let* ra = int_range 0 30 in
+       return (Msub { size; rd; rn; rm; ra }));
+      (let* size = size in
+       let scale = match size with W -> 4 | X -> 8 in
+       let* rt = any_reg and* rn = any_reg in
+       let* units = int_range 0 0xfff in
+       return (Ldr { size; rt; rn; imm = units * scale }));
+      (let* size = size in
+       let scale = match size with W -> 4 | X -> 8 in
+       let* rt = any_reg and* rn = any_reg in
+       let* units = int_range 0 0xfff in
+       return (Str { size; rt; rn; imm = units * scale }));
+      (let* size = size in
+       let scale = match size with W -> 4 | X -> 8 in
+       let* rt = any_reg and* rt2 = any_reg and* rn = any_reg in
+       let* units = int_range (-64) 63 in
+       let* mode = oneofl [ Offset; Pre; Post ] in
+       return (Ldp { size; rt; rt2; rn; imm = units * scale; mode }));
+      (let* size = size in
+       let scale = match size with W -> 4 | X -> 8 in
+       let* rt = any_reg and* rt2 = any_reg and* rn = any_reg in
+       let* units = int_range (-64) 63 in
+       let* mode = oneofl [ Offset; Pre; Post ] in
+       return (Stp { size; rt; rt2; rn; imm = units * scale; mode }));
+      (let* size = size in
+       let* rt = any_reg and* disp = disp19 in
+       return (Ldr_lit { size; rt; disp }));
+      (let* rd = any_reg in
+       let* disp = int_range (-(1 lsl 20)) ((1 lsl 20) - 1) in
+       return (Adr { rd; disp }));
+      (let* rd = any_reg in
+       let* pages = int_range (-100000) 100000 in
+       return (Adrp { rd; disp = pages * 4096 }));
+      map (fun disp -> B { disp }) disp26;
+      map (fun disp -> Bl { target = Rel disp }) disp26;
+      (let* cond = cond and* disp = disp19 in
+       return (B_cond { cond; disp }));
+      (let* size = size and* rt = any_reg and* disp = disp19 in
+       return (Cbz { size; rt; disp }));
+      (let* size = size and* rt = any_reg and* disp = disp19 in
+       return (Cbnz { size; rt; disp }));
+      (let* rt = any_reg and* bit = int_range 0 63 and* disp = disp14 in
+       return (Tbz { rt; bit; disp }));
+      (let* rt = any_reg and* bit = int_range 0 63 and* disp = disp14 in
+       return (Tbnz { rt; bit; disp }))
+    ]
+
+let arb_instr =
+  QCheck.make gen_instr ~print:(fun i -> Disasm.to_string i)
+
+let roundtrip =
+  QCheck.Test.make ~name:"decode (encode i) = i" ~count:2000 arb_instr
+    (fun i -> Decode.decode (Encode.encode i) = i)
+
+let word_roundtrip =
+  (* Any 32-bit word that decodes to a real instruction re-encodes to the
+     same word: the decoder never loses information on its subset. *)
+  QCheck.Test.make ~name:"encode (decode w) = w for decodable w" ~count:5000
+    QCheck.(
+      make
+        ~print:(fun w -> Printf.sprintf "%#x" w)
+        Gen.(map (fun x -> x land 0xFFFFFFFF) (int_bound max_int)))
+    (fun w ->
+      match Decode.decode w with
+      | Data _ -> true
+      | i -> Encode.encode i = w || (match i with Bl _ -> true | _ -> false))
+
+let patch_props =
+  (* 8192 is valid for every PC-relative form: page-aligned for adrp, word
+     aligned for branches/literals, within even tbz's +-32KiB range. *)
+  QCheck.Test.make ~name:"patch_word updates displacement" ~count:1000
+    arb_instr (fun i ->
+      match Isa.pc_rel_disp i with
+      | None -> true
+      | Some _ ->
+        let w = Encode.encode i in
+        let w' = Patch.patch_word w ~disp:8192 in
+        (match Isa.pc_rel_disp (Decode.decode w') with
+         | Some 8192 -> true
+         | _ -> false))
+
+let unit_tests =
+  [ Alcotest.test_case "data word roundtrips" `Quick (fun () ->
+        let w = 0xDEADBEEF in
+        match Decode.decode w with
+        | Data v -> Alcotest.(check int32) "raw" 0xDEADBEEFl v
+        | i -> Alcotest.failf "decoded junk as %s" (Disasm.to_string i));
+    Alcotest.test_case "unresolved bl decodes to rel 0" `Quick (fun () ->
+        match Decode.decode (Encode.encode (Bl { target = Sym 3 })) with
+        | Bl { target = Rel 0 } -> ()
+        | i -> Alcotest.failf "got %s" (Disasm.to_string i));
+    Alcotest.test_case "patch rejects non-pc-relative" `Quick (fun () ->
+        Alcotest.check_raises "not pc-rel"
+          (Patch.Not_pc_relative 0xD503201F)
+          (fun () -> ignore (Patch.patch_word 0xD503201F ~disp:8)));
+    Alcotest.test_case "patch rejects out-of-range" `Quick (fun () ->
+        let w = Encode.encode (B_cond { cond = NE; disp = 0 }) in
+        match Patch.patch_word w ~disp:(1 lsl 22) with
+        | exception Encode.Error _ -> ()
+        | _ -> Alcotest.fail "expected range error");
+    Alcotest.test_case "relocate_bl binds call target" `Quick (fun () ->
+        let buf = Encode.to_bytes [ Bl { target = Sym 0 }; Ret ] in
+        Patch.relocate_bl buf ~off:0 ~target:0x40;
+        match Decode.decode (Encode.word_of_bytes buf 0) with
+        | Bl { target = Rel 0x40 } -> ()
+        | i -> Alcotest.failf "got %s" (Disasm.to_string i));
+    Alcotest.test_case "terminators classified" `Quick (fun () ->
+        Alcotest.(check bool) "b" true (is_terminator (B { disp = 0 }));
+        Alcotest.(check bool) "ret" true (is_terminator Ret);
+        Alcotest.(check bool) "br" true (is_terminator (Br 0));
+        Alcotest.(check bool) "bl not terminator" false
+          (is_terminator (Bl { target = Sym 0 }));
+        Alcotest.(check bool) "bl is call" true (is_call (Bl { target = Sym 0 }));
+        Alcotest.(check bool) "add" false (is_terminator (add ~size:X 0 1 2)));
+    Alcotest.test_case "pc-relative classified per paper list" `Quick
+      (fun () ->
+        let yes =
+          [ B { disp = 0 }; B_cond { cond = EQ; disp = 0 };
+            Cbz { size = W; rt = 0; disp = 0 };
+            Cbnz { size = X; rt = 0; disp = 0 };
+            Tbz { rt = 0; bit = 0; disp = 0 };
+            Tbnz { rt = 0; bit = 0; disp = 0 };
+            Adr { rd = 0; disp = 0 }; Adrp { rd = 0; disp = 0 };
+            Ldr_lit { size = X; rt = 0; disp = 0 };
+            Bl { target = Rel 0 } ]
+        in
+        List.iter
+          (fun i ->
+            Alcotest.(check bool) (Disasm.to_string i) true (is_pc_relative i))
+          yes;
+        Alcotest.(check bool) "unresolved bl not patchable" false
+          (is_pc_relative (Bl { target = Sym 0 }));
+        Alcotest.(check bool) "ldr imm not pc-rel" false
+          (is_pc_relative (Ldr { size = X; rt = 0; rn = 1; imm = 0 })));
+    Alcotest.test_case "lr read/write classification" `Quick (fun () ->
+        Alcotest.(check bool) "bl writes lr" true
+          (writes_lr (Bl { target = Sym 0 }));
+        Alcotest.(check bool) "blr writes lr" true (writes_lr (Blr 3));
+        Alcotest.(check bool) "ret reads lr" true (reads_lr Ret);
+        Alcotest.(check bool) "br x30 reads lr" true (reads_lr (Br lr));
+        Alcotest.(check bool) "ldr x30 writes lr" true
+          (writes_lr (Ldr { size = X; rt = lr; rn = 0; imm = 16 }));
+        Alcotest.(check bool) "add does not touch lr" false
+          (writes_lr (add ~size:X 0 1 2) || reads_lr (add ~size:X 0 1 2)));
+    Alcotest.test_case "disasm matches paper table 2 style" `Quick (fun () ->
+        let s =
+          Disasm.to_string ~addr:0x138320 (Cbz { size = W; rt = 0; disp = 0xc })
+        in
+        Alcotest.(check string) "cbz" "cbz w0, #+0xc (addr 0x13832c)" s);
+    Alcotest.test_case "invert_cond is involutive" `Quick (fun () ->
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "inv inv" true (invert_cond (invert_cond c) = c))
+          [ EQ; NE; HS; LO; MI; PL; VS; VC; HI; LS; GE; LT; GT; LE ]);
+    Alcotest.test_case "to_bytes/of_bytes roundtrip" `Quick (fun () ->
+        let prog =
+          [ mov_imm ~size:X 0 42; add ~size:X 0 0 1; Ret ]
+        in
+        let buf = Encode.to_bytes prog in
+        let back = Decode.of_bytes buf |> Array.to_list in
+        Alcotest.(check int) "len" 3 (List.length back);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check string) "instr" (Disasm.to_string a)
+              (Disasm.to_string b))
+          prog back)
+  ]
+
+let suite =
+  golden_encodings @ unit_tests
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ roundtrip; word_roundtrip; patch_props ]

@@ -1,0 +1,258 @@
+(* Tests for core modules not covered elsewhere: Seq_map, Redundancy,
+   Parallel determinism, Config, Report. *)
+
+open Calibro_core
+open Calibro_dex
+open Calibro_vm
+
+let parse src =
+  match Dex_text.parse src with
+  | Ok apk -> apk
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let header = ".apk t\n.dex d\n.class t\n"
+
+let compile_one src =
+  let apk = parse src in
+  let b = Pipeline.build ~config:Config.baseline apk in
+  let methods = Dex_ir.methods_of_apk apk in
+  let slots = Hashtbl.create 4 in
+  List.iteri (fun i (m : Dex_ir.meth) -> Hashtbl.replace slots m.name i) methods;
+  List.map
+    (fun m ->
+      Calibro_codegen.Codegen.compile
+        ~slot_of_method:(Hashtbl.find slots)
+        (let g = Calibro_hgraph.Hgraph.of_method m in
+         ignore (Calibro_hgraph.Passes.optimize g);
+         g))
+    methods
+  |> fun cms -> (b, cms)
+
+let seq_map_tests =
+  [ Alcotest.test_case "separators are unique and cover control flow" `Quick
+      (fun () ->
+        let src =
+          header
+          ^ {|.method f params #2 regs #4 entry
+  add v2, v0, v1
+  ifz eq v2, :l
+  mul v2, v2, v2
+:l
+  invoke t.g (v2) -> v3
+  return v3
+.end
+.method g params #1 regs #2
+  add v1, v0, #1
+  return v1
+.end
+|}
+        in
+        let _, cms = compile_one src in
+        let a = Seq_map.new_allocator () in
+        let elements = Seq_map.map_method (List.hd cms) a in
+        let seps =
+          List.filter_map
+            (fun (v, e) ->
+              match e with Seq_map.Separator -> Some v | _ -> None)
+            elements
+        in
+        (* all separator values distinct *)
+        Alcotest.(check int) "unique seps" (List.length seps)
+          (List.length (List.sort_uniq compare seps));
+        (* at least the cbz, the bl-equivalents (blr/ldr x30), the b and ret *)
+        Alcotest.(check bool) "has separators" true (List.length seps >= 4);
+        (* word elements round-trip to their offsets *)
+        List.iter
+          (fun (v, e) ->
+            match e with
+            | Seq_map.Word (w, off) ->
+              Alcotest.(check bool) "word below sep base" true
+                (w < Seq_map.sep_base);
+              Alcotest.(check bool) "offset aligned" true (off mod 4 = 0);
+              Alcotest.(check int) "value is the encoded word" w v
+            | Seq_map.Separator -> ())
+          elements);
+    Alcotest.test_case "hot eligibility maps to separators" `Quick (fun () ->
+        let src =
+          header
+          ^ ".method f params #2 regs #4 entry\n  add v2, v0, v1\n  mul v3, v2, v2\n  sub v3, v3, v2\n  return v3\n.end\n"
+        in
+        let _, cms = compile_one src in
+        let cm = List.hd cms in
+        let a = Seq_map.new_allocator () in
+        let all_sep =
+          Seq_map.map_method ~eligible:(fun _ -> false) cm a
+          |> List.for_all (fun (_, e) -> e = Seq_map.Separator)
+        in
+        Alcotest.(check bool) "all separators when ineligible" true all_sep)
+  ]
+
+let redundancy_tests =
+  [ Alcotest.test_case "redundancy detects planted repeats" `Quick (fun () ->
+        let body =
+          "  add v2, v0, v1\n  mul v3, v2, v2\n  sub v4, v3, v0\n  xor v5, v4, v1\n  and v6, v5, v2\n  return v6\n"
+        in
+        let src =
+          header
+          ^ String.concat ""
+              (List.init 6 (fun i ->
+                   Printf.sprintf ".method m%d params #2 regs #7%s\n%s.end\n" i
+                     (if i = 0 then " entry" else "")
+                     body))
+        in
+        let b, _ = compile_one src in
+        let a = Redundancy.analyze b.Pipeline.b_oat in
+        Alcotest.(check bool) "found repeats" true (a.Redundancy.a_repeats > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "high ratio (%f)" a.Redundancy.a_ratio)
+          true
+          (a.Redundancy.a_ratio > 0.3);
+        Alcotest.(check bool) "histogram non-empty" true
+          (a.Redundancy.a_histogram <> []));
+    Alcotest.test_case "pattern census counts the figure 4 patterns" `Quick
+      (fun () ->
+        let src =
+          header
+          ^ ".method g params #1 regs #2\n  add v1, v0, #1\n  return v1\n.end\n"
+          ^ ".method f params #1 regs #4 entry\n  invoke t.g (v0) -> v1\n  rtcall pLogValue (v1)\n  new t.Box, v2\n  return v1\n.end\n"
+        in
+        let b, _ = compile_one src in
+        let c = Redundancy.pattern_census b.Pipeline.b_oat in
+        Alcotest.(check int) "java calls" 1 c.Redundancy.c_java_call;
+        (* pLogValue + alloc for new *)
+        Alcotest.(check int) "runtime calls" 2 c.Redundancy.c_runtime_call;
+        (* one per method *)
+        Alcotest.(check int) "stack checks" 2 c.Redundancy.c_stack_check);
+    Alcotest.test_case "cto removes the patterns from the census" `Quick
+      (fun () ->
+        let src =
+          header
+          ^ ".method f params #1 regs #3 entry\n  rtcall pLogValue (v0)\n  return v0\n.end\n"
+        in
+        let apk = parse src in
+        let b = Pipeline.build ~config:Config.cto apk in
+        let c = Redundancy.pattern_census b.Pipeline.b_oat in
+        Alcotest.(check int) "no inline runtime pattern" 0
+          c.Redundancy.c_runtime_call;
+        Alcotest.(check int) "no inline stack check" 0 c.Redundancy.c_stack_check)
+  ]
+
+let parallel_tests =
+  [ Alcotest.test_case "parallel detection deterministic across k" `Quick
+      (fun () ->
+        (* same seed -> same partition -> same result *)
+        let a = Calibro_workload.Appgen.generate Calibro_workload.Apps.demo in
+        let apk = a.Calibro_workload.Appgen.app in
+        let b1 = Pipeline.build ~config:(Config.cto_ltbo_pl ~k:4 ()) apk in
+        let b2 = Pipeline.build ~config:(Config.cto_ltbo_pl ~k:4 ()) apk in
+        Alcotest.(check int) "same size" (Pipeline.text_size b1)
+          (Pipeline.text_size b2);
+        Alcotest.(check bytes) "identical text"
+          b1.Pipeline.b_oat.Calibro_oat.Oat_file.text
+          b2.Pipeline.b_oat.Calibro_oat.Oat_file.text);
+    Alcotest.test_case "more trees, less reduction (PlOpti tradeoff)" `Quick
+      (fun () ->
+        let a = Calibro_workload.Appgen.generate Calibro_workload.Apps.demo in
+        let apk = a.Calibro_workload.Appgen.app in
+        let one = Pipeline.build ~config:Config.cto_ltbo apk in
+        let many = Pipeline.build ~config:(Config.cto_ltbo_pl ~k:8 ()) apk in
+        Alcotest.(check bool)
+          (Printf.sprintf "k=8 (%d) >= k=1 (%d)" (Pipeline.text_size many)
+             (Pipeline.text_size one))
+          true
+          (Pipeline.text_size many >= Pipeline.text_size one));
+    Alcotest.test_case "partition handles degenerate inputs" `Quick (fun () ->
+        Alcotest.(check (list (list int))) "empty" []
+          (Parallel.partition ~k:4 ~seed:1 []);
+        let one = Parallel.partition ~k:8 ~seed:1 [ 42 ] in
+        Alcotest.(check (list (list int))) "singleton" [ [ 42 ] ] one)
+  ]
+
+let workload_vm_tests =
+  [ Alcotest.test_case "demo app scripts run clean on all configs" `Slow
+      (fun () ->
+        let a = Calibro_workload.Appgen.generate Calibro_workload.Apps.demo in
+        let apk = a.Calibro_workload.Appgen.app in
+        (match Dex_check.check apk with
+         | Ok () -> ()
+         | Error errs ->
+           Alcotest.failf "invalid app: %s"
+             (Dex_check.error_to_string (List.hd errs)));
+        let run config =
+          let b = Pipeline.build ~config apk in
+          let t = Interp.load b.Pipeline.b_oat in
+          List.map
+            (fun (st : Calibro_workload.Appgen.script_step) ->
+              match
+                Interp.call t st.Calibro_workload.Appgen.sc_method
+                  st.Calibro_workload.Appgen.sc_args
+              with
+              | Interp.Fault m -> Alcotest.failf "fault: %s" m
+              | Interp.Returned v -> v
+              | Interp.Thrown _ -> min_int)
+            a.Calibro_workload.Appgen.app_script
+        in
+        let base = run Config.baseline in
+        List.iter
+          (fun config ->
+            Alcotest.(check (list int))
+              ("config " ^ config.Config.name)
+              base (run config))
+          [ Config.cto; Config.cto_ltbo; Config.cto_ltbo_pl ~k:4 () ])
+  ]
+
+let profile_tests =
+  [ Alcotest.test_case "profile round trips through text" `Quick (fun () ->
+        let p =
+          [ { Calibro_profile.Profile.s_method =
+                { Dex_ir.class_name = "a.B"; method_name = "m" };
+              s_cycles = 123 };
+            { Calibro_profile.Profile.s_method =
+                { Dex_ir.class_name = "c.D"; method_name = "n" };
+              s_cycles = 456 } ]
+        in
+        let s = Calibro_profile.Profile.to_string p in
+        match Calibro_profile.Profile.of_string s with
+        | Ok p2 -> Alcotest.(check bool) "equal" true (p = p2)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "hot_set covers the requested fraction" `Quick
+      (fun () ->
+        let mk n c =
+          { Calibro_profile.Profile.s_method =
+              { Dex_ir.class_name = "x"; method_name = n };
+            s_cycles = c }
+        in
+        let p = [ mk "a" 50; mk "b" 30; mk "c" 15; mk "d" 5 ] in
+        let hot = Calibro_profile.Profile.hot_set ~coverage:0.8 p in
+        Alcotest.(check int) "two methods reach 80%" 2 (List.length hot);
+        let all = Calibro_profile.Profile.hot_set ~coverage:1.0 p in
+        Alcotest.(check int) "full coverage" 4 (List.length all);
+        Alcotest.(check (list string)) "sorted by heat"
+          [ "a"; "b" ]
+          (List.map (fun (m : Dex_ir.method_ref) -> m.method_name) hot));
+    Alcotest.test_case "hot_set ignores zero-cycle methods" `Quick (fun () ->
+        let mk n c =
+          { Calibro_profile.Profile.s_method =
+              { Dex_ir.class_name = "x"; method_name = n };
+            s_cycles = c }
+        in
+        let hot =
+          Calibro_profile.Profile.hot_set ~coverage:1.0 [ mk "a" 10; mk "z" 0 ]
+        in
+        Alcotest.(check int) "only the live one" 1 (List.length hot));
+    Alcotest.test_case "merge sums cycles per method" `Quick (fun () ->
+        let mk n c =
+          { Calibro_profile.Profile.s_method =
+              { Dex_ir.class_name = "x"; method_name = n };
+            s_cycles = c }
+        in
+        let merged =
+          Calibro_profile.Profile.merge [ mk "a" 10 ] [ mk "a" 5; mk "b" 1 ]
+        in
+        Alcotest.(check int) "total" 16 (Calibro_profile.Profile.total merged);
+        Alcotest.(check int) "methods" 2 (List.length merged))
+  ]
+
+let suite =
+  seq_map_tests @ redundancy_tests @ parallel_tests @ workload_vm_tests
+  @ profile_tests

@@ -1,0 +1,143 @@
+(* Linker and OAT container tests: layout, symbol resolution, relocation,
+   thunks, dump output, error paths. *)
+
+open Calibro_aarch64
+open Calibro_codegen
+open Calibro_oat
+
+let mk_method ?(relocs = []) ?(meta = Meta.empty) ~slot instrs =
+  { Compiled_method.name =
+      { Calibro_dex.Dex_ir.class_name = "t";
+        method_name = Printf.sprintf "m%d" slot };
+    slot;
+    code = Encode.to_bytes instrs;
+    relocs; meta; stackmap = []; num_params = 0; is_entry = false;
+    cto_hits = [] }
+
+let decode_at oat off = Decode.decode (Encode.word_of_bytes oat.Oat_file.text off)
+
+let suite =
+  [ Alcotest.test_case "linker lays methods out in slot order" `Quick
+      (fun () ->
+        let m0 = mk_method ~slot:0 [ Isa.Nop; Isa.Ret ] in
+        let m1 = mk_method ~slot:1 [ Isa.Ret ] in
+        let oat = Linker.link ~apk_name:"t" [ m1; m0 ] in
+        (match oat.Oat_file.methods with
+         | [ a; b ] ->
+           Alcotest.(check int) "m0 first" 0 a.me_slot;
+           Alcotest.(check int) "m0 at 0" 0 a.me_offset;
+           Alcotest.(check int) "m1 after" 8 b.me_offset
+         | _ -> Alcotest.fail "expected two methods");
+        Alcotest.(check int) "text size" 12 (Oat_file.text_size oat));
+    Alcotest.test_case "relocations bind bl to the target method" `Quick
+      (fun () ->
+        let caller =
+          mk_method ~slot:0 ~relocs:[ (0, 1) ]
+            [ Isa.Bl { target = Isa.Sym 1 }; Isa.Ret ]
+        in
+        let callee = mk_method ~slot:1 [ Isa.Ret ] in
+        let oat = Linker.link ~apk_name:"t" [ caller; callee ] in
+        (match decode_at oat 0 with
+         | Isa.Bl { target = Isa.Rel 8 } -> ()
+         | i -> Alcotest.failf "got %s" (Disasm.to_string i)));
+    Alcotest.test_case "undefined symbol raises" `Quick (fun () ->
+        let caller =
+          mk_method ~slot:0 ~relocs:[ (0, 99) ]
+            [ Isa.Bl { target = Isa.Sym 99 }; Isa.Ret ]
+        in
+        match Linker.link ~apk_name:"t" [ caller ] with
+        | exception Linker.Link_error _ -> ()
+        | _ -> Alcotest.fail "expected Link_error");
+    Alcotest.test_case "thunks precede methods and resolve" `Quick (fun () ->
+        let caller =
+          mk_method ~slot:0
+            ~relocs:[ (0, Abi.thunk_sym Abi.T_stack_check) ]
+            [ Isa.Bl { target = Isa.Sym (Abi.thunk_sym Abi.T_stack_check) };
+              Isa.Ret ]
+        in
+        let oat =
+          Linker.link ~apk_name:"t" ~thunks:Abi.all_thunks [ caller ]
+        in
+        Alcotest.(check int) "thunks recorded" (List.length Abi.all_thunks)
+          (List.length oat.Oat_file.thunks);
+        (* the call lands inside the stack-check thunk *)
+        let target =
+          match decode_at oat (List.hd oat.Oat_file.methods).me_offset with
+          | Isa.Bl { target = Isa.Rel d } ->
+            (List.hd oat.Oat_file.methods).me_offset + d
+          | i -> Alcotest.failf "got %s" (Disasm.to_string i)
+        in
+        let th =
+          List.find (fun t -> t.Oat_file.th = Abi.T_stack_check)
+            oat.Oat_file.thunks
+        in
+        Alcotest.(check int) "bl targets the thunk" th.th_offset target);
+    Alcotest.test_case "thunk bodies match their specification" `Quick
+      (fun () ->
+        List.iter
+          (fun th ->
+            let body = Abi.thunk_body th in
+            (* call thunks tail-branch through x16; the stack check returns
+               through the link register *)
+            match (th, List.rev body) with
+            | Abi.T_stack_check, Isa.Br 30 :: _ -> ()
+            | (Abi.T_java_invoke | Abi.T_rt _), Isa.Br 16 :: _ -> ()
+            | _ -> Alcotest.failf "bad thunk body for %s" (Abi.thunk_name th))
+          Abi.all_thunks);
+    Alcotest.test_case "extra (outlined) functions resolve" `Quick (fun () ->
+        let xf =
+          { Linker.xf_sym = 0x500000;
+            xf_code = Encode.to_bytes [ Isa.Nop; Isa.Br Isa.lr ] }
+        in
+        let caller =
+          mk_method ~slot:0 ~relocs:[ (0, 0x500000) ]
+            [ Isa.Bl { target = Isa.Sym 0x500000 }; Isa.Ret ]
+        in
+        let oat = Linker.link ~apk_name:"t" ~extra:[ xf ] [ caller ] in
+        (match oat.Oat_file.outlined with
+         | [ o ] ->
+           Alcotest.(check int) "after methods" 8 o.ol_offset;
+           Alcotest.(check int) "size" 8 o.ol_size
+         | _ -> Alcotest.fail "expected one outlined entry");
+        match decode_at oat 0 with
+        | Isa.Bl { target = Isa.Rel 8 } -> ()
+        | i -> Alcotest.failf "got %s" (Disasm.to_string i));
+    Alcotest.test_case "oatdump renders embedded data as data" `Quick
+      (fun () ->
+        let m =
+          mk_method ~slot:0
+            ~meta:
+              { Meta.empty with
+                Meta.embedded = [ { Meta.r_start = 4; r_len = 4 } ] }
+            [ Isa.Ret; Isa.Data 0xDEADBEEFl ]
+        in
+        let oat = Linker.link ~apk_name:"t" [ m ] in
+        let dump = Oatdump.dump oat in
+        Alcotest.(check bool) "mentions .data" true
+          (Astring.String.is_infix ~affix:".data" dump);
+        Alcotest.(check bool) "mentions ret" true
+          (Astring.String.is_infix ~affix:"ret" dump));
+    Alcotest.test_case "data_size counts headers and stackmaps" `Quick
+      (fun () ->
+        let m0 = mk_method ~slot:0 [ Isa.Ret ] in
+        let with_map =
+          { m0 with
+            Compiled_method.stackmap =
+              [ { Stackmap.native_pc = 4; dex_pc = 0; live_vregs = 1 } ] }
+        in
+        let d0 =
+          Oat_file.data_size (Linker.link ~apk_name:"t" [ m0 ])
+        in
+        let d1 =
+          Oat_file.data_size (Linker.link ~apk_name:"t" [ with_map ])
+        in
+        Alcotest.(check int) "one stackmap entry"
+          Oat_file.stackmap_entry_bytes (d1 - d0));
+    Alcotest.test_case "corrupt file rejected on load" `Quick (fun () ->
+        (match Oat_file.of_bytes (Bytes.of_string "NOTANOAT????????") with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "expected magic failure");
+        match Oat_file.of_bytes (Bytes.of_string "CALIBOAT\xff\xff\xff\xff") with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected version failure")
+  ]

@@ -1,0 +1,212 @@
+(* Suffix tree tests: the banana example from the paper's Figure 1, plus
+   randomized differential tests against naive O(n^2)/O(n^3) references. *)
+
+open Calibro_suffix_tree
+
+let of_string s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+(* Naive reference: all start positions of [pat] in [text]. *)
+let naive_occurrences text pat =
+  let n = Array.length text and m = Array.length pat in
+  let hits = ref [] in
+  for i = n - m downto 0 do
+    let ok = ref true in
+    for j = 0 to m - 1 do
+      if text.(i + j) <> pat.(j) then ok := false
+    done;
+    if !ok && m > 0 then hits := i :: !hits
+  done;
+  !hits
+
+(* Naive reference: every right-maximal repeated substring as
+   (length, sorted positions). A substring s is right-maximal iff it occurs
+   >= 2 times and its occurrences are not all followed by the same symbol
+   (occurrences at the end of the text count as distinct continuations). *)
+let naive_repeats text =
+  let n = Array.length text in
+  let module M = Map.Make (struct
+    type t = int list
+    let compare = compare
+  end) in
+  let subs = ref M.empty in
+  for i = 0 to n - 1 do
+    for len = 1 to n - i do
+      let key = Array.to_list (Array.sub text i len) in
+      subs := M.update key (function None -> Some [ i ] | Some l -> Some (i :: l)) !subs
+    done
+  done;
+  M.fold
+    (fun key positions acc ->
+      let len = List.length key in
+      let positions = List.sort compare positions in
+      if List.length positions >= 2 then begin
+        (* right-maximal: continuations differ *)
+        let conts =
+          List.map
+            (fun p -> if p + len >= n then -1 - p else text.(p + len))
+            positions
+        in
+        let all_same =
+          match conts with
+          | [] -> true
+          | c :: rest -> List.for_all (fun x -> x = c) rest
+        in
+        if not all_same then (len, positions) :: acc else acc
+      end
+      else acc)
+    !subs []
+
+let banana = of_string "banana"
+
+let banana_tests =
+  [ Alcotest.test_case "banana: occurrences of 'na'" `Quick (fun () ->
+        let t = Suffix_tree.build banana in
+        Alcotest.(check (list int)) "na" [ 2; 4 ]
+          (Suffix_tree.occurrences t (of_string "na")));
+    Alcotest.test_case "banana: occurrences of 'ana' overlap" `Quick (fun () ->
+        let t = Suffix_tree.build banana in
+        Alcotest.(check (list int)) "ana" [ 1; 3 ]
+          (Suffix_tree.occurrences t (of_string "ana")));
+    Alcotest.test_case "banana: non-overlapping selection" `Quick (fun () ->
+        (* Figure 1 discussion: "ana" occurs twice but overlaps; after the
+           overlap filter only one occurrence survives. *)
+        Alcotest.(check (list int)) "ana" [ 1 ]
+          (Suffix_tree.non_overlapping ~length:3 [ 1; 3 ]);
+        Alcotest.(check (list int)) "na" [ 2; 4 ]
+          (Suffix_tree.non_overlapping ~length:2 [ 2; 4 ]));
+    Alcotest.test_case "banana: contains" `Quick (fun () ->
+        let t = Suffix_tree.build banana in
+        Alcotest.(check bool) "banana" true (Suffix_tree.contains t banana);
+        Alcotest.(check bool) "anan" true
+          (Suffix_tree.contains t (of_string "anan"));
+        Alcotest.(check bool) "nab" false
+          (Suffix_tree.contains t (of_string "nab"));
+        Alcotest.(check bool) "empty" true (Suffix_tree.contains t [||]));
+    Alcotest.test_case "banana: repeats match figure 1" `Quick (fun () ->
+        let t = Suffix_tree.build banana in
+        let rs =
+          Suffix_tree.repeats t
+          |> List.map (fun r ->
+                 ( Array.to_list
+                     (Array.sub banana (List.hd r.Suffix_tree.positions)
+                        r.Suffix_tree.length),
+                   r.Suffix_tree.positions ))
+          |> List.sort compare
+        in
+        (* Internal nodes of the banana tree: "a" (3 leaves), "ana" (2),
+           "n"?: "na" and "nana" share prefix... right-maximal: "a", "ana",
+           "na". *)
+        let expect =
+          [ (of_string "a" |> Array.to_list, [ 1; 3; 5 ]);
+            (of_string "ana" |> Array.to_list, [ 1; 3 ]);
+            (of_string "na" |> Array.to_list, [ 2; 4 ]) ]
+        in
+        Alcotest.(check int) "count" (List.length expect) (List.length rs);
+        List.iter2
+          (fun (ek, ep) (k, p) ->
+            Alcotest.(check (list int)) "key" ek k;
+            Alcotest.(check (list int)) "pos" ep p)
+          expect rs);
+    Alcotest.test_case "leaf count equals n+1" `Quick (fun () ->
+        let t = Suffix_tree.build banana in
+        let s = Suffix_tree.stats t in
+        (* "banana$" has 7 suffixes, hence 7 leaves. *)
+        Alcotest.(check int) "leaves" 7 s.Suffix_tree.leaves);
+    Alcotest.test_case "rejects reserved terminal" `Quick (fun () ->
+        match Suffix_tree.build [| 1; Suffix_tree.terminal; 2 |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "empty input" `Quick (fun () ->
+        let t = Suffix_tree.build [||] in
+        Alcotest.(check int) "len" 0 (Suffix_tree.input_length t);
+        Alcotest.(check (list int)) "no repeats" []
+          (Suffix_tree.repeats t |> List.map (fun r -> r.Suffix_tree.length)));
+    Alcotest.test_case "separators never repeat" `Quick (fun () ->
+        (* Two identical blocks joined by unique separators: repeats must
+           never span a separator (they are unique), so the longest repeat
+           is the block itself. *)
+        let block = [| 7; 8; 9; 7; 8 |] in
+        let input = Array.concat [ block; [| -1 |]; block; [| -2 |]; block ] in
+        let t = Suffix_tree.build input in
+        let max_len =
+          List.fold_left
+            (fun m r -> max m r.Suffix_tree.length)
+            0 (Suffix_tree.repeats t)
+        in
+        Alcotest.(check int) "max repeat length" 5 max_len)
+  ]
+
+(* ---- Randomized differential tests ---------------------------------- *)
+
+let gen_small_array =
+  QCheck.Gen.(
+    let* n = int_range 0 40 in
+    let* alphabet = int_range 1 4 in
+    array_size (return n) (int_range 0 alphabet))
+
+let arb_small_array =
+  QCheck.make gen_small_array ~print:(fun a ->
+      String.concat ";" (Array.to_list a |> List.map string_of_int))
+
+let occurrences_match_naive =
+  QCheck.Test.make ~name:"occurrences match naive search" ~count:300
+    QCheck.(
+      pair arb_small_array
+        (make
+           Gen.(
+             let* n = int_range 1 4 in
+             array_size (return n) (int_range 0 4))))
+    (fun (text, pat) ->
+      let t = Suffix_tree.build text in
+      Suffix_tree.occurrences t pat = naive_occurrences text pat)
+
+let repeats_match_naive =
+  QCheck.Test.make ~name:"repeats match naive right-maximal enumeration"
+    ~count:200 arb_small_array (fun text ->
+      let t = Suffix_tree.build text in
+      let got =
+        Suffix_tree.repeats t
+        |> List.map (fun r -> (r.Suffix_tree.length, r.Suffix_tree.positions))
+        |> List.sort compare
+      in
+      let want = naive_repeats text |> List.sort compare in
+      got = want)
+
+let all_suffixes_present =
+  QCheck.Test.make ~name:"every suffix reachable" ~count:200 arb_small_array
+    (fun text ->
+      let t = Suffix_tree.build text in
+      let n = Array.length text in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if not (Suffix_tree.contains t (Array.sub text i (n - i))) then
+          ok := false
+      done;
+      !ok)
+
+let non_overlap_props =
+  QCheck.Test.make ~name:"non_overlapping output has no overlaps" ~count:300
+    QCheck.(
+      pair (int_range 1 5)
+        (make Gen.(list_size (int_range 0 20) (int_range 0 50))))
+    (fun (len, positions) ->
+      let sorted = List.sort_uniq compare positions in
+      let chosen = Suffix_tree.non_overlapping ~length:len sorted in
+      (* no two chosen positions overlap, and every dropped one overlaps a
+         chosen one *)
+      let rec no_overlap = function
+        | a :: (b :: _ as rest) -> b - a >= len && no_overlap rest
+        | _ -> true
+      in
+      no_overlap chosen
+      && List.for_all
+           (fun p ->
+             List.mem p chosen
+             || List.exists (fun c -> abs (p - c) < len) chosen)
+           sorted)
+
+let suite =
+  banana_tests
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ occurrences_match_naive; repeats_match_naive; all_suffixes_present;
+        non_overlap_props ]

@@ -1,0 +1,80 @@
+(* Workload generator tests: generated apps are valid, deterministic,
+   mixed as requested, and usable through the text format. *)
+
+open Calibro_dex
+open Calibro_workload
+
+let demo () = Appgen.generate Apps.demo
+
+let suite =
+  [ Alcotest.test_case "generated apps pass the checker" `Quick (fun () ->
+        let a = demo () in
+        match Dex_check.check a.Appgen.app with
+        | Ok () -> ()
+        | Error errs ->
+          Alcotest.failf "invalid: %s"
+            (String.concat "; " (List.map Dex_check.error_to_string errs)));
+    Alcotest.test_case "generation is deterministic per seed" `Quick
+      (fun () ->
+        let a = demo () and b = demo () in
+        Alcotest.(check bool) "same apk" true (a.Appgen.app = b.Appgen.app);
+        Alcotest.(check bool) "same script" true
+          (a.Appgen.app_script = b.Appgen.app_script));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let p2 = { Apps.demo with Appgen.p_seed = 999 } in
+        let a = demo () and b = Appgen.generate p2 in
+        Alcotest.(check bool) "differ" true (a.Appgen.app <> b.Appgen.app));
+    Alcotest.test_case "method mix matches the profile" `Quick (fun () ->
+        let p = Apps.demo in
+        let a = demo () in
+        let methods = Dex_ir.methods_of_apk a.Appgen.app in
+        let count pred = List.length (List.filter pred methods) in
+        Alcotest.(check int) "native count" p.Appgen.p_n_native
+          (count (fun m -> m.Dex_ir.is_native));
+        Alcotest.(check int) "dispatchers" p.Appgen.p_n_dispatcher
+          (count (fun (m : Dex_ir.meth) ->
+               Array.exists
+                 (function Dex_ir.Switch _ -> true | _ -> false)
+                 m.Dex_ir.insns));
+        (* entries = glue + kernels *)
+        Alcotest.(check int) "entries"
+          (p.Appgen.p_n_glue + p.Appgen.p_n_compute)
+          (count (fun m -> m.Dex_ir.is_entry)));
+    Alcotest.test_case "script only calls entry methods" `Quick (fun () ->
+        let a = demo () in
+        List.iter
+          (fun (st : Appgen.script_step) ->
+            match Dex_ir.find_method a.Appgen.app st.Appgen.sc_method with
+            | Some m -> Alcotest.(check bool) "entry" true m.Dex_ir.is_entry
+            | None -> Alcotest.fail "script references unknown method")
+          a.Appgen.app_script);
+    Alcotest.test_case "generated app survives the text format" `Quick
+      (fun () ->
+        let a = demo () in
+        let text = Dex_text.to_string a.Appgen.app in
+        match Dex_text.parse text with
+        | Error e -> Alcotest.failf "reparse: %s" e
+        | Ok apk2 ->
+          Alcotest.(check bool) "round trip" true (a.Appgen.app = apk2));
+    Alcotest.test_case "six apps are ordered by paper baseline size" `Quick
+      (fun () ->
+        (* Kuaishou largest, Taobao smallest, as in Table 4. *)
+        let sizes =
+          List.map
+            (fun p ->
+              let a = Appgen.generate p in
+              ( p.Appgen.p_name,
+                Calibro_core.Pipeline.text_size
+                  (Calibro_core.Pipeline.build
+                     ~config:Calibro_core.Config.baseline a.Appgen.app) ))
+            Apps.all
+        in
+        let size n = List.assoc n sizes in
+        List.iter
+          (fun (n, _) ->
+            Alcotest.(check bool) (n ^ " <= Kuaishou") true
+              (size n <= size "Kuaishou");
+            Alcotest.(check bool) (n ^ " >= Taobao") true
+              (size n >= size "Taobao"))
+          sizes)
+  ]
