@@ -581,3 +581,40 @@ let ablation_rounds () =
         (pct (Pipeline.reduction_vs ~baseline:base b))
         outlined)
     [ 1; 2; 3 ]
+
+(* ---- Crosscheck: the differential oracle over the evaluation apps ---------- *)
+
+(* Not a paper table: runs the lib/check differential oracle (baseline vs
+   every Calibro configuration, structural invariants included) on each
+   of the six evaluation apps plus the demo app. Exits nonzero on any
+   divergence, so CI can gate on it. *)
+let crosscheck () =
+  print_endline "== Crosscheck: differential oracle, all apps x all configs ==";
+  let failed = ref false in
+  List.iter
+    (fun (p : Appgen.profile) ->
+      let a = Appgen.generate p in
+      let t0 = Unix.gettimeofday () in
+      match Calibro_check.Oracle.run a.Appgen.app with
+      | Error e ->
+        failed := true;
+        Printf.printf "  %-10s ERROR: %s\n%!" p.Appgen.p_name e
+      | Ok r ->
+        if Calibro_check.Oracle.ok r then
+          Printf.printf
+            "  %-10s ok: %d configs x %d calls agree with baseline (%.1fs)\n%!"
+            p.Appgen.p_name
+            (List.length r.Calibro_check.Oracle.r_configs)
+            r.Calibro_check.Oracle.r_calls
+            (Unix.gettimeofday () -. t0)
+        else begin
+          failed := true;
+          Printf.printf "  %-10s FAILED:\n" p.Appgen.p_name;
+          List.iter
+            (fun d ->
+              print_endline
+                ("    " ^ Calibro_check.Oracle.divergence_to_string d))
+            r.Calibro_check.Oracle.r_divergences
+        end)
+    (Apps.demo :: Apps.all);
+  if !failed then exit 1

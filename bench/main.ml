@@ -1,17 +1,18 @@
 (* The benchmark entry point: regenerates every table and figure of the
    paper's evaluation. With no arguments, runs the full matrix; pass
-   `table1`..`table7`, `fig2`..`fig6`, `stats` or `bechamel` to run one
-   experiment. *)
+   `table1`..`table7`, `fig2`..`fig6`, `stats`, `bechamel` or
+   `crosscheck` to run one experiment. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|table6|table7|fig2|fig3|fig4|fig6|stats|bechamel|all]"
+    "usage: main.exe [table1|table2|table3|table4|table5|table6|table7|fig2|fig3|fig4|fig6|stats|bechamel|crosscheck|all]"
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match which with
   | "-h" | "--help" -> usage ()
   | "fig2" -> Harness.figure2 ()
+  | "crosscheck" -> Harness.crosscheck ()
   | "table2" -> Harness.table2 ()
   | "table3" -> Harness.table3 ()
   | "bechamel" -> Micro.benchmark ()

@@ -1,0 +1,105 @@
+(* Deliberate mis-transformations of a linked OAT image: the test-only
+   fault hook the oracle is validated against. Each kind simulates a
+   realistic outliner bug; a correctness harness that cannot catch these is
+   not measuring anything.
+
+   - [Mispatch_branch]: a PC-relative branch is re-encoded against the
+     wrong layout (off by one instruction) — the classic section 3.3.4
+     patching bug. Caught by differential execution.
+   - [Corrupt_stackmap]: a stackmap native PC drifts off its safepoint —
+     the section 3.5 repositioning bug. Caught by the structural checker.
+   - [Truncate_outlined]: an outlined body loses its terminating [br x30]
+     so control falls through into the next region. Caught by both.
+
+   Injection returns a deep copy; the input image is never modified. *)
+
+open Calibro_aarch64
+module Oat = Calibro_oat.Oat_file
+
+type kind = Mispatch_branch | Corrupt_stackmap | Truncate_outlined
+
+let all = [ Mispatch_branch; Corrupt_stackmap; Truncate_outlined ]
+
+let to_string = function
+  | Mispatch_branch -> "mispatch-branch"
+  | Corrupt_stackmap -> "corrupt-stackmap"
+  | Truncate_outlined -> "truncate-outlined"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "mispatch-branch" -> Ok Mispatch_branch
+  | "corrupt-stackmap" -> Ok Corrupt_stackmap
+  | "truncate-outlined" -> Ok Truncate_outlined
+  | s -> Error (Printf.sprintf "unknown fault kind %S" s)
+
+let copy (oat : Oat.t) = { oat with Oat.text = Bytes.copy oat.Oat.text }
+
+(* Shift the displacement of one branch by one instruction. The site is
+   chosen deterministically, preferring branches that execute whenever
+   their method runs — an unconditional [b] in an entry method (loop
+   back-edge or join jump) over conditionals, whose taken path may be a
+   cold slowpath the oracle's calls never reach. The shifted target still
+   lands inside the method, so the corruption survives the structural
+   checks and only differential execution can expose it. *)
+let mispatch_branch (oat : Oat.t) : Oat.t option =
+  let oat = copy oat in
+  let sites_of (me : Oat.method_entry) =
+    List.filter_map
+      (fun (off, tgt) ->
+        let word = Encode.word_of_bytes oat.Oat.text (me.Oat.me_offset + off) in
+        match Decode.decode word with
+        | (Isa.B _ | Isa.B_cond _ | Isa.Cbz _ | Isa.Cbnz _) as i
+          when tgt + 4 < me.Oat.me_size ->
+          let rank =
+            match (i, me.Oat.me_is_entry) with
+            | Isa.B _, true -> 0
+            | Isa.B _, false -> 1
+            | _, true -> 2
+            | _, false -> 3
+          in
+          Some (rank, me.Oat.me_offset + off, tgt + 4 - off)
+        | _ -> None)
+      me.Oat.me_meta.Calibro_codegen.Meta.pc_rel
+  in
+  match List.sort compare (List.concat_map sites_of oat.Oat.methods) with
+  | [] -> None
+  | (_, off, disp) :: _ ->
+    Patch.patch_bytes oat.Oat.text ~off ~disp;
+    Some oat
+
+let corrupt_stackmap (oat : Oat.t) : Oat.t option =
+  let hit = ref false in
+  let methods =
+    List.map
+      (fun (me : Oat.method_entry) ->
+        match me.Oat.me_stackmap with
+        | e :: rest when not !hit ->
+          hit := true;
+          { me with
+            Oat.me_stackmap =
+              { e with
+                Calibro_codegen.Stackmap.native_pc =
+                  e.Calibro_codegen.Stackmap.native_pc + 2 }
+              :: rest }
+        | _ -> me)
+      oat.Oat.methods
+  in
+  if !hit then Some { (copy oat) with Oat.methods = methods } else None
+
+let truncate_outlined (oat : Oat.t) : Oat.t option =
+  match oat.Oat.outlined with
+  | [] -> None
+  | ol :: _ ->
+    let oat = copy oat in
+    Encode.word_to_bytes oat.Oat.text
+      (ol.Oat.ol_offset + ol.Oat.ol_size - 4)
+      (Encode.encode Isa.Nop);
+    Some oat
+
+(* Inject [kind] into [oat]. [None] means the image offers no applicable
+   site (e.g. no outlined functions in a CTO-only build). *)
+let inject (kind : kind) (oat : Oat.t) : Oat.t option =
+  match kind with
+  | Mispatch_branch -> mispatch_branch oat
+  | Corrupt_stackmap -> corrupt_stackmap oat
+  | Truncate_outlined -> truncate_outlined oat

@@ -1,0 +1,146 @@
+(* Seeded fuzzing of the outlining pipeline.
+
+   Each seed deterministically perturbs the demo workload profile
+   ({!Calibro_workload.Appgen.perturb_profile}) — pool sizes, perturbation
+   rates, register layouts, method-kind mixes — generates the resulting
+   APK and runs the full differential oracle on it. Same seed, same APK,
+   same verdict: a failing seed number is a complete bug report.
+
+   On failure the APK is shrunk ({!Shrink}) against the same oracle
+   configuration and emitted as a ready-to-paste Alcotest case whose
+   source text is the minimized .dexsim program. *)
+
+open Calibro_dex.Dex_ir
+module Appgen = Calibro_workload.Appgen
+module Apps = Calibro_workload.Apps
+module Dex_text = Calibro_dex.Dex_text
+
+let profile_of_seed seed = Appgen.perturb_profile ~seed Apps.demo
+
+let apk_of_seed seed = (Appgen.generate (profile_of_seed seed)).Appgen.app
+
+type failure = {
+  fl_seed : int;
+  fl_detail : string list;  (** divergence strings, or a build error *)
+  fl_shrunk : apk option;
+  fl_stats : Shrink.stats option;
+}
+
+type outcome = { fz_seeds : int; fz_failures : failure list }
+
+let ok o = o.fz_failures = []
+
+(* ---- Reproduction ------------------------------------------------------- *)
+
+(* Render a failing (ideally shrunk) APK as a self-contained Alcotest
+   case. The body re-parses the minimized .dexsim source and re-runs the
+   oracle, so pasting it into test/ pins the bug without depending on the
+   generator staying bit-stable. *)
+let alcotest_case_of ~seed (apk : apk) : string =
+  let src = Dex_text.to_string apk in
+  Printf.sprintf
+    {|let test_fuzz_seed_%d () =
+  let src = {dex|
+%s|dex} in
+  let apk =
+    match Calibro_dex.Dex_text.parse src with
+    | Ok apk -> apk
+    | Error e -> Alcotest.failf "parse: %%s" e
+  in
+  match Calibro_check.Oracle.run apk with
+  | Error e -> Alcotest.failf "oracle: %%s" e
+  | Ok r ->
+    Alcotest.(check (list string))
+      "no divergences" []
+      (List.map Calibro_check.Oracle.divergence_to_string
+         r.Calibro_check.Oracle.r_divergences)
+|}
+    seed src
+
+(* ---- Single seed -------------------------------------------------------- *)
+
+let report_details = function
+  | Error e -> [ e ]
+  | Ok (r : Oracle.report) ->
+    List.map Oracle.divergence_to_string r.Oracle.r_divergences
+
+let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true) seed :
+    failure option =
+  let apk = apk_of_seed seed in
+  match Oracle.run ?configs ~mutate apk with
+  | Ok r when Oracle.ok r -> None
+  | report ->
+    let shrunk, stats =
+      if shrink then begin
+        (* Shrinking re-runs the oracle per candidate deletion, so narrow
+           it to the configurations that actually diverged (falling back
+           to the original set for build errors or baseline faults) and
+           bound the baseline fuel by the original run: a candidate whose
+           baseline needs much more fuel than the whole original APK is a
+           manufactured infinite loop, not a smaller reproducer. *)
+        let configs, baseline_fuel =
+          match report with
+          | Error _ -> (configs, None)
+          | Ok r ->
+            let bad =
+              List.sort_uniq compare
+                (List.map (fun d -> d.Oracle.dv_config) r.Oracle.r_divergences)
+            in
+            let configs =
+              match
+                List.filter
+                  (fun (c : Calibro_core.Config.t) ->
+                    List.mem c.Calibro_core.Config.name bad)
+                  r.Oracle.r_config_set
+              with
+              | [] -> configs
+              | cs -> Some cs
+            in
+            (configs, Some ((4 * r.Oracle.r_baseline_retired) + 250_000))
+        in
+        let still_failing a =
+          Oracle.fails ?baseline_fuel ?configs ~mutate a
+        in
+        let a, st = Shrink.shrink ~still_failing apk in
+        (Some a, Some st)
+      end
+      else (None, None)
+    in
+    Some
+      { fl_seed = seed; fl_detail = report_details report;
+        fl_shrunk = shrunk; fl_stats = stats }
+
+(* ---- The loop ----------------------------------------------------------- *)
+
+(* [log] receives one line per event (seed started, failure found);
+   the CLI wires it to stderr, tests leave it silent. *)
+let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink
+    ?(log = fun (_ : string) -> ()) () : outcome =
+  let failures = ref [] in
+  for i = 0 to seeds - 1 do
+    let seed = base_seed + i in
+    let profile = profile_of_seed seed in
+    log
+      (Printf.sprintf "seed %d: app %s (%d-ish methods)" seed
+         profile.Appgen.p_name
+         (profile.Appgen.p_n_arith + profile.Appgen.p_n_field
+        + profile.Appgen.p_n_serializer + profile.Appgen.p_n_compute
+        + profile.Appgen.p_n_dispatcher + profile.Appgen.p_n_glue));
+    match run_seed ?configs ?mutate ?shrink seed with
+    | None -> ()
+    | Some f ->
+      log
+        (Printf.sprintf "seed %d FAILED:\n  %s" seed
+           (String.concat "\n  " f.fl_detail));
+      (match f.fl_stats with
+       | Some st ->
+         log
+           (Printf.sprintf
+              "seed %d shrunk: %d -> %d methods, %d -> %d insns (%d oracle runs)"
+              seed st.Shrink.s_methods_before st.Shrink.s_methods_after
+              st.Shrink.s_insns_before st.Shrink.s_insns_after
+              st.Shrink.s_predicate_runs)
+       | None -> ());
+      failures := f :: !failures
+  done;
+  { fz_seeds = seeds; fz_failures = List.rev !failures }

@@ -1,0 +1,189 @@
+(* Structural invariants of a linked OAT image.
+
+   The differential oracle ({!Oracle}) checks that a transformed binary
+   *behaves* like the baseline; the checks here assert that it is
+   *well-formed* regardless of what the interaction script happens to
+   execute. Together they are the machine-checked version of the paper's
+   section 3.3 safety argument: LTBO.2 rewrites encoded bytes, repositions
+   stackmaps and patches PC-relative instructions, and none of that may
+   leave a dangling branch, a mis-ordered stackmap or an outlined body
+   that does not return.
+
+   Checks:
+   - serialize/parse round-trip of the on-disk OAT format;
+   - region layout: methods, thunks and outlined functions tile the text
+     segment without overlap, word-aligned;
+   - stackmaps: native PCs word-aligned, strictly inside their method,
+     monotonically increasing (section 3.5);
+   - branch closure: every relocated [bl] lands on the start of a method,
+     thunk or outlined function, no unrelocated [bl sym] survives linking,
+     and every intra-method PC-relative branch or address formation stays
+     inside its own region;
+   - outlined bodies end in [br x30] and contain no control flow before it
+     (calls and terminators are sequence separators, so none may appear). *)
+
+open Calibro_aarch64
+open Calibro_codegen
+module Oat = Calibro_oat.Oat_file
+
+type violation = { v_check : string; v_where : string; v_detail : string }
+
+let violation_to_string v =
+  Printf.sprintf "[%s] %s: %s" v.v_check v.v_where v.v_detail
+
+(* ---- Individual checkers ---------------------------------------------- *)
+
+let check_roundtrip (oat : Oat.t) : violation list =
+  match Oat.of_bytes (Oat.to_bytes oat) with
+  | Error e ->
+    [ { v_check = "roundtrip"; v_where = oat.Oat.apk_name;
+        v_detail = "parse failed: " ^ e } ]
+  | Ok oat' ->
+    if oat' = oat then []
+    else
+      [ { v_check = "roundtrip"; v_where = oat.Oat.apk_name;
+          v_detail = "re-parsed image differs from the original" } ]
+
+let check_layout (oat : Oat.t) : violation list =
+  let text_size = Oat.text_size oat in
+  let vs = ref [] in
+  let bad r fmt =
+    Fmt.kstr
+      (fun d ->
+        vs :=
+          { v_check = "layout"; v_where = Oat.region_name r; v_detail = d }
+          :: !vs)
+      fmt
+  in
+  let regions = Oat.regions oat in
+  List.iter
+    (fun (r : Oat.region) ->
+      if r.Oat.rg_offset mod 4 <> 0 then
+        bad r "offset %d not word-aligned" r.Oat.rg_offset;
+      if r.Oat.rg_size mod 4 <> 0 then
+        bad r "size %d not word-aligned" r.Oat.rg_size;
+      if r.Oat.rg_size < 0 || r.Oat.rg_offset < 0
+         || r.Oat.rg_offset + r.Oat.rg_size > text_size
+      then
+        bad r "extent [%d, %d) outside text of %d bytes" r.Oat.rg_offset
+          (r.Oat.rg_offset + r.Oat.rg_size)
+          text_size)
+    regions;
+  (* Regions sorted by offset must not overlap. *)
+  let rec overlap = function
+    | (a : Oat.region) :: (b :: _ as rest) ->
+      if a.Oat.rg_offset + a.Oat.rg_size > b.Oat.rg_offset then
+        bad b "overlaps preceding region %s" (Oat.region_name a);
+      overlap rest
+    | _ -> ()
+  in
+  overlap regions;
+  List.rev !vs
+
+let check_stackmaps (oat : Oat.t) : violation list =
+  List.filter_map
+    (fun (me : Oat.method_entry) ->
+      match Stackmap.validate me.Oat.me_stackmap ~code_size:me.Oat.me_size with
+      | Ok () -> None
+      | Error e ->
+        Some
+          { v_check = "stackmap";
+            v_where = Calibro_dex.Dex_ir.method_ref_to_string me.Oat.me_name;
+            v_detail = e })
+    oat.Oat.methods
+
+(* Branch closure. Embedded data ranges (known from the LTBO.1 metadata)
+   are skipped: they are not instructions and may decode as anything. *)
+let check_branches (oat : Oat.t) : violation list =
+  let starts = Oat.region_starts oat in
+  let vs = ref [] in
+  let bad ~where fmt =
+    Fmt.kstr
+      (fun d ->
+        vs := { v_check = "branch"; v_where = where; v_detail = d } :: !vs)
+      fmt
+  in
+  let check_region ~where ~embedded ~offset ~size =
+    let n_words = size / 4 in
+    for w = 0 to n_words - 1 do
+      let off = w * 4 in
+      if not (List.exists (fun r -> Meta.in_range r off) embedded) then begin
+        let word = Encode.word_of_bytes oat.Oat.text (offset + off) in
+        match Decode.decode word with
+        | Isa.Bl { target = Isa.Sym s } ->
+          bad ~where "unrelocated bl (sym %d) at +%#x" s off
+        | Isa.Bl { target = Isa.Rel disp } ->
+          let target = offset + off + disp in
+          if not (Hashtbl.mem starts target) then
+            bad ~where "bl at +%#x targets %#x, not a region start" off
+              target
+        | ( Isa.B _ | Isa.B_cond _ | Isa.Cbz _ | Isa.Cbnz _ | Isa.Tbz _
+          | Isa.Tbnz _ | Isa.Adr _ | Isa.Ldr_lit _ ) as i ->
+          (* Intra-region PC-relative forms: codegen only emits these
+             against targets inside the same method (branches, embedded
+             pools, switch tables), and outlining must preserve that. *)
+          let disp = Option.get (Isa.pc_rel_disp i) in
+          let target = off + disp in
+          if target < 0 || target >= size then
+            bad ~where
+              "pc-relative %s at +%#x escapes its region (target %+d)"
+              (Disasm.to_string i) off target
+        | _ -> ()
+      end
+    done
+  in
+  List.iter
+    (fun (me : Oat.method_entry) ->
+      check_region
+        ~where:(Calibro_dex.Dex_ir.method_ref_to_string me.Oat.me_name)
+        ~embedded:me.Oat.me_meta.Meta.embedded ~offset:me.Oat.me_offset
+        ~size:me.Oat.me_size)
+    oat.Oat.methods;
+  List.rev !vs
+
+let check_outlined (oat : Oat.t) : violation list =
+  let vs = ref [] in
+  let bad ~where fmt =
+    Fmt.kstr
+      (fun d ->
+        vs := { v_check = "outlined"; v_where = where; v_detail = d } :: !vs)
+      fmt
+  in
+  List.iter
+    (fun (ol : Oat.outlined_entry) ->
+      let where = Printf.sprintf "outlined@%#x" ol.Oat.ol_offset in
+      if ol.Oat.ol_size < 8 then
+        bad ~where "body of %d bytes cannot hold a sequence plus br x30"
+          ol.Oat.ol_size
+      else begin
+        let last =
+          Encode.word_of_bytes oat.Oat.text
+            (ol.Oat.ol_offset + ol.Oat.ol_size - 4)
+        in
+        (match Decode.decode last with
+         | Isa.Br r when r = Isa.lr -> ()
+         | i -> bad ~where "body ends in %s, not br x30" (Disasm.to_string i));
+        (* The body proper must be straight-line: calls, terminators and
+           LR-touching instructions are sequence separators and can never
+           be harvested into an outlined function. *)
+        for w = 0 to (ol.Oat.ol_size / 4) - 2 do
+          let word = Encode.word_of_bytes oat.Oat.text (ol.Oat.ol_offset + (w * 4)) in
+          let i = Decode.decode word in
+          if Isa.is_terminator i || Isa.is_call i || Isa.reads_lr i
+             || Isa.writes_lr i
+          then
+            bad ~where "separator-class instruction %s inside body at +%#x"
+              (Disasm.to_string i) (w * 4)
+        done
+      end)
+    oat.Oat.outlined;
+  List.rev !vs
+
+(* ---- Entry point -------------------------------------------------------- *)
+
+let all_checks =
+  [ check_roundtrip; check_layout; check_stackmaps; check_branches;
+    check_outlined ]
+
+let check (oat : Oat.t) : violation list =
+  List.concat_map (fun f -> f oat) all_checks

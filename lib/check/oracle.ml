@@ -1,0 +1,216 @@
+(* The differential-execution oracle.
+
+   `lib/vm/interp.ml` names "differential execution against an un-outlined
+   build" as the correctness oracle for the whole system; this module is
+   that oracle. One APK is compiled under {!Config.baseline} and under each
+   Calibro configuration; every entry method is invoked with the same
+   arguments in both builds; outcomes ([Returned]/[Thrown]) and the
+   pLogValue streams must be identical. Every transformed build also passes
+   the structural checks of {!Invariants}.
+
+   A machine-level [Fault] in *any* build is a failure by itself: the
+   simulator only faults on real bugs (wild pc, executed data, unrelocated
+   calls), never as part of modeled program behavior. *)
+
+open Calibro_core
+open Calibro_dex.Dex_ir
+module Interp = Calibro_vm.Interp
+module Oat = Calibro_oat.Oat_file
+
+type call = { c_method : method_ref; c_args : int list }
+
+type divergence = {
+  dv_config : string;
+  dv_call : call option;  (** [None] for build/invariant failures *)
+  dv_detail : string;
+}
+
+let divergence_to_string d =
+  match d.dv_call with
+  | None -> Printf.sprintf "[%s] %s" d.dv_config d.dv_detail
+  | Some c ->
+    Printf.sprintf "[%s] %s(%s): %s" d.dv_config
+      (method_ref_to_string c.c_method)
+      (String.concat "," (List.map string_of_int c.c_args))
+      d.dv_detail
+
+type report = {
+  r_apk : string;
+  r_configs : string list;
+  r_config_set : Config.t list;
+      (** the resolved configurations actually checked; lets callers
+          re-run or shrink against exactly the ones that diverged *)
+  r_calls : int;              (** calls exercised per configuration *)
+  r_baseline_retired : int;
+      (** instructions the baseline run retired; the fuel bound for
+          re-runs on shrunk candidates derives from it *)
+  r_divergences : divergence list;
+}
+
+let ok r = r.r_divergences = []
+
+(* ---- Call-list derivation ---------------------------------------------- *)
+
+(* Deterministic argument vectors: every entry method is driven with a few
+   fixed shapes (zero, small, mixed-sign was rejected — args are modeled as
+   non-negative Java ints in the workload) padded to its arity. *)
+let default_calls (oat : Oat.t) : call list =
+  let shapes = [ [ 7; 3 ]; [ 1; 1 ]; [ 40; 9 ] ] in
+  List.concat_map
+    (fun (me : Oat.method_entry) ->
+      List.map
+        (fun shape ->
+          let args =
+            List.init me.Oat.me_num_params (fun i ->
+                match List.nth_opt shape i with Some v -> v | None -> 2)
+          in
+          { c_method = me.Oat.me_name; c_args = args })
+        shapes)
+    (Oat.entry_methods oat)
+
+let outcome_to_string = function
+  | Interp.Returned v -> Printf.sprintf "returned %d" v
+  | Interp.Thrown fn -> "threw " ^ runtime_fn_name fn
+  | Interp.Fault m -> "FAULT: " ^ m
+
+(* ---- Running one build --------------------------------------------------- *)
+
+(* Execute [calls] against [oat] on a fresh simulator; returns per-call
+   (outcome, log slice). One interpreter instance serves all calls, like a
+   real app session: heap state carries across calls identically in both
+   builds, so it cancels out of the comparison. *)
+let run_calls ~fuel (oat : Oat.t) (calls : call list) =
+  let t = Interp.load ~fuel oat in
+  (t, List.map (fun c -> Interp.call_traced t c.c_method c.c_args) calls)
+
+let default_baseline_fuel = 100_000_000
+
+(* Fuel for a transformed build, derived from the instructions the
+   baseline actually retired: outlining only adds thunk/call overhead, so
+   a healthy build stays well under 4x. A mis-patched build that spins
+   forever faults "out of fuel" within a few baseline-equivalents instead
+   of grinding through the interpreter's default half-billion steps —
+   this is what keeps the shrinker's per-candidate oracle runs cheap. *)
+let transformed_fuel ~baseline_retired = (4 * baseline_retired) + 250_000
+
+let compare_runs ~config_name ~calls base_results results : divergence list =
+  let divs = ref [] in
+  List.iteri
+    (fun i ((b_out, b_log), (t_out, t_log)) ->
+      let call = List.nth calls i in
+      let add detail =
+        divs := { dv_config = config_name; dv_call = Some call;
+                  dv_detail = detail } :: !divs
+      in
+      (match t_out with
+       | Interp.Fault m -> add ("machine fault: " ^ m)
+       | _ -> ());
+      if b_out <> t_out then
+        add
+          (Printf.sprintf "outcome %s, baseline %s" (outcome_to_string t_out)
+             (outcome_to_string b_out))
+      else if b_log <> t_log then
+        add
+          (Printf.sprintf "log [%s], baseline [%s]"
+             (String.concat ";" (List.map string_of_int t_log))
+             (String.concat ";" (List.map string_of_int b_log))))
+    (List.combine base_results results);
+  List.rev !divs
+
+(* ---- The oracle ----------------------------------------------------------- *)
+
+(* Check [apk] under [configs] (default: the {!Config.matrix} with a
+   hot set profiled from the baseline run, i.e. the full Figure 6 loop).
+   [mutate] is the test-only fault hook: it sees every transformed build
+   (config name first) before checking and may return a corrupted image.
+   [calls] defaults to all entry methods under the standard argument
+   shapes. *)
+let run ?(baseline_fuel = default_baseline_fuel) ?configs
+    ?(mutate = fun _ oat -> oat) ?calls (apk : apk) : (report, string) result =
+  match Pipeline.build ~config:Config.baseline apk with
+  | exception Pipeline.Build_error e -> Error ("baseline build failed: " ^ e)
+  | base ->
+    let calls =
+      match calls with
+      | Some cs -> cs
+      | None -> default_calls base.Pipeline.b_oat
+    in
+    let base_interp, base_results =
+      run_calls ~fuel:baseline_fuel base.Pipeline.b_oat calls
+    in
+    let baseline_retired = Interp.instructions_retired base_interp in
+    let fuel = transformed_fuel ~baseline_retired in
+    let divergences = ref [] in
+    (* Baseline faults mean the substrate itself is broken; report them
+       under the baseline's own name so they are never attributed to an
+       outlining configuration. *)
+    List.iteri
+      (fun i (out, _) ->
+        match out with
+        | Interp.Fault m ->
+          divergences :=
+            { dv_config = Config.baseline.Config.name;
+              dv_call = Some (List.nth calls i);
+              dv_detail = "machine fault: " ^ m }
+            :: !divergences
+        | _ -> ())
+      base_results;
+    let configs =
+      match configs with
+      | Some cs -> cs
+      | None ->
+        let hot_methods =
+          Calibro_profile.Profile.hot_set
+            (Calibro_profile.Profile.of_interp base_interp)
+        in
+        Config.matrix ~hot_methods ()
+    in
+    List.iter
+      (fun (config : Config.t) ->
+        let name = config.Config.name in
+        match Pipeline.build ~config apk with
+        | exception Pipeline.Build_error e ->
+          divergences :=
+            { dv_config = name; dv_call = None;
+              dv_detail = "build failed: " ^ e }
+            :: !divergences
+        | b ->
+          let oat = mutate name b.Pipeline.b_oat in
+          let invs = Invariants.check oat in
+          List.iter
+            (fun v ->
+              divergences :=
+                { dv_config = name; dv_call = None;
+                  dv_detail = Invariants.violation_to_string v }
+                :: !divergences)
+            invs;
+          let _, results = run_calls ~fuel oat calls in
+          divergences :=
+            List.rev_append
+              (List.rev (compare_runs ~config_name:name ~calls base_results
+                           results))
+              !divergences)
+      configs;
+    Ok
+      { r_apk = apk.apk_name;
+        r_configs = List.map (fun (c : Config.t) -> c.Config.name) configs;
+        r_config_set = configs;
+        r_calls = List.length calls;
+        r_baseline_retired = baseline_retired;
+        r_divergences = List.rev !divergences }
+
+(* Shrinking predicate: does [apk] reproduce an *outlining* failure? A
+   candidate whose baseline side is itself broken — the baseline build
+   fails, or the baseline run faults (instruction deletion routinely
+   manufactures infinite loops that exhaust fuel in every build alike) —
+   is rejected: it no longer witnesses a transformation bug. *)
+let fails ?baseline_fuel ?configs ?(mutate = fun _ oat -> oat) ?calls apk =
+  match run ?baseline_fuel ?configs ~mutate ?calls apk with
+  | Error _ -> false
+  | Ok r ->
+    let baseline_bad =
+      List.exists
+        (fun d -> d.dv_config = Config.baseline.Config.name)
+        r.r_divergences
+    in
+    (not baseline_bad) && r.r_divergences <> []

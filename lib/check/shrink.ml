@@ -1,0 +1,148 @@
+(* Failure minimization: given an APK on which some failure predicate
+   holds (normally [Oracle.fails] restricted to the configurations that
+   diverged), greedily shrink it to a small APK that still fails.
+
+   Two phases:
+   1. drop whole methods — a candidate is valid iff the reduced APK still
+      passes {!Dex_check} (dropping a callee invalidates its callers, and
+      such candidates are simply skipped) and still fails the predicate;
+   2. drop instruction ranges inside the surviving methods, ddmin-style:
+      halves first, then ever smaller chunks down to single instructions,
+      remapping branch labels across the hole.
+
+   The predicate is re-evaluated for every candidate, so the dominant
+   cost is one oracle run per attempted deletion; [budget] caps the total
+   number of predicate evaluations and the loop stops cleanly when it is
+   exhausted. The result is minimal-per-phase in the delta-debugging
+   sense, not globally minimal — good enough to paste into a test. *)
+
+open Calibro_dex.Dex_ir
+module Dex_check = Calibro_dex.Dex_check
+
+type stats = {
+  s_methods_before : int;
+  s_methods_after : int;
+  s_insns_before : int;
+  s_insns_after : int;
+  s_predicate_runs : int;
+}
+
+let max_passes = 4
+(* Method-phase fixpoint cap: greedy passes over a shrinking method list
+   converge fast; anything still shrinking after four sweeps is chasing
+   marginal deletions at full oracle cost. *)
+
+(* ---- APK surgery -------------------------------------------------------- *)
+
+let filter_methods keep (apk : apk) : apk =
+  let dexes =
+    List.filter_map
+      (fun d ->
+        let classes =
+          List.filter_map
+            (fun c ->
+              let cls_methods = List.filter keep c.cls_methods in
+              if cls_methods = [] then None else Some { c with cls_methods })
+            d.classes
+        in
+        if classes = [] then None else Some { d with classes })
+      apk.dexes
+  in
+  { apk with dexes }
+
+let map_labels f = function
+  | If (c, a, b, l) -> If (c, a, b, f l)
+  | Ifz (c, a, l) -> Ifz (c, a, f l)
+  | Goto l -> Goto (f l)
+  | Switch (v, ls) -> Switch (v, List.map f ls)
+  | i -> i
+
+(* Remove instructions [i, i+k) from [m]. Labels past the hole shift down
+   by [k]; labels into the hole are clamped to the old successor, which
+   now sits at index [i]. A label left dangling past the new end is
+   caught by {!Dex_check} and the candidate discarded. *)
+let drop_range (m : meth) i k : meth =
+  let n = Array.length m.insns in
+  let remap l = if l >= i + k then l - k else if l >= i then i else l in
+  let insns =
+    Array.init (n - k) (fun j ->
+        map_labels remap m.insns.(if j < i then j else j + k))
+  in
+  { m with insns }
+
+let replace_method (apk : apk) (m : meth) : apk =
+  let swap c =
+    { c with
+      cls_methods =
+        List.map (fun m' -> if m'.name = m.name then m else m') c.cls_methods }
+  in
+  { apk with
+    dexes =
+      List.map (fun d -> { d with classes = List.map swap d.classes }) apk.dexes }
+
+(* ---- The shrink loop ---------------------------------------------------- *)
+
+let shrink ?(budget = 500) ~(still_failing : apk -> bool) (apk : apk) :
+    apk * stats =
+  let runs = ref 0 in
+  let failing a =
+    (* An exhausted budget rejects every further candidate, so the loops
+       below wind down without a separate exit path. *)
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      still_failing a
+    end
+  in
+  let valid a = match Dex_check.check a with Ok () -> true | Error _ -> false in
+  (* Phase 1: whole methods. Each pass walks the current method list and
+     greedily commits every deletion that keeps the APK failing. *)
+  let current = ref apk in
+  let progress = ref true in
+  let passes = ref 0 in
+  while !progress && !passes < max_passes do
+    progress := false;
+    incr passes;
+    List.iter
+      (fun (m : meth) ->
+        let candidate = filter_methods (fun m' -> m'.name <> m.name) !current in
+        if method_count candidate > 0 && valid candidate && failing candidate
+        then begin
+          current := candidate;
+          progress := true
+        end)
+      (methods_of_apk !current)
+  done;
+  (* Phase 2: instruction ranges, per surviving method. Chunk size starts
+     at half the body and halves on every chunk-sweep that makes no
+     progress; chunk size 1 is the greedy single-instruction pass. *)
+  List.iter
+    (fun (m : meth) ->
+      if not m.is_native then begin
+        let cur = ref (Option.value ~default:m (find_method !current m.name)) in
+        let chunk = ref (max 1 (Array.length !cur.insns / 2)) in
+        while !chunk >= 1 && !runs < budget do
+          let i = ref 0 in
+          let progressed = ref false in
+          while !i + !chunk <= Array.length !cur.insns && !runs < budget do
+            let candidate = replace_method !current (drop_range !cur !i !chunk) in
+            if valid candidate && failing candidate then begin
+              current := candidate;
+              cur := Option.get (find_method candidate m.name);
+              progressed := true
+              (* [i] stays put: the next chunk slid into its place. *)
+            end
+            else i := !i + !chunk
+          done;
+          if !progressed then
+            chunk := min !chunk (max 1 (Array.length !cur.insns / 2))
+          else chunk := !chunk / 2
+        done
+      end)
+    (methods_of_apk !current);
+  ( !current,
+    { s_methods_before = method_count apk;
+      s_methods_after = method_count !current;
+      s_insns_before = insn_count apk;
+      s_insns_after = insn_count !current;
+      s_predicate_runs = !runs } )

@@ -36,6 +36,46 @@ let cto_ltbo_pl_hf ?(k = 8) ~hot_methods () =
   { cto_ltbo with name = "CTO+LTBO+PlOpti+HfOpti"; parallel_trees = k;
     hot_methods }
 
+(* The configuration matrix the correctness oracle sweeps: every evaluated
+   Calibro variant, exercising CTO alone, the single global suffix tree,
+   PlOpti at several K (partition boundaries move, so different cross-tree
+   blindness), multi-round outlining and hot-function filtering. *)
+let matrix ?(hot_methods = []) () =
+  [ cto;
+    cto_ltbo;
+    { cto_ltbo with name = "CTO+LTBO+PlOpti(2)"; parallel_trees = 2 };
+    { cto_ltbo with name = "CTO+LTBO+PlOpti(8)"; parallel_trees = 8 };
+    { cto_ltbo with name = "CTO+LTBO+Rounds(2)"; ltbo_rounds = 2 } ]
+  @
+  if hot_methods = [] then []
+  else [ cto_ltbo_pl_hf ~k:8 ~hot_methods () ]
+
+(* Parse a configuration name, for the CLI's --configs flag: "baseline",
+   "cto", "ltbo", "plK" (K parallel trees), "roundsN", "hf" (hot-function
+   filtering, needs a profile-derived hot set). *)
+let of_string ?(hot_methods = []) s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let num ~prefix =
+    let p = String.length prefix in
+    int_of_string_opt (String.sub s p (String.length s - p))
+  in
+  match s with
+  | "baseline" -> Ok baseline
+  | "cto" -> Ok cto
+  | "ltbo" -> Ok cto_ltbo
+  | "hf" ->
+    Ok { (cto_ltbo_pl_hf ~k:8 ~hot_methods ()) with name = "hf" }
+  | _ when String.length s > 2 && String.sub s 0 2 = "pl" -> (
+    match num ~prefix:"pl" with
+    | Some k when k >= 1 ->
+      Ok { cto_ltbo with name = s; parallel_trees = k }
+    | _ -> Error (Printf.sprintf "bad parallel-tree count in %S" s))
+  | _ when String.length s > 6 && String.sub s 0 6 = "rounds" -> (
+    match num ~prefix:"rounds" with
+    | Some n when n >= 1 -> Ok { cto_ltbo with name = s; ltbo_rounds = n }
+    | _ -> Error (Printf.sprintf "bad round count in %S" s))
+  | _ -> Error (Printf.sprintf "unknown configuration %S" s)
+
 let is_hot t =
   let tbl = Hashtbl.create 16 in
   List.iter (fun m -> Hashtbl.replace tbl m ()) t.hot_methods;

@@ -42,6 +42,53 @@ let method_by_slot t slot =
 
 let entry_methods t = List.filter (fun m -> m.me_is_entry) t.methods
 
+(* ---- Region table -------------------------------------------------------
+
+   A uniform view of the text-segment layout — every method, CTO thunk and
+   LTBO outlined function with its byte extent. The correctness tooling
+   (Calibro_check) walks this to check that branch targets land on region
+   starts, that regions tile the segment, and that outlined bodies are
+   well-formed. *)
+
+type region_kind =
+  | Region_method of method_entry
+  | Region_thunk of thunk_entry
+  | Region_outlined of outlined_entry
+
+type region = { rg_kind : region_kind; rg_offset : int; rg_size : int }
+
+let region_name = function
+  | { rg_kind = Region_method me; _ } -> method_ref_to_string me.me_name
+  | { rg_kind = Region_thunk th; _ } ->
+    Printf.sprintf "thunk@%#x" th.th_offset
+  | { rg_kind = Region_outlined ol; _ } ->
+    Printf.sprintf "outlined@%#x" ol.ol_offset
+
+let regions t =
+  List.map
+    (fun me ->
+      { rg_kind = Region_method me; rg_offset = me.me_offset;
+        rg_size = me.me_size })
+    t.methods
+  @ List.map
+      (fun th ->
+        { rg_kind = Region_thunk th; rg_offset = th.th_offset;
+          rg_size = th.th_size })
+      t.thunks
+  @ List.map
+      (fun ol ->
+        { rg_kind = Region_outlined ol; rg_offset = ol.ol_offset;
+          rg_size = ol.ol_size })
+      t.outlined
+  |> List.sort (fun a b -> compare a.rg_offset b.rg_offset)
+
+(* The set of offsets where a region starts: the only legal [bl] landing
+   pads after linking. *)
+let region_starts t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace tbl r.rg_offset r) (regions t);
+  tbl
+
 (* Size of the non-code ("data") portion the runtime keeps resident:
    method headers and stackmaps (the auxiliary information of paper section
    3.5), plus a fixed header page. Used by the memory-usage experiment

@@ -366,6 +366,22 @@ let call t (name : method_ref) (args : int list) =
       run t
     end
 
+(* Like {!call}, but also return the pLogValue entries emitted by this
+   invocation alone (oldest first). The differential oracle compares these
+   per-call slices so a divergence is attributed to the entry method that
+   produced it rather than to the whole session. *)
+let call_traced t (name : method_ref) (args : int list) =
+  let before = List.length t.machine.M.log in
+  let outcome = call t name args in
+  let after = t.machine.M.log in
+  (* The log is newest-first; prepending the first [length after - before]
+     entries flips the slice back to emission order. *)
+  let rec take acc k = function
+    | v :: rest when k > 0 -> take (v :: acc) (k - 1) rest
+    | _ -> acc
+  in
+  (outcome, take [] (List.length after - before) after)
+
 (* ---- Measurements -------------------------------------------------------- *)
 
 let cycles t = t.cost.Cost.cycles

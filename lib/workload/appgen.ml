@@ -38,6 +38,35 @@ type profile = {
   p_script_repeats : int;   (** interaction-script iterations *)
 }
 
+(* Deterministically jitter every generation knob of [base] from [seed]:
+   the input distribution of the fuzzing harness. Each seed yields a
+   distinct pool size, perturbation rate, layout diversity and method-kind
+   mix (including degenerate corners: a single layout, a tiny idiom pool,
+   zero dispatchers), while the population stays small enough that a full
+   multi-configuration differential check runs in well under a second. *)
+let perturb_profile ~seed (base : profile) : profile =
+  let rng = Random.State.make [| 0x5EED; seed |] in
+  let jitter lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  { p_name = Printf.sprintf "%s_s%d" base.p_name seed;
+    p_seed = seed * 7919 + 13;
+    p_n_arith = jitter 4 14;
+    p_idiom_pool = jitter 2 24;
+    p_idioms_per_method = jitter 1 8;
+    p_perturb = float_of_int (Random.State.int rng 35) /. 100.0;
+    p_filler = jitter 0 16;
+    p_layouts = jitter 1 24;
+    p_n_field = jitter 0 4;
+    p_field_stanzas = jitter 3 14;
+    p_n_serializer = jitter 0 3;
+    p_serializer_stanzas = jitter 3 14;
+    p_n_compute = jitter 0 2;
+    p_compute_iters = jitter 4 40;
+    p_n_dispatcher = jitter 0 3;
+    p_n_strings = jitter 0 3;
+    p_n_native = jitter 0 2;
+    p_n_glue = jitter 1 4;
+    p_script_repeats = jitter 1 3 }
+
 type script_step = { sc_method : method_ref; sc_args : int list; sc_repeat : int }
 type script = script_step list
 

@@ -9,4 +9,5 @@ let () =
       ("core", Test_core.suite);
       ("oat", Test_oat.suite);
       ("workload", Test_workload.suite);
-      ("edge", Test_edge.suite) ]
+      ("edge", Test_edge.suite);
+      ("check", Test_check.suite) ]

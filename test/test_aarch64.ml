@@ -204,6 +204,77 @@ let patch_props =
          | Some 8192 -> true
          | _ -> false))
 
+(* ---- Template-table round-trip ---------------------------------------- *)
+
+(* One deterministic representative per ISA template, plus both extreme
+   displacements of every PC-relative form (bits x scale from encode.ml:
+   26-bit for b/bl, 19-bit for b.cond/cbz/cbnz/ldr literal, 14-bit for
+   tbz/tbnz, the raw 21-bit byte immediate for adr and page-scaled 21-bit
+   for adrp). The QCheck round-trip above samples the interior; this table
+   pins the corners, where sign extension and field scaling break first. *)
+let template_table =
+  let b_max = ((1 lsl 25) - 1) * 4 and b_min = -(1 lsl 25) * 4 in
+  let c_max = ((1 lsl 18) - 1) * 4 and c_min = -(1 lsl 18) * 4 in
+  let t_max = ((1 lsl 13) - 1) * 4 and t_min = -(1 lsl 13) * 4 in
+  let adr_max = (1 lsl 20) - 1 and adr_min = -(1 lsl 20) in
+  let adrp_max = ((1 lsl 20) - 1) * 4096 and adrp_min = -(1 lsl 20) * 4096 in
+  [ Nop; Ret; Brk 0xffff; Blr x16; Br lr;
+    Add_sub_imm { op = ADD; size = X; set_flags = false; rd = 0; rn = 1;
+                  imm12 = 0xfff; shift12 = true };
+    Add_sub_reg { op = SUB; size = W; set_flags = true; rd = 2; rn = 3; rm = 4 };
+    Logic_reg { op = EOR; size = X; rd = 5; rn = 6; rm = 7 };
+    Mov_wide { kind = MOVN; size = X; rd = 8; imm16 = 0xffff; hw = 3 };
+    Mul { size = W; rd = 9; rn = 10; rm = 11 };
+    Sdiv { size = X; rd = 12; rn = 13; rm = 14 };
+    Msub { size = X; rd = 15; rn = 16; rm = 17; ra = 18 };
+    Ldr { size = X; rt = 19; rn = 20; imm = 0xfff * 8 };
+    Str { size = W; rt = 21; rn = 22; imm = 0xfff * 4 };
+    Ldp { size = X; rt = 23; rt2 = 24; rn = sp; imm = -512; mode = Pre };
+    Stp { size = X; rt = 25; rt2 = 26; rn = sp; imm = 504; mode = Post };
+    (* PC-relative forms at both extremes and zero *)
+    B { disp = b_max }; B { disp = b_min }; B { disp = 0 };
+    Bl { target = Rel b_max }; Bl { target = Rel b_min };
+    B_cond { cond = LE; disp = c_max }; B_cond { cond = EQ; disp = c_min };
+    Cbz { size = X; rt = 27; disp = c_max };
+    Cbnz { size = W; rt = 28; disp = c_min };
+    Tbz { rt = 29; bit = 63; disp = t_max };
+    Tbnz { rt = 30; bit = 0; disp = t_min };
+    Ldr_lit { size = X; rt = 0; disp = c_max };
+    Ldr_lit { size = W; rt = 1; disp = c_min };
+    Adr { rd = 2; disp = adr_max }; Adr { rd = 3; disp = adr_min };
+    Adr { rd = 4; disp = 1 } (* adr takes unscaled byte offsets *);
+    Adrp { rd = 5; disp = adrp_max }; Adrp { rd = 6; disp = adrp_min } ]
+
+let template_roundtrip_tests =
+  [ Alcotest.test_case "template table: decode (encode i) = i" `Quick
+      (fun () ->
+        List.iter
+          (fun i ->
+            let w = Encode.encode i in
+            let i' = Decode.decode w in
+            if i' <> i then
+              Alcotest.failf "%s (%#x) decoded to %s" (Disasm.to_string i) w
+                (Disasm.to_string i'))
+          template_table);
+    Alcotest.test_case "displacements beyond the field are rejected" `Quick
+      (fun () ->
+        let rejects i =
+          match Encode.encode i with
+          | exception Encode.Error _ -> ()
+          | w ->
+            Alcotest.failf "%s encoded to %#x past its range"
+              (Disasm.to_string i) w
+        in
+        rejects (B { disp = (1 lsl 25) * 4 });
+        rejects (B { disp = (-(1 lsl 25) * 4) - 4 });
+        rejects (B { disp = 2 }) (* not word-aligned *);
+        rejects (B_cond { cond = EQ; disp = (1 lsl 18) * 4 });
+        rejects (Cbz { size = X; rt = 0; disp = (-(1 lsl 18) * 4) - 4 });
+        rejects (Tbz { rt = 0; bit = 0; disp = (1 lsl 13) * 4 });
+        rejects (Adr { rd = 0; disp = 1 lsl 20 });
+        rejects (Adrp { rd = 0; disp = 4096 + 1 } (* not page-aligned *)))
+  ]
+
 let unit_tests =
   [ Alcotest.test_case "data word roundtrips" `Quick (fun () ->
         let w = 0xDEADBEEF in
@@ -292,6 +363,6 @@ let unit_tests =
   ]
 
 let suite =
-  golden_encodings @ unit_tests
+  golden_encodings @ template_roundtrip_tests @ unit_tests
   @ List.map (QCheck_alcotest.to_alcotest ~long:false)
       [ roundtrip; word_roundtrip; patch_props ]

@@ -1,0 +1,156 @@
+(* Tests for the lib/check correctness subsystem: the differential
+   oracle, the structural invariant checkers, fault injection (the oracle
+   must catch a deliberately mis-transformed build), shrinking, and the
+   seeded fuzz loop. *)
+
+open Calibro_core
+open Calibro_check
+module Appgen = Calibro_workload.Appgen
+module Apps = Calibro_workload.Apps
+module Oat = Calibro_oat.Oat_file
+
+let demo_apk () = (Appgen.generate Apps.demo).Appgen.app
+
+let mutate_with kind _config oat =
+  match Fault.inject kind oat with Some oat' -> oat' | None -> oat
+
+let oracle_tests =
+  [ Alcotest.test_case "oracle passes on the demo app, full matrix" `Quick
+      (fun () ->
+        match Oracle.run (demo_apk ()) with
+        | Error e -> Alcotest.failf "oracle error: %s" e
+        | Ok r ->
+          Alcotest.(check (list string))
+            "no divergences" []
+            (List.map Oracle.divergence_to_string r.Oracle.r_divergences);
+          Alcotest.(check bool) "nonzero calls" true (r.Oracle.r_calls > 0);
+          (* the default matrix includes the profiled HfOpti config *)
+          Alcotest.(check bool) "hf config present" true
+            (List.exists
+               (fun n -> Astring.String.is_infix ~affix:"HfOpti" n)
+               r.Oracle.r_configs));
+    Alcotest.test_case "invariants hold on every config's build" `Quick
+      (fun () ->
+        let apk = demo_apk () in
+        List.iter
+          (fun config ->
+            let b = Pipeline.build ~config apk in
+            Alcotest.(check (list string))
+              ("invariants " ^ config.Config.name)
+              []
+              (List.map Invariants.violation_to_string
+                 (Invariants.check b.Pipeline.b_oat)))
+          (Config.baseline :: Config.matrix ()));
+    Alcotest.test_case "oracle respects an explicit config list" `Quick
+      (fun () ->
+        match Oracle.run ~configs:[ Config.cto ] (demo_apk ()) with
+        | Error e -> Alcotest.failf "oracle error: %s" e
+        | Ok r ->
+          Alcotest.(check (list string)) "one config" [ "CTO" ]
+            r.Oracle.r_configs)
+  ]
+
+let fault_tests =
+  (* Each deliberate mis-transformation must be caught: the mispatched
+     branch only by differential execution, the drifted stackmap by the
+     structural checker, the truncated outlined body by either. *)
+  List.map
+    (fun kind ->
+      Alcotest.test_case
+        ("oracle catches " ^ Fault.to_string kind)
+        `Quick
+        (fun () ->
+          match Oracle.run ~mutate:(mutate_with kind) (demo_apk ()) with
+          | Error e -> Alcotest.failf "oracle error: %s" e
+          | Ok r ->
+            Alcotest.(check bool) "diverges" false (Oracle.ok r)))
+    Fault.all
+  @ [ Alcotest.test_case "fault injection leaves the input untouched" `Quick
+        (fun () ->
+          let b = Pipeline.build ~config:Config.cto_ltbo (demo_apk ()) in
+          let oat = b.Pipeline.b_oat in
+          let before = Bytes.copy oat.Oat.text in
+          List.iter (fun k -> ignore (Fault.inject k oat)) Fault.all;
+          Alcotest.(check bytes) "text unchanged" before oat.Oat.text);
+      Alcotest.test_case "corrupt stackmap is a structural violation" `Quick
+        (fun () ->
+          let b = Pipeline.build ~config:Config.cto (demo_apk ()) in
+          match Fault.inject Fault.Corrupt_stackmap b.Pipeline.b_oat with
+          | None -> Alcotest.fail "no stackmap site in the demo build"
+          | Some bad ->
+            Alcotest.(check bool) "violations found" true
+              (Invariants.check bad <> []))
+    ]
+
+let shrink_tests =
+  [ Alcotest.test_case "mispatched build shrinks to a small reproducer"
+      `Slow
+      (fun () ->
+        let apk = Fuzz.apk_of_seed 0 in
+        let mutate = mutate_with Fault.Mispatch_branch in
+        let still_failing a =
+          Oracle.fails ~baseline_fuel:2_000_000 ~configs:[ Config.cto ]
+            ~mutate a
+        in
+        Alcotest.(check bool) "original fails" true (still_failing apk);
+        let shrunk, st = Shrink.shrink ~budget:200 ~still_failing apk in
+        Alcotest.(check bool) "fewer methods" true
+          (st.Shrink.s_methods_after < st.Shrink.s_methods_before);
+        Alcotest.(check bool) "fewer instructions" true
+          (st.Shrink.s_insns_after < st.Shrink.s_insns_before);
+        Alcotest.(check bool) "shrunk still fails" true (still_failing shrunk);
+        Alcotest.(check bool) "shrunk is well-formed" true
+          (Calibro_dex.Dex_check.check shrunk = Ok ());
+        (* the emitted Alcotest case embeds parseable .dexsim source *)
+        let case = Fuzz.alcotest_case_of ~seed:0 shrunk in
+        Alcotest.(check bool) "case names the seed" true
+          (Astring.String.is_infix ~affix:"test_fuzz_seed_0" case);
+        Alcotest.(check bool) "case embeds the program" true
+          (Astring.String.is_infix ~affix:".apk" case))
+  ]
+
+let fuzz_tests =
+  [ Alcotest.test_case "fuzz seeds pass on the healthy pipeline" `Quick
+      (fun () ->
+        let o = Fuzz.run ~seeds:4 () in
+        Alcotest.(check bool) "ok" true (Fuzz.ok o);
+        Alcotest.(check int) "ran all seeds" 4 o.Fuzz.fz_seeds);
+    Alcotest.test_case "seeds are deterministic" `Quick (fun () ->
+        let p1 = Fuzz.profile_of_seed 11 and p2 = Fuzz.profile_of_seed 11 in
+        Alcotest.(check bool) "same profile" true (p1 = p2);
+        Alcotest.(check bool) "same app" true
+          (Fuzz.apk_of_seed 11 = Fuzz.apk_of_seed 11);
+        let p3 = Fuzz.profile_of_seed 12 in
+        Alcotest.(check bool) "different seed, different profile" true
+          (p1 <> p3));
+    Alcotest.test_case "fuzzing a faulted pipeline reports the seed" `Quick
+      (fun () ->
+        let o =
+          Fuzz.run ~seeds:1 ~mutate:(mutate_with Fault.Mispatch_branch)
+            ~shrink:false ()
+        in
+        match o.Fuzz.fz_failures with
+        | [ f ] ->
+          Alcotest.(check int) "seed 0" 0 f.Fuzz.fl_seed;
+          Alcotest.(check bool) "details" true (f.Fuzz.fl_detail <> [])
+        | fs -> Alcotest.failf "expected 1 failure, got %d" (List.length fs))
+  ]
+
+let config_tests =
+  [ Alcotest.test_case "config of_string round" `Quick (fun () ->
+        (match Config.of_string "cto" with
+         | Ok c -> Alcotest.(check bool) "cto" true c.Config.cto
+         | Error e -> Alcotest.fail e);
+        (match Config.of_string "pl4" with
+         | Ok c -> Alcotest.(check int) "k" 4 c.Config.parallel_trees
+         | Error e -> Alcotest.fail e);
+        (match Config.of_string "rounds2" with
+         | Ok c -> Alcotest.(check int) "rounds" 2 c.Config.ltbo_rounds
+         | Error e -> Alcotest.fail e);
+        match Config.of_string "nonsense" with
+        | Ok _ -> Alcotest.fail "accepted nonsense"
+        | Error _ -> ())
+  ]
+
+let suite =
+  oracle_tests @ fault_tests @ shrink_tests @ fuzz_tests @ config_tests

@@ -12,8 +12,7 @@ let parse src =
 
 let header = ".apk t\n.dex d\n.class t\n"
 
-let compile_one src =
-  let apk = parse src in
+let compile_methods apk =
   let b = Pipeline.build ~config:Config.baseline apk in
   let methods = Dex_ir.methods_of_apk apk in
   let slots = Hashtbl.create 4 in
@@ -27,6 +26,8 @@ let compile_one src =
          g))
     methods
   |> fun cms -> (b, cms)
+
+let compile_one src = compile_methods (parse src)
 
 let seq_map_tests =
   [ Alcotest.test_case "separators are unique and cover control flow" `Quick
@@ -165,7 +166,56 @@ let parallel_tests =
         Alcotest.(check (list (list int))) "empty" []
           (Parallel.partition ~k:4 ~seed:1 []);
         let one = Parallel.partition ~k:8 ~seed:1 [ 42 ] in
-        Alcotest.(check (list (list int))) "singleton" [ [ 42 ] ] one)
+        Alcotest.(check (list (list int))) "singleton" [ [ 42 ] ] one);
+    Alcotest.test_case "partition properties: deterministic, non-empty, total"
+      `Quick
+      (fun () ->
+        let input = List.init 37 (fun i -> i * 3) in
+        List.iter
+          (fun k ->
+            let label s = Printf.sprintf "k=%d: %s" k s in
+            let g1 = Parallel.partition ~k ~seed:7 input in
+            let g2 = Parallel.partition ~k ~seed:7 input in
+            Alcotest.(check (list (list int))) (label "same seed, same groups")
+              g1 g2;
+            Alcotest.(check bool) (label "groups non-empty") true
+              (List.for_all (fun g -> g <> []) g1);
+            Alcotest.(check bool) (label "at most k groups") true
+              (List.length g1 <= k);
+            Alcotest.(check (list int)) (label "union is the input")
+              (List.sort compare input)
+              (List.sort compare (List.concat g1)))
+          [ 1; 2; 3; 8; 64 ]);
+    Alcotest.test_case "wave scheduling matches sequential detection" `Slow
+      (fun () ->
+        (* More groups than available domains forces detect_parallel into
+           its wave loop; the results must be identical to running
+           Ltbo.detect over the same groups one by one. *)
+        let a = Calibro_workload.Appgen.generate Calibro_workload.Apps.demo in
+        let _, cms = compile_methods a.Calibro_workload.Appgen.app in
+        let marr = Array.of_list cms in
+        let idxs =
+          List.init (Array.length marr) Fun.id
+          |> List.filter (fun i ->
+                 Calibro_codegen.Meta.outlinable
+                   marr.(i).Calibro_codegen.Compiled_method.meta)
+        in
+        let n_waves_floor = Domain.recommended_domain_count () - 1 in
+        let n_groups = max 4 ((2 * n_waves_floor) + 1) in
+        let groups =
+          List.init n_groups (fun i ->
+              [ List.nth idxs (i mod List.length idxs) ])
+        in
+        let options = Ltbo.default_options in
+        let par = Parallel.detect_parallel ~options marr groups in
+        let seq = List.map (fun g -> Ltbo.detect ~options marr g) groups in
+        Alcotest.(check int) "group count" (List.length seq) (List.length par);
+        List.iteri
+          (fun i (p, s) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "group %d decisions+stats equal" i)
+              true (p = s))
+          (List.combine par seq))
   ]
 
 let workload_vm_tests =
@@ -250,9 +300,60 @@ let profile_tests =
           Calibro_profile.Profile.merge [ mk "a" 10 ] [ mk "a" 5; mk "b" 1 ]
         in
         Alcotest.(check int) "total" 16 (Calibro_profile.Profile.total merged);
-        Alcotest.(check int) "methods" 2 (List.length merged))
+        Alcotest.(check int) "methods" 2 (List.length merged));
+    Alcotest.test_case "of_string rejects malformed input with Error" `Quick
+      (fun () ->
+        let expect_error what s =
+          match Calibro_profile.Profile.of_string s with
+          | Ok _ -> Alcotest.failf "%s: accepted %S" what s
+          | Error e ->
+            Alcotest.(check bool) (what ^ ": message non-empty") true (e <> "")
+        in
+        expect_error "too few fields" "a.B m\n";
+        expect_error "too many fields" "a.B m 12 extra\n";
+        expect_error "non-numeric cycles" "a.B m twelve\n";
+        expect_error "garbage line" "!!!\n";
+        (* valid-looking lines around a bad one still yield Error *)
+        expect_error "bad line amid good" "a.B m 1\nbroken\nc.D n 2\n";
+        (* empty and whitespace-only input are vacuously valid *)
+        match Calibro_profile.Profile.of_string "\n  \n" with
+        | Ok [] -> ()
+        | Ok _ -> Alcotest.fail "whitespace parsed to samples"
+        | Error e -> Alcotest.failf "whitespace rejected: %s" e);
+    Alcotest.test_case "load returns Error for unreadable paths" `Quick
+      (fun () ->
+        match Calibro_profile.Profile.load "/nonexistent/calibro.prof" with
+        | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+        | Error e -> Alcotest.(check bool) "message" true (e <> ""))
+  ]
+
+let report_tests =
+  [ Alcotest.test_case "render fills short rows with /" `Quick (fun () ->
+        let t =
+          { Report.title = "t";
+            columns = [ "A"; "B" ];
+            (* full rows carry one cell per column plus AVG *)
+            rows =
+              [ ("full", [ "1"; "2"; "3" ]); ("short", [ "only" ]) ] }
+        in
+        let out = Report.render t in
+        let lines = String.split_on_char '\n' out in
+        let row prefix =
+          match
+            List.find_opt (fun l -> Astring.String.is_prefix ~affix:prefix l)
+              lines
+          with
+          | Some l -> l
+          | None -> Alcotest.failf "row %S missing in %s" prefix out
+        in
+        Alcotest.(check bool) "short row padded with /" true
+          (Astring.String.is_infix ~affix:"/" (row "short"));
+        Alcotest.(check bool) "full row not padded" false
+          (Astring.String.is_infix ~affix:"/" (row "full"));
+        Alcotest.(check bool) "AVG column present" true
+          (Astring.String.is_infix ~affix:"AVG" out))
   ]
 
 let suite =
   seq_map_tests @ redundancy_tests @ parallel_tests @ workload_vm_tests
-  @ profile_tests
+  @ profile_tests @ report_tests
