@@ -9,6 +9,9 @@ open Calibro_core
 open Calibro_workload
 open Calibro_vm
 module Profile = Calibro_profile.Profile
+module Obs = Calibro_obs.Obs
+module Clock = Calibro_obs.Clock
+module Json = Calibro_obs.Json
 
 let pct = Report.pct
 
@@ -365,13 +368,14 @@ let paper_table6 =
     ("CTO+LTBO+PlOpti", [ 71.0; 71.0; 69.0; 70.0; 75.0; 69.0 ]) ]
 
 let table6 evals =
-  (* Re-time builds cleanly (three repetitions, best-of). *)
+  (* Re-time builds cleanly (three repetitions, best-of) on the monotonic
+     clock — wall time can be stepped mid-measurement. *)
   let time_build config apk =
     let best = ref infinity in
     for _ = 1 to 3 do
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_ns () in
       ignore (Pipeline.build ~config apk);
-      best := min !best (Unix.gettimeofday () -. t0)
+      best := min !best (Clock.since_s t0)
     done;
     !best
   in
@@ -503,9 +507,9 @@ let ablation_k () =
       let config =
         if k = 1 then Config.cto_ltbo else Config.cto_ltbo_pl ~k ()
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_ns () in
       let b = Pipeline.build ~config apk in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Clock.since_s t0 in
       Printf.printf "  %4d  %10s  %10s  %10.2fs\n%!" k
         (Report.kib (Pipeline.text_size b))
         (pct (Pipeline.reduction_vs ~baseline:base b))
@@ -594,7 +598,7 @@ let crosscheck () =
   List.iter
     (fun (p : Appgen.profile) ->
       let a = Appgen.generate p in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_ns () in
       match Calibro_check.Oracle.run a.Appgen.app with
       | Error e ->
         failed := true;
@@ -606,7 +610,7 @@ let crosscheck () =
             p.Appgen.p_name
             (List.length r.Calibro_check.Oracle.r_configs)
             r.Calibro_check.Oracle.r_calls
-            (Unix.gettimeofday () -. t0)
+            (Clock.since_s t0)
         else begin
           failed := true;
           Printf.printf "  %-10s FAILED:\n" p.Appgen.p_name;
@@ -618,3 +622,169 @@ let crosscheck () =
         end)
     (Apps.demo :: Apps.all);
   if !failed then exit 1
+
+(* ---- Structured metrics export (the --metrics / --trace flags) ----------- *)
+
+(* Per-app text sizes under every configuration, as exact integers: the
+   "bench" section of the metrics document (per-phase durations live in
+   its "spans" section, recorded by the pipeline itself). *)
+let bench_json (evals : app_eval list) : Json.t =
+  let app_obj e =
+    let size name b = (name, Json.Int (Pipeline.text_size b)) in
+    let red name b =
+      (name, Json.Float (Pipeline.reduction_vs ~baseline:e.e_base b))
+    in
+    ( e.e_app.Appgen.app.Calibro_dex.Dex_ir.apk_name,
+      Json.Obj
+        [ size "text_baseline" e.e_base;
+          size "text_cto" e.e_cto;
+          size "text_cto_ltbo" e.e_ltbo;
+          size "text_cto_ltbo_pl" e.e_pl;
+          size "text_cto_ltbo_pl_hf" e.e_hf;
+          red "reduction_cto_ltbo_pl" e.e_pl;
+          red "reduction_cto_ltbo_pl_hf" e.e_hf ] )
+  in
+  Json.Obj [ ("apps", Json.Obj (List.map app_obj evals)) ]
+
+(* ---- The CI performance gate --------------------------------------------- *)
+
+(* One gate measurement: every evaluation app built under the baseline and
+   under CTO+LTBO+PlOpti(8). Text sizes are deterministic (the workload
+   generator and the PlOpti partition are seeded), so they must reproduce
+   exactly on any machine; build time is machine-dependent and is gated
+   against a generous committed envelope instead. *)
+
+type gate_app = { g_name : string; g_text_base : int; g_text_pl : int }
+
+let gate_reduction g =
+  (float_of_int g.g_text_base -. float_of_int g.g_text_pl)
+  /. float_of_int g.g_text_base
+
+let gate_measure () : gate_app list * float =
+  let t0 = Clock.now_ns () in
+  let apps =
+    List.map
+      (fun (p : Appgen.profile) ->
+        Printf.eprintf "[gate] building %s...\n%!" p.Appgen.p_name;
+        let a = Appgen.generate p in
+        let apk = a.Appgen.app in
+        let base = Pipeline.build ~config:Config.baseline apk in
+        let pl = Pipeline.build ~config:(Config.cto_ltbo_pl ~k:8 ()) apk in
+        { g_name = apk.Calibro_dex.Dex_ir.apk_name;
+          g_text_base = Pipeline.text_size base;
+          g_text_pl = Pipeline.text_size pl })
+      Apps.all
+  in
+  (apps, Clock.since_s t0)
+
+let gate_section apps total_s =
+  Json.Obj
+    [ ( "apps",
+        Json.Obj
+          (List.map
+             (fun g ->
+               ( g.g_name,
+                 Json.Obj
+                   [ ("text_base", Json.Int g.g_text_base);
+                     ("text_pl", Json.Int g.g_text_pl);
+                     ("reduction_pl", Json.Float (gate_reduction g)) ] ))
+             apps) );
+      ("total_build_s", Json.Float total_s) ]
+
+(* The envelope committed in bench/baseline.json is a *budget*, not a
+   measurement: 3x the build time observed when the baseline was written,
+   so that slower CI runners still pass while a genuine blow-up (the gate
+   fails at 1.25x the envelope) is caught. *)
+let envelope_slack = 3.0
+
+let write_baseline path =
+  let apps, total_s = gate_measure () in
+  let doc =
+    Json.Obj
+      [ ("schema", Json.Int 1);
+        ( "apps",
+          Json.Obj
+            (List.map
+               (fun g ->
+                 ( g.g_name,
+                   Json.Obj
+                     [ ("text_base", Json.Int g.g_text_base);
+                       ("text_pl", Json.Int g.g_text_pl);
+                       ("reduction_pl", Json.Float (gate_reduction g)) ] ))
+               apps) );
+        ( "build_time_envelope_s",
+          Json.Float (Float.round (total_s *. envelope_slack *. 100.) /. 100.)
+        ) ]
+  in
+  Obs.write_file path doc;
+  Printf.printf "wrote %s (%d apps, measured %.2fs, envelope %.2fs)\n" path
+    (List.length apps) total_s (total_s *. envelope_slack)
+
+(* Reduction may not regress below the committed value by more than this
+   (absolute, in reduction points). Sizes are deterministic, so any drift
+   at all signals a real behavior change; the epsilon only absorbs float
+   formatting. *)
+let reduction_tolerance = 0.001
+
+(* Run the gate: measure, compare against the committed baseline, print a
+   verdict per app. Returns the bench section (for --metrics) and the
+   failure messages (empty = pass). *)
+let gate ~baseline_path : Json.t * string list =
+  let apps, total_s = gate_measure () in
+  let section = gate_section apps total_s in
+  let fail = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  (match
+     let contents =
+       let ic = open_in baseline_path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     in
+     Json.parse contents
+   with
+   | exception Sys_error e -> add "cannot read baseline: %s" e
+   | Error e -> add "baseline %s does not parse: %s" baseline_path e
+   | Ok doc ->
+     let bapps =
+       match Json.member "apps" doc with
+       | Some (Json.Obj fields) -> fields
+       | _ -> add "baseline has no \"apps\" object"; []
+     in
+     List.iter
+       (fun (name, bapp) ->
+         match List.find_opt (fun g -> g.g_name = name) apps with
+         | None -> add "app %s in baseline but not measured" name
+         | Some g ->
+           let bred =
+             Option.bind (Json.member "reduction_pl" bapp) Json.get_float
+             |> Option.value ~default:0.0
+           in
+           let red = gate_reduction g in
+           let verdict =
+             if red < bred -. reduction_tolerance then begin
+               add
+                 "%s: text-size reduction regressed %.3f%% -> %.3f%%"
+                 name (100. *. bred) (100. *. red);
+               "FAIL"
+             end
+             else "ok"
+           in
+           Printf.printf
+             "  %-9s text %7d -> %7d  reduction %6.2f%% (baseline %6.2f%%)  %s\n"
+             name g.g_text_base g.g_text_pl (100. *. red) (100. *. bred)
+             verdict)
+       bapps;
+     (match
+        Option.bind (Json.member "build_time_envelope_s" doc) Json.get_float
+      with
+      | None -> add "baseline has no \"build_time_envelope_s\""
+      | Some env ->
+        let limit = env *. 1.25 in
+        Printf.printf "  total build %.2fs (envelope %.2fs, limit %.2fs)  %s\n"
+          total_s env limit
+          (if total_s > limit then "FAIL" else "ok");
+        if total_s > limit then
+          add "total build time %.2fs exceeds envelope %.2fs by >25%%"
+            total_s env));
+  (section, List.rev !fail)

@@ -1,46 +1,137 @@
 (* The benchmark entry point: regenerates every table and figure of the
    paper's evaluation. With no arguments, runs the full matrix; pass
    `table1`..`table7`, `fig2`..`fig6`, `stats`, `bechamel` or
-   `crosscheck` to run one experiment. *)
+   `crosscheck` to run one experiment.
+
+   Observability: every run records lib/obs spans and metrics; `--trace
+   FILE` writes a Chrome trace_event JSON (open in about://tracing or
+   Perfetto), `--metrics FILE` the flat metrics JSON CI consumes.
+
+   The CI perf gate: `baseline` re-measures the six evaluation apps and
+   writes bench/baseline.json (committed); `gate` re-measures and fails
+   (exit 1) if any app's text-size reduction regressed against the
+   committed baseline or the total build time exceeds the committed
+   envelope by more than 25%. *)
+
+module Obs = Calibro_obs.Obs
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|table6|table7|fig2|fig3|fig4|fig6|stats|bechamel|crosscheck|all]"
+    "usage: main.exe [SUBCOMMAND] [--trace FILE] [--metrics FILE]\n\
+    \                [--baseline FILE] [--out FILE]\n\
+     subcommands:\n\
+    \  all (default)    every table, figure, ablation and micro-benchmark\n\
+    \  table1..table7, fig2..fig6, stats, ablation, bechamel, crosscheck\n\
+    \  baseline         measure and write the CI perf baseline\n\
+    \                   (--out, default bench/baseline.json)\n\
+    \  gate             compare a fresh measurement against the committed\n\
+    \                   baseline (--baseline, default bench/baseline.json);\n\
+    \                   exit 1 on regression\n\
+     flags:\n\
+    \  --trace FILE     write a Chrome trace_event JSON of the run\n\
+    \  --metrics FILE   write the flat metrics JSON (counters, gauges,\n\
+    \                   histograms, per-span durations, bench section)"
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match which with
-  | "-h" | "--help" -> usage ()
-  | "fig2" -> Harness.figure2 ()
-  | "crosscheck" -> Harness.crosscheck ()
-  | "table2" -> Harness.table2 ()
-  | "table3" -> Harness.table3 ()
-  | "bechamel" -> Micro.benchmark ()
-  | "ablation" ->
-    Harness.ablation_k ();
-    Harness.ablation_minlen ();
-    Harness.ablation_cto_ltbo ();
-    Harness.ablation_rounds ()
-  | which ->
-    let evals = List.map Harness.evaluate_app Calibro_workload.Apps.all in
-    let all = which = "all" in
-    Harness.table3 ();
-    if all || which = "table1" then Harness.table1 evals;
-    if all then Harness.figure2 ();
-    if all || which = "fig3" then Harness.figure3 evals;
-    if all || which = "fig4" then Harness.figure4 evals;
-    if all then Harness.table2 ();
-    if all || which = "table4" then Harness.table4 evals;
-    if all || which = "table5" then Harness.table5 evals;
-    if all || which = "table6" then Harness.table6 evals;
-    if all || which = "table7" then Harness.table7 evals;
-    if all || which = "fig6" then Harness.figure6 evals;
-    if all || which = "stats" then Harness.ltbo_stats evals;
-    if all then begin
-      Harness.ablation_k ();
-      Harness.ablation_minlen ();
-      Harness.ablation_cto_ltbo ();
-      Harness.ablation_rounds ();
-      print_endline "== Bechamel micro-benchmarks ==";
-      Micro.benchmark ()
-    end
+  let trace = ref None in
+  let metrics = ref None in
+  let baseline = ref "bench/baseline.json" in
+  let out = ref None in
+  let rec parse positional = function
+    | [] -> List.rev positional
+    | "--trace" :: f :: rest ->
+      trace := Some f;
+      parse positional rest
+    | "--metrics" :: f :: rest ->
+      metrics := Some f;
+      parse positional rest
+    | "--baseline" :: f :: rest ->
+      baseline := f;
+      parse positional rest
+    | "--out" :: f :: rest ->
+      out := Some f;
+      parse positional rest
+    | ("-h" | "--help") :: _ ->
+      usage ();
+      exit 0
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+      Printf.eprintf "unknown flag %s\n" a;
+      usage ();
+      exit 2
+    | a :: rest -> parse (a :: positional) rest
+  in
+  let which =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> "all"
+    | [ w ] -> w
+    | _ ->
+      usage ();
+      exit 2
+  in
+  (* The bench section of the metrics document, filled by the subcommands
+     that measure per-app sizes. *)
+  let bench_section = ref None in
+  let exit_code = ref 0 in
+  (match which with
+   | "fig2" -> Harness.figure2 ()
+   | "crosscheck" -> Harness.crosscheck ()
+   | "table2" -> Harness.table2 ()
+   | "table3" -> Harness.table3 ()
+   | "bechamel" -> Micro.benchmark ()
+   | "ablation" ->
+     Harness.ablation_k ();
+     Harness.ablation_minlen ();
+     Harness.ablation_cto_ltbo ();
+     Harness.ablation_rounds ()
+   | "baseline" ->
+     Harness.write_baseline
+       (match !out with Some f -> f | None -> "bench/baseline.json")
+   | "gate" ->
+     print_endline "== CI perf gate: text sizes + build-time envelope ==";
+     let section, failures = Harness.gate ~baseline_path:!baseline in
+     bench_section := Some section;
+     if failures <> [] then begin
+       List.iter (fun m -> Printf.printf "GATE FAIL: %s\n" m) failures;
+       exit_code := 1
+     end
+     else print_endline "gate ok"
+   | which ->
+     let evals = List.map Harness.evaluate_app Calibro_workload.Apps.all in
+     bench_section := Some (Harness.bench_json evals);
+     let all = which = "all" in
+     Harness.table3 ();
+     if all || which = "table1" then Harness.table1 evals;
+     if all then Harness.figure2 ();
+     if all || which = "fig3" then Harness.figure3 evals;
+     if all || which = "fig4" then Harness.figure4 evals;
+     if all then Harness.table2 ();
+     if all || which = "table4" then Harness.table4 evals;
+     if all || which = "table5" then Harness.table5 evals;
+     if all || which = "table6" then Harness.table6 evals;
+     if all || which = "table7" then Harness.table7 evals;
+     if all || which = "fig6" then Harness.figure6 evals;
+     if all || which = "stats" then Harness.ltbo_stats evals;
+     if all then begin
+       Harness.ablation_k ();
+       Harness.ablation_minlen ();
+       Harness.ablation_cto_ltbo ();
+       Harness.ablation_rounds ();
+       print_endline "== Bechamel micro-benchmarks ==";
+       Micro.benchmark ()
+     end);
+  let extra =
+    match !bench_section with
+    | Some section -> [ ("bench", section) ]
+    | None -> []
+  in
+  (match !metrics with
+   | None -> ()
+   | Some f ->
+     Obs.write_file f (Obs.metrics_json ~extra ());
+     Printf.eprintf "[bench] metrics written to %s\n%!" f);
+  (match !trace with
+   | None -> ()
+   | Some f ->
+     Obs.write_file f (Obs.trace_json ());
+     Printf.eprintf "[bench] trace written to %s\n%!" f);
+  exit !exit_code

@@ -27,7 +27,9 @@ let parse_configs spec =
   in
   go [] (List.filter (fun s -> String.trim s <> "") names)
 
-let run seeds base_seed configs_spec no_shrink fault quiet =
+module Obs = Calibro_obs.Obs
+
+let run seeds base_seed configs_spec no_shrink fault quiet trace metrics =
   let configs =
     match configs_spec with
     | None -> None
@@ -51,6 +53,18 @@ let run seeds base_seed configs_spec no_shrink fault quiet =
   let outcome =
     Fuzz.run ~seeds ~base_seed ?configs ?mutate ~shrink:(not no_shrink) ~log ()
   in
+  (* Observability exports: the spans/counters every layer recorded during
+     the run (seeds run, faults caught, per-phase durations). *)
+  (match metrics with
+   | None -> ()
+   | Some f ->
+     Obs.write_file f (Obs.metrics_json ());
+     if not quiet then Printf.eprintf "metrics written to %s\n%!" f);
+  (match trace with
+   | None -> ()
+   | Some f ->
+     Obs.write_file f (Obs.trace_json ());
+     if not quiet then Printf.eprintf "trace written to %s\n%!" f);
   if Fuzz.ok outcome then begin
     Printf.printf "OK: %d seeds, no divergences\n" outcome.Fuzz.fz_seeds;
     0
@@ -115,13 +129,23 @@ let cmd =
     Arg.(value & flag & info [ "q"; "quiet" ]
            ~doc:"Suppress per-seed progress on stderr.")
   in
-  let main seeds base_seed configs no_shrink _shrink fault quiet =
-    exit (run seeds base_seed configs no_shrink fault quiet)
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run (open in \
+                 about://tracing or Perfetto).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the flat metrics JSON (seeds run, faults caught, \
+                 per-phase durations).")
+  in
+  let main seeds base_seed configs no_shrink _shrink fault quiet trace metrics =
+    exit (run seeds base_seed configs no_shrink fault quiet trace metrics)
   in
   Cmd.v
     (Cmd.info "calibro_fuzz"
        ~doc:"Differential fuzzing oracle for the Calibro outlining pipeline.")
     Term.(const main $ seeds $ base_seed $ configs $ no_shrink $ shrink $ fault
-          $ quiet)
+          $ quiet $ trace $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -99,7 +99,14 @@ let truncate_outlined (oat : Oat.t) : Oat.t option =
 (* Inject [kind] into [oat]. [None] means the image offers no applicable
    site (e.g. no outlined functions in a CTO-only build). *)
 let inject (kind : kind) (oat : Oat.t) : Oat.t option =
-  match kind with
-  | Mispatch_branch -> mispatch_branch oat
-  | Corrupt_stackmap -> corrupt_stackmap oat
-  | Truncate_outlined -> truncate_outlined oat
+  let r =
+    match kind with
+    | Mispatch_branch -> mispatch_branch oat
+    | Corrupt_stackmap -> corrupt_stackmap oat
+    | Truncate_outlined -> truncate_outlined oat
+  in
+  (match r with
+   | Some _ ->
+     Calibro_obs.Obs.Counter.incr ("fault.injected." ^ to_string kind)
+   | None -> ());
+  r

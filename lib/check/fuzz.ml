@@ -14,6 +14,8 @@ open Calibro_dex.Dex_ir
 module Appgen = Calibro_workload.Appgen
 module Apps = Calibro_workload.Apps
 module Dex_text = Calibro_dex.Dex_text
+module Obs = Calibro_obs.Obs
+module Json = Calibro_obs.Json
 
 let profile_of_seed seed = Appgen.perturb_profile ~seed Apps.demo
 
@@ -126,9 +128,15 @@ let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink
          (profile.Appgen.p_n_arith + profile.Appgen.p_n_field
         + profile.Appgen.p_n_serializer + profile.Appgen.p_n_compute
         + profile.Appgen.p_n_dispatcher + profile.Appgen.p_n_glue));
-    match run_seed ?configs ?mutate ?shrink seed with
+    Obs.Counter.incr "fuzz.seeds_run";
+    match
+      Obs.span ~cat:"check" "fuzz.seed"
+        ~args:(fun () -> [ ("seed", Json.Int seed) ])
+        (fun () -> run_seed ?configs ?mutate ?shrink seed)
+    with
     | None -> ()
     | Some f ->
+      Obs.Counter.incr "fuzz.seeds_failed";
       log
         (Printf.sprintf "seed %d FAILED:\n  %s" seed
            (String.concat "\n  " f.fl_detail));

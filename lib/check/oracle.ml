@@ -16,6 +16,8 @@ open Calibro_core
 open Calibro_dex.Dex_ir
 module Interp = Calibro_vm.Interp
 module Oat = Calibro_oat.Oat_file
+module Obs = Calibro_obs.Obs
+module Json = Calibro_obs.Json
 
 type call = { c_method : method_ref; c_args : int list }
 
@@ -127,6 +129,9 @@ let compare_runs ~config_name ~calls base_results results : divergence list =
    shapes. *)
 let run ?(baseline_fuel = default_baseline_fuel) ?configs
     ?(mutate = fun _ oat -> oat) ?calls (apk : apk) : (report, string) result =
+  Obs.span ~cat:"check" "oracle.run"
+    ~args:(fun () -> [ ("apk", Json.Str apk.apk_name) ])
+  @@ fun () ->
   match Pipeline.build ~config:Config.baseline apk with
   | exception Pipeline.Build_error e -> Error ("baseline build failed: " ^ e)
   | base ->
@@ -165,6 +170,7 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
         in
         Config.matrix ~hot_methods ()
     in
+    Obs.Counter.add "oracle.configs_checked" (List.length configs);
     List.iter
       (fun (config : Config.t) ->
         let name = config.Config.name in
@@ -191,6 +197,7 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
                            results))
               !divergences)
       configs;
+    Obs.Counter.add "oracle.divergences" (List.length !divergences);
     Ok
       { r_apk = apk.apk_name;
         r_configs = List.map (fun (c : Config.t) -> c.Config.name) configs;

@@ -21,6 +21,8 @@
 open Calibro_aarch64
 open Calibro_codegen
 open Calibro_suffix_tree
+module Obs = Calibro_obs.Obs
+module Json = Calibro_obs.Json
 
 let outlined_sym_base = 0x500000
 
@@ -73,11 +75,15 @@ let merge_stats a b =
    method indices) and statistics. *)
 let detect ~options (methods : Compiled_method.t array) (group : int list) :
     decision list * stats =
+  Obs.span ~cat:"ltbo" "ltbo.detect"
+    ~args:(fun () -> [ ("group_methods", Json.Int (List.length group)) ])
+  @@ fun () ->
   let a = Seq_map.new_allocator () in
   (* Concatenate per-method element lists; record the provenance of every
      sequence slot. *)
   let values = ref [] and prov = ref [] in
   let n_elements = ref 0 in
+  Obs.span ~cat:"ltbo" "ltbo.map_sequence" (fun () ->
   List.iter
     (fun mi ->
       let cm = methods.(mi) in
@@ -100,21 +106,26 @@ let detect ~options (methods : Compiled_method.t array) (group : int list) :
       values := Seq_map.fresh_sep a :: !values;
       incr n_elements;
       prov := None :: !prov)
-    group;
+    group);
   let seq = Array.of_list (List.rev !values) in
   let prov = Array.of_list (List.rev !prov) in
-  let tree = Suffix_tree.build seq in
+  let tree =
+    Obs.span ~cat:"ltbo" "ltbo.tree_build"
+      ~args:(fun () -> [ ("sequence_elements", Json.Int !n_elements) ])
+      (fun () -> Suffix_tree.build seq)
+  in
   (* Gather repeats worth considering. *)
   let considered = ref 0 in
   let candidates =
-    Suffix_tree.fold_repeats ~min_length:options.min_length
-      ~max_length:options.max_length tree ~init:[]
-      ~f:(fun acc (r : Suffix_tree.repeat) ->
-        incr considered;
-        let repeats = List.length r.Suffix_tree.positions in
-        if Benefit.worthwhile ~length:r.Suffix_tree.length ~repeats then
-          r :: acc
-        else acc)
+    Obs.span ~cat:"ltbo" "ltbo.fold_repeats" (fun () ->
+        Suffix_tree.fold_repeats ~min_length:options.min_length
+          ~max_length:options.max_length tree ~init:[]
+          ~f:(fun acc (r : Suffix_tree.repeat) ->
+            incr considered;
+            let repeats = List.length r.Suffix_tree.positions in
+            if Benefit.worthwhile ~length:r.Suffix_tree.length ~repeats then
+              r :: acc
+            else acc))
   in
   (* Largest estimated saving first; ties broken towards longer sequences
      for stability. *)
@@ -153,6 +164,7 @@ let detect ~options (methods : Compiled_method.t array) (group : int list) :
   in
   let decisions = ref [] in
   let saved = ref 0 and occ_total = ref 0 in
+  Obs.span ~cat:"ltbo" "ltbo.select" (fun () ->
   List.iter
     (fun (r : Suffix_tree.repeat) ->
       let len = r.Suffix_tree.length in
@@ -173,6 +185,10 @@ let detect ~options (methods : Compiled_method.t array) (group : int list) :
       in
       let repeats = List.length usable in
       if Benefit.worthwhile ~length:len ~repeats then begin
+        Obs.Counter.incr "ltbo.decisions_accepted";
+        Obs.Histogram.observe "ltbo.decision_length_insns" (float_of_int len);
+        Obs.Histogram.observe "ltbo.decision_occurrences"
+          (float_of_int repeats);
         List.iter (fun (mi, off) -> claim mi off byte_len) usable;
         let first_pos =
           (* words of the sequence body, taken from the tree's text *)
@@ -187,8 +203,12 @@ let detect ~options (methods : Compiled_method.t array) (group : int list) :
           :: !decisions;
         saved := !saved + Benefit.saving ~length:len ~repeats;
         occ_total := !occ_total + repeats
-      end)
-    candidates;
+      end
+      else Obs.Counter.incr "ltbo.decisions_rejected")
+    candidates);
+  Obs.Counter.add "ltbo.repeats_considered" !considered;
+  Obs.Counter.add "ltbo.occurrences_replaced" !occ_total;
+  Obs.Counter.add "ltbo.bytes_saved" (!saved * 4);
   let st = Suffix_tree.stats tree in
   ( List.rev !decisions,
     { s_candidate_methods = List.length group;
@@ -266,6 +286,8 @@ let rewrite_method_sites (cm : Compiled_method.t) (sites : site list) :
           (off', tgt'))
         meta.Meta.pc_rel
     in
+    Obs.Counter.add "ltbo.pc_rel_patched" (List.length new_pc_rel);
+    Obs.Counter.add "ltbo.sites_rewritten" (List.length sites);
     let remap_range (r : Meta.range) =
       let s = remap_off r.Meta.r_start
       and e = remap_off (r.Meta.r_start + r.Meta.r_len) in
@@ -286,6 +308,7 @@ let rewrite_method_sites (cm : Compiled_method.t) (sites : site list) :
     let new_stackmap =
       Stackmap.remap cm.Compiled_method.stackmap ~remap_pc:remap_off
     in
+    Obs.Counter.add "ltbo.stackmap_fixups" (List.length new_stackmap);
     (match Stackmap.validate new_stackmap ~code_size:!new_pos with
      | Ok () -> ()
      | Error e ->
@@ -366,13 +389,14 @@ let run_with ?(sym_base = outlined_sym_base)
         d.d_occurrences)
     all_decisions;
   let methods' =
-    Array.to_list
-      (Array.mapi
-         (fun mi cm ->
-           match Hashtbl.find_opt sites_per_method mi with
-           | None -> cm
-           | Some sites -> rewrite_method_sites cm !sites)
-         marr)
+    Obs.span ~cat:"ltbo" "ltbo.rewrite" (fun () ->
+        Array.to_list
+          (Array.mapi
+             (fun mi cm ->
+               match Hashtbl.find_opt sites_per_method mi with
+               | None -> cm
+               | Some sites -> rewrite_method_sites cm !sites)
+             marr))
   in
   let stats =
     { stats with s_outlined_functions = List.length !outlined }

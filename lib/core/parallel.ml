@@ -12,6 +12,8 @@
    going unseen — exactly the paper's tolerable code-size loss in Table 4. *)
 
 open Calibro_codegen
+module Obs = Calibro_obs.Obs
+module Json = Calibro_obs.Json
 
 (* Deterministic "random" partition: shuffle with a seeded LCG, then split
    evenly. *)
@@ -42,11 +44,24 @@ let partition ~k ~seed (candidates : int list) : int list list =
 let detect_parallel ~options (methods : Compiled_method.t array)
     (groups : int list list) : (Ltbo.decision list * Ltbo.stats) list =
   let max_domains = max 1 (Domain.recommended_domain_count () - 1) in
+  Obs.Gauge.set "plopti.max_domains" (float_of_int max_domains);
+  (* The per-group span runs *inside* the worker, so each PlOpti domain
+     contributes its own trace lane (tid = domain id) and its counter /
+     histogram updates land in that domain's shard, aggregated at join. *)
+  let detect_group g =
+    Obs.span ~cat:"plopti" "plopti.detect_group"
+      ~args:(fun () -> [ ("group_methods", Json.Int (List.length g)) ])
+      (fun () -> Ltbo.detect ~options methods g)
+  in
+  Obs.span ~cat:"plopti" "plopti.detect_parallel"
+    ~args:(fun () -> [ ("groups", Json.Int (List.length groups)) ])
+  @@ fun () ->
   match groups with
   | [] -> []
-  | [ g ] -> [ Ltbo.detect ~options methods g ]
+  | [ g ] -> [ detect_group g ]
   | gs when max_domains <= 1 ->
-    List.map (fun g -> Ltbo.detect ~options methods g) gs
+    Obs.Counter.incr "plopti.cap_hits";
+    List.map detect_group gs
   | gs ->
     (* process in waves of [max_domains] *)
     let rec waves acc = function
@@ -60,12 +75,21 @@ let detect_parallel ~options (methods : Compiled_method.t array)
           | rest -> ([], rest)
         in
         let now, later = take max_domains gs in
+        Obs.Counter.incr "plopti.waves";
+        if later <> [] then Obs.Counter.incr "plopti.cap_hits";
+        Obs.Counter.add "plopti.domains_spawned" (List.length now);
         let domains =
-          List.map
-            (fun g -> Domain.spawn (fun () -> Ltbo.detect ~options methods g))
-            now
+          Obs.span ~cat:"plopti" "plopti.wave"
+            ~args:(fun () -> [ ("domains", Json.Int (List.length now)) ])
+            (fun () ->
+              let ds =
+                List.map
+                  (fun g -> Domain.spawn (fun () -> detect_group g))
+                  now
+              in
+              List.map Domain.join ds)
         in
-        waves (List.map Domain.join domains :: acc) later
+        waves (domains :: acc) later
     in
     waves [] gs
 

@@ -4,13 +4,17 @@
          -> LTBO.2 (global or paralleled suffix trees)
          -> linking -> OAT
 
-   Per-phase wall-clock timings are recorded; Table 6 is their ratio
-   across configurations. *)
+   Per-phase timings are recorded on the monotonic clock and mirrored
+   into the lib/obs span/metric registry; Table 6 is their ratio across
+   configurations. *)
 
 open Calibro_dex
 open Calibro_hgraph
 open Calibro_codegen
 open Calibro_oat
+module Obs = Calibro_obs.Obs
+module Clock = Calibro_obs.Clock
+module Json = Calibro_obs.Json
 
 type build = {
   b_config : Config.t;
@@ -24,13 +28,23 @@ let total_time b = List.fold_left (fun a (_, t) -> a +. t) 0.0 b.b_timings
 
 exception Build_error of string
 
+(* One pipeline phase: an [Obs] span (nested under [pipeline.build]) plus
+   the [(name, seconds)] pair Table 6 is derived from — both read the
+   same monotonic clock, never [Unix.gettimeofday]. *)
 let timed phases name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  phases := (name, Unix.gettimeofday () -. t0) :: !phases;
-  r
+  Obs.span ~cat:"pipeline" ("pipeline." ^ name) (fun () ->
+      let t0 = Clock.now_ns () in
+      let r = f () in
+      phases := (name, Clock.since_s t0) :: !phases;
+      r)
 
 let build ?(config = Config.baseline) (apk : Dex_ir.apk) : build =
+  Obs.span ~cat:"pipeline" "pipeline.build"
+    ~args:(fun () ->
+      [ ("apk", Json.Str apk.Dex_ir.apk_name);
+        ("config", Json.Str config.Config.name) ])
+  @@ fun () ->
+  Obs.Counter.incr "pipeline.builds";
   (match Dex_check.check apk with
    | Ok () -> ()
    | Error errs ->

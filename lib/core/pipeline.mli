@@ -8,7 +8,10 @@ open Calibro_dex
 type build = {
   b_config : Config.t;
   b_oat : Calibro_oat.Oat_file.t;
-  b_timings : (string * float) list;  (** (phase, seconds), in order *)
+  b_timings : (string * float) list;
+      (** (phase, seconds), in order — a view derived from the
+          [Calibro_obs] spans the build records (monotonic clock);
+          kept because Table 6 consumes exactly this shape *)
   b_ltbo_stats : Ltbo.stats option;
   b_cto_hits : (string * int) list;   (** CTO pattern census, summed *)
 }

@@ -10,6 +10,8 @@
 
 open Calibro_aarch64
 open Calibro_codegen
+module Obs = Calibro_obs.Obs
+module Json = Calibro_obs.Json
 
 type extra_function = {
   xf_sym : int;       (** symbol id call sites reference *)
@@ -20,12 +22,20 @@ exception Link_error of string
 
 let link ~apk_name ?(thunks = []) ?(extra = [])
     (methods : Compiled_method.t list) : Oat_file.t =
+  Obs.span ~cat:"link" "link.run"
+    ~args:(fun () -> [ ("apk", Json.Str apk_name) ])
+  @@ fun () ->
   let methods =
     List.sort (fun a b -> compare a.Compiled_method.slot b.Compiled_method.slot) methods
   in
+  Obs.Counter.add "linker.methods_placed" (List.length methods);
+  Obs.Counter.add "linker.thunks_placed" (List.length thunks);
+  Obs.Counter.add "linker.outlined_placed" (List.length extra);
   (* ---- Layout: thunks, then methods, then extra (outlined) functions. *)
   let symtab : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let pos = ref 0 in
+  let thunk_entries, method_entries, extra_entries, text =
+    Obs.span ~cat:"link" "link.layout" @@ fun () ->
   let thunk_entries =
     List.map
       (fun th ->
@@ -66,20 +76,29 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
     (fun (xf, off) ->
       Bytes.blit xf.xf_code 0 text off (Bytes.length xf.xf_code))
     extra_entries;
+  (thunk_entries, method_entries, extra_entries, text)
+  in
   (* ---- Relocate bl sites. *)
   let resolve sym =
     match Hashtbl.find_opt symtab sym with
     | Some off -> off
     | None -> raise (Link_error (Printf.sprintf "undefined symbol %d" sym))
   in
-  List.iter
-    (fun ((m : Compiled_method.t), off) ->
+  let relocated = ref 0 in
+  Obs.span ~cat:"link" "link.relocate"
+    ~args:(fun () -> [ ("relocations", Json.Int !relocated) ])
+    (fun () ->
       List.iter
-        (fun (site, sym) ->
-          let target = resolve sym in
-          Patch.relocate_bl text ~off:(off + site) ~target)
-        m.relocs)
-    method_entries;
+        (fun ((m : Compiled_method.t), off) ->
+          List.iter
+            (fun (site, sym) ->
+              let target = resolve sym in
+              incr relocated;
+              Patch.relocate_bl text ~off:(off + site) ~target)
+            m.relocs)
+        method_entries);
+  Obs.Counter.add "linker.relocations_patched" !relocated;
+  Obs.Gauge.set "linker.last_text_size" (float_of_int (Bytes.length text));
   { Oat_file.apk_name;
     text;
     methods =

@@ -1,0 +1,10 @@
+(* CLOCK_MONOTONIC, via bechamel's C stub (the only monotonic clock in
+   the dependency set; the OCaml stdlib exposes none). *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_s t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e9
+
+let since_s t0 = elapsed_s t0 (now_ns ())
+
+let ns_to_us ns = Int64.to_float ns /. 1e3

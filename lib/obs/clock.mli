@@ -1,0 +1,20 @@
+(** The monotonic clock every duration in this codebase is measured on.
+
+    [Unix.gettimeofday] is wall time: NTP slews and steps it, so intervals
+    computed from it can shrink, jump, or go negative. Phase timings,
+    Table 6, and the CI perf gate all need intervals that only move
+    forward, which is CLOCK_MONOTONIC — exposed to OCaml by bechamel's
+    [monotonic_clock] stub. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The epoch is arbitrary (boot
+    time on Linux): only differences are meaningful. *)
+
+val elapsed_s : int64 -> int64 -> float
+(** [elapsed_s t0 t1] is [t1 - t0] in seconds. *)
+
+val since_s : int64 -> float
+(** [since_s t0] is [elapsed_s t0 (now_ns ())]. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to (fractional) microseconds — the Chrome trace unit. *)

@@ -1,0 +1,280 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- Printing ----------------------------------------------------------- *)
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no NaN/Infinity; clamp to null rather than emit garbage. *)
+let float_literal f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    (* ensure the token re-parses as a float, not an int *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let to_string ?(pretty = false) t =
+  let b = Buffer.create 1024 in
+  let pad n = if pretty then Buffer.add_string b (String.make (2 * n) ' ') in
+  let nl () = if pretty then Buffer.add_char b '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_literal f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape_string s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      nl ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape_string k);
+          Buffer.add_string b (if pretty then "\": " else "\":");
+          go (depth + 1) v)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char b '}'
+  in
+  go 0 t;
+  Buffer.contents b
+
+(* ---- Parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse (src : string) : (t, string) result =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub src !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let add_utf8 b code =
+    (* decode a \uXXXX code point to UTF-8 bytes (surrogates are kept as
+       the replacement sequence a WTF-8 decoder would produce; the
+       exporters never emit them) *)
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match src.[!pos] with
+             | '"' -> Buffer.add_char b '"'; advance ()
+             | '\\' -> Buffer.add_char b '\\'; advance ()
+             | '/' -> Buffer.add_char b '/'; advance ()
+             | 'n' -> Buffer.add_char b '\n'; advance ()
+             | 'r' -> Buffer.add_char b '\r'; advance ()
+             | 't' -> Buffer.add_char b '\t'; advance ()
+             | 'b' -> Buffer.add_char b '\b'; advance ()
+             | 'f' -> Buffer.add_char b '\012'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub src !pos 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+                | None -> fail "bad \\u escape"
+                | Some code ->
+                  pos := !pos + 4;
+                  add_utf8 b code)
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+    in
+    (* [go] consumes up to and including the closing quote *)
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char src.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub src start (!pos - start) in
+    let is_floatish =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+    in
+    if is_floatish then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+(* ---- Accessors ---------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_int = function Int i -> Some i | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let get_str = function Str s -> Some s | _ -> None
+let get_list = function List l -> Some l | _ -> None
+let get_obj = function Obj o -> Some o | _ -> None

@@ -1,0 +1,45 @@
+(** A minimal JSON tree, printer and parser.
+
+    The exporters need to emit valid JSON for arbitrary span names (method
+    names can contain quotes, backslashes, control characters), the obs
+    tests need to re-parse what was emitted, and the bench gate needs to
+    read the committed baseline — all without adding a JSON dependency the
+    container does not have. This module is that common denominator; it is
+    not a general-purpose JSON library (no streaming, strings are OCaml
+    bytes with \uXXXX escapes decoded as UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape_string : string -> string
+(** JSON string-literal body for arbitrary bytes: the two mandatory
+    escapes (["\""], ["\\"]), the short forms ([\n] [\r] [\t] [\b] [\f])
+    and [\u00XX] for the remaining control characters. Bytes >= 0x20 pass
+    through unchanged. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [~pretty:true] indents with two spaces (the committed
+    baseline is pretty-printed so its diffs review well). *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Numbers without [.], [e] or an overflowing magnitude parse as {!Int},
+    everything else as {!Float}. *)
+
+(** {2 Accessors} (total: [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+val get_int : t -> int option
+val get_float : t -> float option
+
+(** [get_float] accepts both {!Int} and {!Float}. *)
+
+val get_str : t -> string option
+val get_list : t -> t list option
+val get_obj : t -> (string * t) list option

@@ -10,4 +10,5 @@ let () =
       ("oat", Test_oat.suite);
       ("workload", Test_workload.suite);
       ("edge", Test_edge.suite);
-      ("check", Test_check.suite) ]
+      ("check", Test_check.suite);
+      ("obs", Test_obs.suite) ]
