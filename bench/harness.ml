@@ -586,6 +586,117 @@ let ablation_rounds () =
         outlined)
     [ 1; 2; 3 ]
 
+(* ---- Digest: behavior-preservation evidence ------------------------------- *)
+
+(* One MD5 per (app, configuration) over the OAT text segment. The sizes in
+   bench/baseline.json prove nothing about *content*; this is the
+   byte-for-byte witness used when refactoring the detection hot path. *)
+let digests () =
+  print_endline "== OAT text digests: evaluation apps x oracle matrix ==";
+  List.iter
+    (fun (p : Appgen.profile) ->
+      let a = Appgen.generate p in
+      let apk = a.Appgen.app in
+      let base = Pipeline.build ~config:Config.baseline apk in
+      let tb = run_script base.Pipeline.b_oat a.Appgen.app_script in
+      let hot = Profile.hot_set (Profile.of_interp tb) in
+      List.iter
+        (fun (c : Config.t) ->
+          let b = Pipeline.build ~config:c apk in
+          Printf.printf "  %-10s %-24s %s\n%!"
+            apk.Calibro_dex.Dex_ir.apk_name c.Config.name
+            (Digest.to_hex
+               (Digest.bytes b.Pipeline.b_oat.Calibro_oat.Oat_file.text)))
+        (Config.baseline :: Config.matrix ~hot_methods:hot ()))
+    Apps.all
+
+(* ---- The detection micro-benchmark (bench detect) -------------------------- *)
+
+(* Compiled methods + candidate indices of the largest evaluation app
+   (Kuaishou), exactly as Ltbo.run derives them: detection throughput here
+   is what Table 6 says must stay cheap enough to live inside dex2oat. *)
+let detect_setup () =
+  let a = Appgen.generate Apps.kuaishou in
+  let methods = Calibro_dex.Dex_ir.methods_of_apk a.Appgen.app in
+  let slots = Hashtbl.create (List.length methods) in
+  List.iteri
+    (fun i (m : Calibro_dex.Dex_ir.meth) -> Hashtbl.replace slots m.name i)
+    methods;
+  let compiled =
+    List.map
+      (fun m ->
+        let g = Calibro_hgraph.Hgraph.of_method m in
+        ignore (Calibro_hgraph.Passes.optimize g);
+        Calibro_codegen.Codegen.compile
+          ~config:{ Calibro_codegen.Codegen.cto = true }
+          ~slot_of_method:(Hashtbl.find slots) g)
+      methods
+  in
+  let marr = Array.of_list compiled in
+  let candidates =
+    List.init (Array.length marr) Fun.id
+    |> List.filter (fun i ->
+           Calibro_codegen.Meta.outlinable
+             marr.(i).Calibro_codegen.Compiled_method.meta)
+  in
+  (marr, candidates)
+
+let best_of_3 f =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Clock.now_ns () in
+    ignore (Sys.opaque_identity (f ()));
+    best := min !best (Clock.since_s t0)
+  done;
+  !best
+
+(* Best-of-3 full-detection throughput in sequence elements per second, the
+   number committed to bench/baseline.json and gated in CI. *)
+let detect_eps () =
+  let marr, candidates = detect_setup () in
+  let options = Ltbo.default_options in
+  let elements =
+    let _, st = Ltbo.detect ~options marr candidates in
+    st.Ltbo.s_sequence_elements
+  in
+  let dt = best_of_3 (fun () -> Ltbo.detect ~options marr candidates) in
+  (float_of_int elements /. dt, elements)
+
+let detect_bench () =
+  print_endline
+    "== bench detect: suffix-tree detection hot path (Kuaishou) ==";
+  let marr, candidates = detect_setup () in
+  let options = Ltbo.default_options in
+  let decisions, st = Ltbo.detect ~options marr candidates in
+  let elements = st.Ltbo.s_sequence_elements in
+  Printf.printf
+    "  candidates=%d elements=%d tree-nodes=%d repeats=%d decisions=%d\n%!"
+    st.Ltbo.s_candidate_methods elements st.Ltbo.s_tree_nodes
+    st.Ltbo.s_repeats_considered (List.length decisions);
+  (* the two phases the flat representation targets, measured in isolation
+     on the same sequence shape (raw OAT words, embedded data separated) *)
+  let seq =
+    Redundancy.sequence_of_oat
+      (Pipeline.build ~config:Config.baseline
+         (Appgen.generate Apps.kuaishou).Appgen.app)
+        .Pipeline.b_oat
+  in
+  let n = float_of_int (Array.length seq) in
+  let t_build = best_of_3 (fun () -> Calibro_suffix_tree.Suffix_tree.build seq) in
+  let tree = Calibro_suffix_tree.Suffix_tree.build seq in
+  let t_fold =
+    best_of_3 (fun () ->
+        Calibro_suffix_tree.Suffix_tree.fold_repeats ~min_length:2
+          ~max_length:64 tree ~init:0
+          ~f:(fun acc (_ : Calibro_suffix_tree.Suffix_tree.repeat) -> acc + 1))
+  in
+  Printf.printf "  tree_build:   %8.4fs  %12.0f elements/s\n" t_build
+    (n /. t_build);
+  Printf.printf "  fold_repeats: %8.4fs  %12.0f elements/s\n" t_fold
+    (n /. t_fold);
+  let eps, _ = detect_eps () in
+  Printf.printf "  ltbo_detect (end to end): %12.0f elements/s\n%!" eps
+
 (* ---- Crosscheck: the differential oracle over the evaluation apps ---------- *)
 
 (* Not a paper table: runs the lib/check differential oracle (baseline vs
@@ -677,7 +788,7 @@ let gate_measure () : gate_app list * float =
   in
   (apps, Clock.since_s t0)
 
-let gate_section apps total_s =
+let gate_section apps total_s detect_eps =
   Json.Obj
     [ ( "apps",
         Json.Obj
@@ -689,16 +800,22 @@ let gate_section apps total_s =
                      ("text_pl", Json.Int g.g_text_pl);
                      ("reduction_pl", Json.Float (gate_reduction g)) ] ))
              apps) );
-      ("total_build_s", Json.Float total_s) ]
+      ("total_build_s", Json.Float total_s);
+      ("detect_elements_per_s", Json.Float detect_eps) ]
 
 (* The envelope committed in bench/baseline.json is a *budget*, not a
-   measurement: 3x the build time observed when the baseline was written,
-   so that slower CI runners still pass while a genuine blow-up (the gate
-   fails at 1.25x the envelope) is caught. *)
+   measurement: 3x the build time observed when the baseline was written
+   (and, symmetrically, a detection-throughput floor of 1/3 the observed
+   rate), so that slower CI runners still pass while a genuine blow-up
+   (the gate fails at 1.25x the time envelope / below 0.75x the throughput
+   floor) is caught. *)
 let envelope_slack = 3.0
 
 let write_baseline path =
   let apps, total_s = gate_measure () in
+  Printf.eprintf "[gate] measuring detection throughput...\n%!";
+  let eps, elements = detect_eps () in
+  let eps_floor = Float.round (eps /. envelope_slack) in
   let doc =
     Json.Obj
       [ ("schema", Json.Int 1);
@@ -714,11 +831,19 @@ let write_baseline path =
                apps) );
         ( "build_time_envelope_s",
           Json.Float (Float.round (total_s *. envelope_slack *. 100.) /. 100.)
-        ) ]
+        );
+        ( "detect",
+          Json.Obj
+            [ ("elements", Json.Int elements);
+              ("elements_per_s_floor", Json.Float eps_floor) ] ) ]
   in
   Obs.write_file path doc;
-  Printf.printf "wrote %s (%d apps, measured %.2fs, envelope %.2fs)\n" path
-    (List.length apps) total_s (total_s *. envelope_slack)
+  Printf.printf
+    "wrote %s (%d apps, measured %.2fs, envelope %.2fs, detect %.0f el/s, \
+     floor %.0f)\n"
+    path (List.length apps) total_s
+    (total_s *. envelope_slack)
+    eps eps_floor
 
 (* Reduction may not regress below the committed value by more than this
    (absolute, in reduction points). Sizes are deterministic, so any drift
@@ -731,7 +856,9 @@ let reduction_tolerance = 0.001
    failure messages (empty = pass). *)
 let gate ~baseline_path : Json.t * string list =
   let apps, total_s = gate_measure () in
-  let section = gate_section apps total_s in
+  Printf.eprintf "[gate] measuring detection throughput...\n%!";
+  let eps, _ = detect_eps () in
+  let section = gate_section apps total_s eps in
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
   (match
@@ -786,5 +913,21 @@ let gate ~baseline_path : Json.t * string list =
           (if total_s > limit then "FAIL" else "ok");
         if total_s > limit then
           add "total build time %.2fs exceeds envelope %.2fs by >25%%"
-            total_s env));
+            total_s env);
+     match
+       Option.bind
+         (Option.bind (Json.member "detect" doc)
+            (Json.member "elements_per_s_floor"))
+         Json.get_float
+     with
+     | None -> add "baseline has no \"detect\".\"elements_per_s_floor\""
+     | Some floor ->
+       let limit = floor *. 0.75 in
+       Printf.printf
+         "  detect throughput %.0f elements/s (floor %.0f, limit %.0f)  %s\n"
+         eps floor limit
+         (if eps < limit then "FAIL" else "ok");
+       if eps < limit then
+         add "detection throughput %.0f elements/s fell >25%% below floor %.0f"
+           eps floor);
   (section, List.rev !fail)

@@ -10,8 +10,9 @@
    The CI perf gate: `baseline` re-measures the six evaluation apps and
    writes bench/baseline.json (committed); `gate` re-measures and fails
    (exit 1) if any app's text-size reduction regressed against the
-   committed baseline or the total build time exceeds the committed
-   envelope by more than 25%. *)
+   committed baseline, the total build time exceeds the committed
+   envelope by more than 25%, or detection throughput falls more than
+   25% below the committed floor. *)
 
 module Obs = Calibro_obs.Obs
 
@@ -22,6 +23,8 @@ let usage () =
      subcommands:\n\
     \  all (default)    every table, figure, ablation and micro-benchmark\n\
     \  table1..table7, fig2..fig6, stats, ablation, bechamel, crosscheck\n\
+    \  detect           detection-throughput microbenchmark (largest app)\n\
+    \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
     \  gate             compare a fresh measurement against the committed\n\
@@ -75,6 +78,8 @@ let () =
   (match which with
    | "fig2" -> Harness.figure2 ()
    | "crosscheck" -> Harness.crosscheck ()
+   | "digest" -> Harness.digests ()
+   | "detect" -> Harness.detect_bench ()
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()

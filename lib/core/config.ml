@@ -45,7 +45,8 @@ let matrix ?(hot_methods = []) () =
     cto_ltbo;
     { cto_ltbo with name = "CTO+LTBO+PlOpti(2)"; parallel_trees = 2 };
     { cto_ltbo with name = "CTO+LTBO+PlOpti(8)"; parallel_trees = 8 };
-    { cto_ltbo with name = "CTO+LTBO+Rounds(2)"; ltbo_rounds = 2 } ]
+    { cto_ltbo with name = "CTO+LTBO+Rounds(2)"; ltbo_rounds = 2 };
+    { cto_ltbo with name = "CTO+LTBO+Rounds(3)"; ltbo_rounds = 3 } ]
   @
   if hot_methods = [] then []
   else [ cto_ltbo_pl_hf ~k:8 ~hot_methods () ]

@@ -1,0 +1,51 @@
+(* A set of disjoint half-open integer intervals, kept sorted by start in a
+   pair of growable parallel arrays. Membership/overlap queries binary-search
+   the starts; insertion shifts with [Array.blit]. This replaces the
+   linear-scan claimed-interval lists of the greedy selectors: with d
+   accepted decisions the old lists made overlap checks O(d) each, so
+   selection degraded quadratically on repeat-heavy inputs.
+
+   Both users (Ltbo.detect, Redundancy.analyze) only [add] intervals that
+   were first checked with [overlaps], so the disjointness invariant holds
+   by construction; [add] does not re-verify it. *)
+
+type t = {
+  mutable starts : int array;
+  mutable ends : int array;
+  mutable len : int;
+}
+
+let create () = { starts = Array.make 8 0; ends = Array.make 8 0; len = 0 }
+let length t = t.len
+
+(* Index of the first interval whose start is >= s. *)
+let lower_bound t s =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.starts.(mid) < s then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let overlaps t s e =
+  let i = lower_bound t s in
+  (i < t.len && t.starts.(i) < e) || (i > 0 && t.ends.(i - 1) > s)
+
+let add t s e =
+  if s >= e then invalid_arg "Interval_set.add: empty interval";
+  if t.len = Array.length t.starts then begin
+    let cap = 2 * t.len in
+    let ns = Array.make cap 0 and ne = Array.make cap 0 in
+    Array.blit t.starts 0 ns 0 t.len;
+    Array.blit t.ends 0 ne 0 t.len;
+    t.starts <- ns;
+    t.ends <- ne
+  end;
+  let i = lower_bound t s in
+  Array.blit t.starts i t.starts (i + 1) (t.len - i);
+  Array.blit t.ends i t.ends (i + 1) (t.len - i);
+  t.starts.(i) <- s;
+  t.ends.(i) <- e;
+  t.len <- t.len + 1
+
+let to_list t = List.init t.len (fun i -> (t.starts.(i), t.ends.(i)))

@@ -1,0 +1,24 @@
+(** A set of disjoint half-open integer intervals [\[s, e)], sorted in
+    growable arrays: O(log n) overlap queries (binary search on the starts)
+    and O(n) worst-case insertion via [Array.blit]. Used for the greedy
+    selectors' claimed-byte-range bookkeeping, replacing linear-scan
+    association lists. *)
+
+type t
+
+val create : unit -> t
+
+val overlaps : t -> int -> int -> bool
+(** [overlaps t s e] is [true] iff [\[s, e)] intersects any stored
+    interval. *)
+
+val add : t -> int -> int -> unit
+(** [add t s e] inserts [\[s, e)]. The caller must ensure it is disjoint
+    from every stored interval (check with {!overlaps} first) — the set
+    does not re-verify. Raises [Invalid_argument] if [s >= e]. *)
+
+val length : t -> int
+(** Number of stored intervals. *)
+
+val to_list : t -> (int * int) list
+(** The intervals in ascending order (for tests/debugging). *)

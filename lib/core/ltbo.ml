@@ -145,22 +145,22 @@ let detect ~options (methods : Compiled_method.t array) (group : int list) :
       candidates
   in
   (* Greedy selection with a global claimed-interval set (per method). *)
-  let claimed : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let claimed : (int, Interval_set.t) Hashtbl.t = Hashtbl.create 16 in
   let overlaps mi off len =
     match Hashtbl.find_opt claimed mi with
     | None -> false
-    | Some l -> List.exists (fun (s, e) -> off < e && s < off + len) !l
+    | Some s -> Interval_set.overlaps s off (off + len)
   in
   let claim mi off len =
-    let l =
+    let s =
       match Hashtbl.find_opt claimed mi with
-      | Some l -> l
+      | Some s -> s
       | None ->
-        let l = ref [] in
-        Hashtbl.replace claimed mi l;
-        l
+        let s = Interval_set.create () in
+        Hashtbl.replace claimed mi s;
+        s
     in
-    l := (off, off + len) :: !l
+    Interval_set.add s off (off + len)
   in
   let decisions = ref [] in
   let saved = ref 0 and occ_total = ref 0 in

@@ -15,15 +15,31 @@ open Calibro_codegen
 module Obs = Calibro_obs.Obs
 module Json = Calibro_obs.Json
 
-(* Deterministic "random" partition: shuffle with a seeded LCG, then split
-   evenly. *)
+(* Deterministic "random" partition: Fisher–Yates with a seeded splitmix64
+   stream, then split evenly. The previous power-of-two-modulus LCG made
+   the low output bit alternate strictly, so [state mod bound] fixed the
+   parity of every swap index and the "random" partition was strongly
+   structured. splitmix64 (Steele et al., "Fast splittable pseudorandom
+   number generators") is uniform in all 64 output bits; we draw from the
+   top 30 via a multiply-shift, which also avoids modulo bias. *)
 let partition ~k ~seed (candidates : int list) : int list list =
   let arr = Array.of_list candidates in
   let n = Array.length arr in
-  let state = ref (seed land 0x3FFFFFFF) in
+  let state = ref (Int64.of_int seed) in
   let rand bound =
-    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
-    !state mod bound
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let hi = Int64.to_int (Int64.shift_right_logical z 34) in
+    (hi * bound) asr 30
   in
   for i = n - 1 downto 1 do
     let j = rand (i + 1) in
@@ -36,14 +52,20 @@ let partition ~k ~seed (candidates : int list) : int list list =
   Array.iteri (fun i mi -> groups.(i mod k) <- mi :: groups.(i mod k)) arr;
   Array.to_list groups |> List.filter (fun g -> g <> [])
 
-(* Run [Ltbo.detect] over each group on its own domain. The number of live
-   domains is capped by the hardware's recommended count: spawning domains
-   beyond the core count only adds scheduler and GC overhead (on a 1-core
-   host the groups run sequentially, which still keeps the per-tree working
-   set small — the second benefit the paper describes). *)
-let detect_parallel ~options (methods : Compiled_method.t array)
+(* Run [Ltbo.detect] over each group, distributed across a fixed pool of
+   worker domains. The pool size is capped by the hardware's recommended
+   count: spawning domains beyond the core count only adds scheduler and GC
+   overhead (on a 1-core host the groups run sequentially, which still
+   keeps the per-tree working set small — the second benefit the paper
+   describes). [?max_domains] overrides the cap, mainly so tests can
+   exercise the pool on small hosts. *)
+let detect_parallel ?max_domains ~options (methods : Compiled_method.t array)
     (groups : int list list) : (Ltbo.decision list * Ltbo.stats) list =
-  let max_domains = max 1 (Domain.recommended_domain_count () - 1) in
+  let max_domains =
+    match max_domains with
+    | Some m -> max 1 m
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
   Obs.Gauge.set "plopti.max_domains" (float_of_int max_domains);
   (* The per-group span runs *inside* the worker, so each PlOpti domain
      contributes its own trace lane (tid = domain id) and its counter /
@@ -63,35 +85,35 @@ let detect_parallel ~options (methods : Compiled_method.t array)
     Obs.Counter.incr "plopti.cap_hits";
     List.map detect_group gs
   | gs ->
-    (* process in waves of [max_domains] *)
-    let rec waves acc = function
-      | [] -> List.concat (List.rev acc)
-      | gs ->
-        let rec take n = function
-          | [] -> ([], [])
-          | x :: rest when n > 0 ->
-            let a, b = take (n - 1) rest in
-            (x :: a, b)
-          | rest -> ([], rest)
-        in
-        let now, later = take max_domains gs in
-        Obs.Counter.incr "plopti.waves";
-        if later <> [] then Obs.Counter.incr "plopti.cap_hits";
-        Obs.Counter.add "plopti.domains_spawned" (List.length now);
-        let domains =
-          Obs.span ~cat:"plopti" "plopti.wave"
-            ~args:(fun () -> [ ("domains", Json.Int (List.length now)) ])
-            (fun () ->
-              let ds =
-                List.map
-                  (fun g -> Domain.spawn (fun () -> detect_group g))
-                  now
-              in
-              List.map Domain.join ds)
-        in
-        waves (domains :: acc) later
+    (* Fixed pool: [n_workers] domains pull group indices from a shared
+       atomic counter until the groups run out. Unlike wave scheduling
+       (spawn a batch, join the whole batch, repeat), no domain ever idles
+       behind the slowest group of a batch — a worker that finishes a cheap
+       group immediately claims the next one. Results land in a slot array
+       indexed by group, so the output order is the input group order
+       regardless of which domain ran what. *)
+    let groups_arr = Array.of_list gs in
+    let n = Array.length groups_arr in
+    let n_workers = min max_domains n in
+    if n > n_workers then Obs.Counter.incr "plopti.cap_hits";
+    Obs.Counter.add "plopti.domains_spawned" n_workers;
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      Obs.span ~cat:"plopti" "plopti.worker" @@ fun () ->
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (detect_group groups_arr.(i));
+          loop ()
+        end
+      in
+      loop ()
     in
-    waves [] gs
+    let domains = List.init n_workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
 
 (* Full PlOpti LTBO: partition into [k] groups, detect in parallel,
    rewrite. *)

@@ -11,13 +11,17 @@ val partition : k:int -> seed:int -> int list -> int list list
     the input. *)
 
 val detect_parallel :
+  ?max_domains:int ->
   options:Ltbo.options ->
   Compiled_method.t array ->
   int list list ->
   (Ltbo.decision list * Ltbo.stats) list
-(** Run {!Ltbo.detect} over each group. Live domains are capped at
-    [Domain.recommended_domain_count () - 1]; groups beyond that run in
-    waves (or sequentially on a single-core host). *)
+(** Run {!Ltbo.detect} over each group on a fixed pool of worker domains
+    pulling group indices from a shared atomic counter (no wave barrier: a
+    worker that finishes a cheap group immediately claims the next). The
+    pool size defaults to [Domain.recommended_domain_count () - 1] (min 1;
+    sequential on a single-core host); [?max_domains] overrides it, mainly
+    for tests. Results are in input group order. *)
 
 val run :
   ?options:Ltbo.options ->

@@ -117,4 +117,7 @@ let text_size b = Oat_file.text_size b.b_oat
 
 let reduction_vs ~baseline b =
   let bs = float_of_int (text_size baseline) in
-  (bs -. float_of_int (text_size b)) /. bs
+  (* An empty baseline text segment (an app with no methods) has nothing to
+     reduce: report 0.0 rather than 0/0 = NaN, which would poison every
+     downstream average and comparison. *)
+  if bs = 0.0 then 0.0 else (bs -. float_of_int (text_size b)) /. bs

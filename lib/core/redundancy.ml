@@ -80,19 +80,18 @@ let analyze ?(min_length = 2) ?(max_length = 64) (oat : Oat_file.t) : analysis
           (Benefit.saving ~length:a.length ~repeats:(List.length a.positions)))
       repeats
   in
-  let claimed = ref [] in
-  let overlaps s e = List.exists (fun (s', e') -> s < e' && s' < e) !claimed in
+  let claimed = Interval_set.create () in
   let saved = ref 0 in
   List.iter
     (fun (r : Suffix_tree.repeat) ->
       let len = r.length in
       let usable =
         Suffix_tree.non_overlapping ~length:len r.positions
-        |> List.filter (fun p -> not (overlaps p (p + len)))
+        |> List.filter (fun p -> not (Interval_set.overlaps claimed p (p + len)))
       in
       let n = List.length usable in
       if Benefit.worthwhile ~length:len ~repeats:n then begin
-        List.iter (fun p -> claimed := (p, p + len) :: !claimed) usable;
+        List.iter (fun p -> Interval_set.add claimed p (p + len)) usable;
         saved := !saved + Benefit.saving ~length:len ~repeats:n
       end)
     ordered;

@@ -33,6 +33,16 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
   Obs.Counter.add "linker.outlined_placed" (List.length extra);
   (* ---- Layout: thunks, then methods, then extra (outlined) functions. *)
   let symtab : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Every definition must bind a fresh symbol: the namespaces are disjoint
+     by construction (method slots below [Abi.thunk_sym_base], thunks and
+     outlined functions above it), so a collision means the caller produced
+     two definitions for one symbol and a silent [Hashtbl.replace] would
+     mislink every call site of the first. *)
+  let define sym off =
+    if Hashtbl.mem symtab sym then
+      raise (Link_error (Printf.sprintf "duplicate symbol %d" sym));
+    Hashtbl.replace symtab sym off
+  in
   let pos = ref 0 in
   let thunk_entries, method_entries, extra_entries, text =
     Obs.span ~cat:"link" "link.layout" @@ fun () ->
@@ -41,7 +51,7 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
       (fun th ->
         let code = Encode.to_bytes (Abi.thunk_body th) in
         let off = !pos in
-        Hashtbl.replace symtab (Abi.thunk_sym th) off;
+        define (Abi.thunk_sym th) off;
         pos := !pos + Bytes.length code;
         (th, off, code))
       thunks
@@ -50,7 +60,7 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
     List.map
       (fun (m : Compiled_method.t) ->
         let off = !pos in
-        Hashtbl.replace symtab m.slot off;
+        define m.slot off;
         pos := !pos + Bytes.length m.code;
         (m, off))
       methods
@@ -59,7 +69,7 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
     List.map
       (fun xf ->
         let off = !pos in
-        Hashtbl.replace symtab xf.xf_sym off;
+        define xf.xf_sym off;
         pos := !pos + Bytes.length xf.xf_code;
         (xf, off))
       extra

@@ -7,7 +7,15 @@
    separators occur exactly once in the input, so no repeated substring can
    ever contain one — which is how the paper confines repeats to basic
    blocks. A reserved terminal symbol is appended internally; inputs must
-   not contain it. *)
+   not contain it.
+
+   Construction leaves the usual node soup (per-node [Hashtbl] children,
+   shared [end_] refs); a single O(n) lowering pass then flattens it into
+   a post-order array representation in which every node's occurrence set
+   is one contiguous slice of a shared suffix-index array. Repeat
+   enumeration, occurrence listing and statistics all run over the flat
+   arrays — no per-node list concatenation, no allocation proportional to
+   subtree depth. *)
 
 let terminal = min_int
 (** Reserved end-of-sequence sentinel (the "$" of Figure 1). *)
@@ -26,6 +34,19 @@ type t = {
   text : int array;  (** input plus terminal sentinel *)
   root : node;
   n_nodes : int;
+  (* ---- Flat post-order lowering (filled once after construction) ----- *)
+  suffixes : int array;
+      (** suffix indices of all leaves, in DFS order: every node's
+          descendant-leaf set is [suffixes.(lo_of_id.(id)) ..
+          suffixes.(hi_of_id.(id) - 1)] *)
+  po_depth : int array;  (** per internal node (root excluded), post-order:
+                             string depth *)
+  po_lo : int array;     (** slice start into [suffixes] *)
+  po_hi : int array;     (** slice end (exclusive) *)
+  n_internal : int;      (** internal nodes, root excluded *)
+  lo_of_id : int array;  (** per node id: slice start into [suffixes] *)
+  hi_of_id : int array;
+  max_depth : int;       (** deepest string depth of any node *)
 }
 
 let text t = t.text
@@ -33,6 +54,67 @@ let input_length t = Array.length t.text - 1
 let node_count t = t.n_nodes
 
 let edge_length node = !(node.end_) - node.start
+
+let compare_int (a : int) (b : int) = compare a b
+
+(* One DFS over the node soup, visiting children in [Hashtbl.fold] order
+   (the same order the previous recursive enumeration used, so downstream
+   consumers see repeats in an identical sequence). Leaves land in
+   [suffixes] in visit order; each internal node becomes one post-order
+   slot whose occurrence set is the slice its subtree filled. Also assigns
+   leaf suffix indices, subsuming the former suffix-index DFS. *)
+let lower ~root ~n_nodes ~n =
+  let suffixes = Array.make n 0 in
+  let n_int = max 0 (n_nodes - n - 1) in
+  let po_depth = Array.make n_int 0 in
+  let po_lo = Array.make n_int 0 in
+  let po_hi = Array.make n_int 0 in
+  let lo_of_id = Array.make n_nodes 0 in
+  let hi_of_id = Array.make n_nodes 0 in
+  let next_leaf = ref 0 in
+  let next_internal = ref 0 in
+  let max_depth = ref 0 in
+  (* [Hashtbl.fold] conses in fold order, so the accumulated list is the
+     reverse; undo it to visit children exactly as a fold would. *)
+  let children_in_fold_order node =
+    List.rev (Hashtbl.fold (fun _ c acc -> c :: acc) node.children [])
+  in
+  let stack = ref [ (root, 0, ref (children_in_fold_order root), 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> assert false
+    | (node, depth, pending, lo) :: rest -> (
+      match !pending with
+      | child :: siblings ->
+        pending := siblings;
+        let cdepth = depth + edge_length child in
+        if Hashtbl.length child.children = 0 then begin
+          (* leaf: one suffix, a one-element slice *)
+          child.suffix_index <- n - cdepth;
+          suffixes.(!next_leaf) <- n - cdepth;
+          lo_of_id.(child.id) <- !next_leaf;
+          hi_of_id.(child.id) <- !next_leaf + 1;
+          incr next_leaf;
+          if cdepth > !max_depth then max_depth := cdepth
+        end
+        else
+          stack :=
+            (child, cdepth, ref (children_in_fold_order child), !next_leaf)
+            :: !stack
+      | [] ->
+        (* all children done: the subtree filled [lo, next_leaf) *)
+        stack := rest;
+        lo_of_id.(node.id) <- lo;
+        hi_of_id.(node.id) <- !next_leaf;
+        if node != root then begin
+          po_depth.(!next_internal) <- depth;
+          po_lo.(!next_internal) <- lo;
+          po_hi.(!next_internal) <- !next_leaf;
+          incr next_internal
+        end)
+  done;
+  (suffixes, po_depth, po_lo, po_hi, !next_internal, lo_of_id, hi_of_id,
+   !max_depth)
 
 let build input =
   Array.iter
@@ -125,16 +207,12 @@ let build input =
         end
     done
   done;
-  (* Set suffix indices by depth-first traversal. *)
-  let rec assign node depth =
-    if Hashtbl.length node.children = 0 then node.suffix_index <- n - depth
-    else
-      Hashtbl.iter
-        (fun _ child -> assign child (depth + edge_length child))
-        node.children
+  let suffixes, po_depth, po_lo, po_hi, n_internal, lo_of_id, hi_of_id,
+      max_depth =
+    lower ~root ~n_nodes:!next_id ~n
   in
-  Hashtbl.iter (fun _ c -> assign c (edge_length c)) root.children;
-  { text; root; n_nodes = !next_id }
+  { text; root; n_nodes = !next_id; suffixes; po_depth; po_lo; po_hi;
+    n_internal; lo_of_id; hi_of_id; max_depth }
 
 (* ---- Queries --------------------------------------------------------- *)
 
@@ -161,17 +239,22 @@ let walk t pattern =
 
 let contains t pattern = walk t pattern <> None
 
-let rec leaves_under node acc =
-  if Hashtbl.length node.children = 0 then node.suffix_index :: acc
-  else Hashtbl.fold (fun _ c acc -> leaves_under c acc) node.children acc
-
-(* All start positions at which [pattern] occurs in the input. *)
+(* All start positions at which [pattern] occurs in the input: the landing
+   node's slice of the suffix-index array, sorted ascending. *)
 let occurrences t pattern =
   match walk t pattern with
   | None -> []
-  | Some (node, _) -> List.sort compare (leaves_under node [])
+  | Some (node, _) ->
+    let lo = t.lo_of_id.(node.id) and hi = t.hi_of_id.(node.id) in
+    let out = Array.sub t.suffixes lo (hi - lo) in
+    Array.sort compare_int out;
+    Array.to_list out
 
-let count_occurrences t pattern = List.length (occurrences t pattern)
+(* Counting needs no sort: the slice width is the occurrence count. *)
+let count_occurrences t pattern =
+  match walk t pattern with
+  | None -> 0
+  | Some (node, _) -> t.hi_of_id.(node.id) - t.lo_of_id.(node.id)
 
 (* ---- Repeats (paper section 2.1.2 / 2.2 step 3) ---------------------- *)
 
@@ -183,29 +266,23 @@ type repeat = {
 (* Fold over every right-maximal repeated substring: each internal node
    (other than the root) with >= 2 transitively descendant leaves yields a
    repeat whose length is the node's string depth and whose occurrence
-   positions are the suffix indices of its descendant leaves. [min_length]
-   and [max_length] prune the traversal. *)
+   positions are the suffix indices of its descendant leaves. The flat
+   post-order arrays make this a linear scan: pruned nodes (outside
+   [min_length, max_length]) cost one comparison, and an emitted node costs
+   one slice copy + sort instead of a subtree-sized list concatenation. *)
 let fold_repeats ?(min_length = 1) ?(max_length = max_int) t ~init ~f =
   let acc = ref init in
-  (* Returns the leaf positions under the node. *)
-  let rec visit node depth =
-    if Hashtbl.length node.children = 0 then [ node.suffix_index ]
-    else begin
-      let positions =
-        Hashtbl.fold
-          (fun _ child acc -> List.rev_append (visit child (depth + edge_length child)) acc)
-          node.children []
-      in
-      if node != t.root && depth >= min_length && depth <= max_length
-         && List.compare_length_with positions 2 >= 0
-      then begin
-        let repeat = { length = depth; positions = List.sort compare positions } in
-        acc := f !acc repeat
-      end;
-      positions
+  for i = 0 to t.n_internal - 1 do
+    let depth = t.po_depth.(i) in
+    if depth >= min_length && depth <= max_length then begin
+      let lo = t.po_lo.(i) and hi = t.po_hi.(i) in
+      if hi - lo >= 2 then begin
+        let positions = Array.sub t.suffixes lo (hi - lo) in
+        Array.sort compare_int positions;
+        acc := f !acc { length = depth; positions = Array.to_list positions }
+      end
     end
-  in
-  ignore (visit t.root 0);
+  done;
   !acc
 
 let repeats ?min_length ?max_length t =
@@ -227,15 +304,5 @@ let non_overlapping ~length positions =
 type stats = { nodes : int; internal : int; leaves : int; max_depth : int }
 
 let stats t =
-  let internal = ref 0 and leaves = ref 0 and max_depth = ref 0 in
-  let rec visit node depth =
-    if depth > !max_depth then max_depth := depth;
-    if Hashtbl.length node.children = 0 then incr leaves
-    else begin
-      if node != t.root then incr internal;
-      Hashtbl.iter (fun _ c -> visit c (depth + edge_length c)) node.children
-    end
-  in
-  visit t.root 0;
-  { nodes = t.n_nodes; internal = !internal; leaves = !leaves;
-    max_depth = !max_depth }
+  { nodes = t.n_nodes; internal = t.n_internal;
+    leaves = Array.length t.suffixes; max_depth = t.max_depth }

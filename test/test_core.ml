@@ -186,11 +186,40 @@ let parallel_tests =
               (List.sort compare input)
               (List.sort compare (List.concat g1)))
           [ 1; 2; 3; 8; 64 ]);
-    Alcotest.test_case "wave scheduling matches sequential detection" `Slow
+    Alcotest.test_case "partition distribution is not parity-structured"
+      `Quick
       (fun () ->
-        (* More groups than available domains forces detect_parallel into
-           its wave loop; the results must be identical to running
-           Ltbo.detect over the same groups one by one. *)
+        (* Regression for the power-of-two-modulus LCG shuffle: its low
+           output bit alternated strictly, so with k=2 some elements were
+           pinned to one group for most seeds (observed skew up to 6.5
+           sigma). With 16 elements, k=2 and 200 seeds, each element's
+           group-0 membership count is binomial(200, 1/2): mean 100,
+           sigma ~7.1. Accept [70, 130] (+-4.2 sigma) — the biased
+           shuffle produced counts of 54 and 139 on this exact input. *)
+        let n = 16 and seeds = 200 in
+        let input = List.init n Fun.id in
+        let counts = Array.make n 0 in
+        for seed = 0 to seeds - 1 do
+          match Parallel.partition ~k:2 ~seed input with
+          | [ g0; _ ] -> List.iter (fun e -> counts.(e) <- counts.(e) + 1) g0
+          | gs ->
+            Alcotest.failf "expected 2 groups, got %d" (List.length gs)
+        done;
+        Array.iteri
+          (fun e c ->
+            Alcotest.(check bool)
+              (Printf.sprintf
+                 "element %d group-0 count %d within [70, 130] of %d seeds" e
+                 c seeds)
+              true
+              (c >= 70 && c <= 130))
+          counts);
+    Alcotest.test_case "domain pool matches sequential detection" `Slow
+      (fun () ->
+        (* More groups than pool workers forces detect_parallel to cycle
+           the atomic work counter; the results must be identical to
+           running Ltbo.detect over the same groups one by one, in input
+           group order. *)
         let a = Calibro_workload.Appgen.generate Calibro_workload.Apps.demo in
         let _, cms = compile_methods a.Calibro_workload.Appgen.app in
         let marr = Array.of_list cms in
@@ -200,14 +229,18 @@ let parallel_tests =
                  Calibro_codegen.Meta.outlinable
                    marr.(i).Calibro_codegen.Compiled_method.meta)
         in
-        let n_waves_floor = Domain.recommended_domain_count () - 1 in
-        let n_groups = max 4 ((2 * n_waves_floor) + 1) in
+        (* Pin the pool to 3 workers (so this also exercises real domains
+           on a single-core host) and hand it more groups than workers. *)
+        let n_workers = 3 in
+        let n_groups = (2 * n_workers) + 1 in
         let groups =
           List.init n_groups (fun i ->
               [ List.nth idxs (i mod List.length idxs) ])
         in
         let options = Ltbo.default_options in
-        let par = Parallel.detect_parallel ~options marr groups in
+        let par =
+          Parallel.detect_parallel ~max_domains:n_workers ~options marr groups
+        in
         let seq = List.map (fun g -> Ltbo.detect ~options marr g) groups in
         Alcotest.(check int) "group count" (List.length seq) (List.length par);
         List.iteri
@@ -354,6 +387,69 @@ let report_tests =
           (Astring.String.is_infix ~affix:"AVG" out))
   ]
 
+let interval_set_tests =
+  let naive_overlaps l s e = List.exists (fun (s', e') -> s < e' && s' < e) l in
+  [ Alcotest.test_case "interval set: overlap semantics on half-open ranges"
+      `Quick
+      (fun () ->
+        let t = Interval_set.create () in
+        Alcotest.(check bool) "empty set overlaps nothing" false
+          (Interval_set.overlaps t 0 100);
+        Interval_set.add t 10 20;
+        Interval_set.add t 30 40;
+        Alcotest.(check int) "two intervals" 2 (Interval_set.length t);
+        Alcotest.(check bool) "inside" true (Interval_set.overlaps t 15 16);
+        Alcotest.(check bool) "spanning" true (Interval_set.overlaps t 0 100);
+        Alcotest.(check bool) "left touch is disjoint (half-open)" false
+          (Interval_set.overlaps t 0 10);
+        Alcotest.(check bool) "right touch is disjoint (half-open)" false
+          (Interval_set.overlaps t 20 30);
+        Alcotest.(check bool) "gap" false (Interval_set.overlaps t 25 28);
+        Interval_set.add t 20 25;
+        Alcotest.(check (list (pair int int))) "sorted intervals"
+          [ (10, 20); (20, 25); (30, 40) ]
+          (Interval_set.to_list t);
+        Alcotest.check_raises "empty interval rejected"
+          (Invalid_argument "Interval_set.add: empty interval") (fun () ->
+            Interval_set.add t 5 5))
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ QCheck.Test.make ~count:500
+          ~name:"interval set agrees with the naive list model"
+          QCheck.(small_list (pair small_nat (int_range 1 8)))
+          (fun cands ->
+            (* Replay the selectors' usage pattern — query, then add only
+               if disjoint — against a linear-scan list model. *)
+            let t = Interval_set.create () in
+            let model = ref [] in
+            List.iter
+              (fun (s, len) ->
+                let e = s + len in
+                let expect = naive_overlaps !model s e in
+                if Interval_set.overlaps t s e <> expect then
+                  QCheck.Test.fail_reportf
+                    "overlaps (%d, %d) disagrees with model" s e;
+                if not expect then begin
+                  Interval_set.add t s e;
+                  model := (s, e) :: !model
+                end)
+              cands;
+            Interval_set.to_list t = List.sort compare !model)
+      ]
+
+let pipeline_edge_tests =
+  [ Alcotest.test_case "reduction_vs is 0 on an empty baseline" `Quick
+      (fun () ->
+        (* An app with no methods has an empty text segment; the reduction
+           ratio must degrade to 0.0, not 0/0 = NaN. *)
+        let apk = parse header in
+        let b = Pipeline.build ~config:Config.baseline apk in
+        Alcotest.(check int) "empty text" 0 (Pipeline.text_size b);
+        let r = Pipeline.reduction_vs ~baseline:b b in
+        Alcotest.(check (float 0.0)) "zero, not NaN" 0.0 r)
+  ]
+
 let suite =
-  seq_map_tests @ redundancy_tests @ parallel_tests @ workload_vm_tests
-  @ profile_tests @ report_tests
+  seq_map_tests @ redundancy_tests @ parallel_tests @ interval_set_tests
+  @ pipeline_edge_tests @ workload_vm_tests @ profile_tests @ report_tests

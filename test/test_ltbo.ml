@@ -295,7 +295,42 @@ let extension_suite =
         let r3 = build { Config.cto_ltbo with Config.ltbo_rounds = 3 } apk in
         let r6 = build { Config.cto_ltbo with Config.ltbo_rounds = 6 } apk in
         Alcotest.(check int) "fixpoint reached"
-          (Pipeline.text_size r3) (Pipeline.text_size r6))
+          (Pipeline.text_size r3) (Pipeline.text_size r6));
+    Alcotest.test_case "multi-round outlined symbols are unique" `Quick
+      (fun () ->
+        (* Round 2's sym_base advance relies on the *post-dedup*
+           s_outlined_functions count: if it advanced by the pre-dedup
+           candidate count (or not at all), a later round would re-issue
+           an earlier round's symbol and the linker would refuse the
+           duplicate. *)
+        let apk = parse redundant_src in
+        let methods = Dex_ir.methods_of_apk apk in
+        let slots = Hashtbl.create 8 in
+        List.iteri
+          (fun i (m : Dex_ir.meth) -> Hashtbl.replace slots m.name i)
+          methods;
+        let cms =
+          List.map
+            (fun m ->
+              Calibro_codegen.Codegen.compile
+                ~slot_of_method:(Hashtbl.find slots)
+                (let g = Calibro_hgraph.Hgraph.of_method m in
+                 ignore (Calibro_hgraph.Passes.optimize g);
+                 g))
+            methods
+        in
+        let r = Ltbo.run_rounds ~rounds:3 cms in
+        let syms =
+          List.map
+            (fun (xf : Calibro_oat.Linker.extra_function) -> xf.xf_sym)
+            r.Ltbo.outlined
+        in
+        Alcotest.(check bool) "at least one outlined function" true
+          (syms <> []);
+        Alcotest.(check int) "all symbols distinct" (List.length syms)
+          (List.length (List.sort_uniq compare syms));
+        Alcotest.(check bool) "all in the outlined namespace" true
+          (List.for_all (fun s -> s >= Ltbo.outlined_sym_base) syms))
   ]
 
 let suite = suite @ extension_suite

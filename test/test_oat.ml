@@ -48,6 +48,25 @@ let suite =
         match Linker.link ~apk_name:"t" [ caller ] with
         | exception Linker.Link_error _ -> ()
         | _ -> Alcotest.fail "expected Link_error");
+    Alcotest.test_case "duplicate symbol raises" `Quick (fun () ->
+        (* Two definitions of one symbol used to silently overwrite each
+           other ([Hashtbl.replace]), mislinking every call site of the
+           first definition. *)
+        let m0 = mk_method ~slot:3 [ Isa.Nop; Isa.Ret ] in
+        let m1 = mk_method ~slot:3 [ Isa.Ret ] in
+        (match Linker.link ~apk_name:"t" [ m0; m1 ] with
+         | exception Linker.Link_error msg ->
+           Alcotest.(check string) "names the symbol" "duplicate symbol 3"
+             msg
+         | _ -> Alcotest.fail "expected Link_error on duplicate slots");
+        (* an outlined function colliding with a method slot is also fatal *)
+        let xf =
+          { Linker.xf_sym = 3; xf_code = Encode.to_bytes [ Isa.Ret ] }
+        in
+        match Linker.link ~apk_name:"t" ~extra:[ xf ] [ m0 ] with
+        | exception Linker.Link_error msg ->
+          Alcotest.(check string) "names the symbol" "duplicate symbol 3" msg
+        | _ -> Alcotest.fail "expected Link_error on sym/slot collision");
     Alcotest.test_case "thunks precede methods and resolve" `Quick (fun () ->
         let caller =
           mk_method ~slot:0
