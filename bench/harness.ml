@@ -697,6 +697,84 @@ let detect_bench () =
   let eps, _ = detect_eps () in
   Printf.printf "  ltbo_detect (end to end): %12.0f elements/s\n%!" eps
 
+(* ---- Incremental-rebuild micro-benchmark (bench incr) ---------------------- *)
+
+module Cache = Calibro_cache.Cache
+
+(* Cold vs warm rebuild of the largest evaluation app (Kuaishou) under
+   CTO+LTBO+PlOpti(8) after a one-method edit. Each seed gets a fresh
+   cache primed with the unedited app, so the timed build is exactly
+   "developer edits one method, rebuilds": every untouched method hits the
+   compile cache and 7 of 8 PlOpti detection groups hit the detection
+   cache (the partition is seeded, so an edit only dirties its own group).
+   The warm OAT must be byte-identical to a cold build of the same mutant
+   — speed that changes bytes is a miscompile, and the gate fails on it
+   unconditionally. *)
+
+type incr_seed = {
+  i_seed : int;
+  i_warm_s : float;
+  i_speedup : float;
+  i_byte_equal : bool;
+}
+
+type incr_result = { i_cold_s : float; i_seeds : incr_seed list }
+
+let incr_min_speedup r =
+  List.fold_left (fun acc s -> min acc s.i_speedup) infinity r.i_seeds
+
+let incr_byte_equal r = List.for_all (fun s -> s.i_byte_equal) r.i_seeds
+
+let incr_measure () : incr_result =
+  let config = Config.cto_ltbo_pl ~k:8 () in
+  let a = Appgen.generate Apps.kuaishou in
+  let apk = a.Appgen.app in
+  Printf.eprintf "[incr] cold build (best of 3)...\n%!";
+  let cold_s =
+    best_of_3 (fun () -> Pipeline.build ~cache:None ~config apk)
+  in
+  let seeds =
+    List.map
+      (fun seed ->
+        let apk', edited = Mutate.edit_one ~seed apk in
+        Printf.eprintf "[incr] seed %d: edit %s, warm rebuild...\n%!" seed
+          (Calibro_dex.Dex_ir.method_ref_to_string edited);
+        let cache = Cache.create () in
+        ignore (Pipeline.build ~cache:(Some cache) ~config apk);
+        let t0 = Clock.now_ns () in
+        let warm = Pipeline.build ~cache:(Some cache) ~config apk' in
+        let warm_s = Clock.since_s t0 in
+        let cold = Pipeline.build ~cache:None ~config apk' in
+        let dg (b : Pipeline.build) =
+          Digest.bytes b.Pipeline.b_oat.Calibro_oat.Oat_file.text
+        in
+        { i_seed = seed;
+          i_warm_s = warm_s;
+          i_speedup = cold_s /. warm_s;
+          i_byte_equal = dg warm = dg cold })
+      [ 1; 2; 3 ]
+  in
+  { i_cold_s = cold_s; i_seeds = seeds }
+
+let incr_report r =
+  Printf.printf "  cold build: %.3fs (best of 3)\n" r.i_cold_s;
+  List.iter
+    (fun s ->
+      Printf.printf "  seed %d: warm %.3fs  speedup %5.1fx  bytes %s\n"
+        s.i_seed s.i_warm_s s.i_speedup
+        (if s.i_byte_equal then "identical" else "DIFFER"))
+    r.i_seeds;
+  Printf.printf "  min speedup: %.1fx\n%!" (incr_min_speedup r)
+
+(* `bench incr`: print the comparison; false (-> exit 1 in main) if any
+   warm build is not byte-identical to its cold twin. *)
+let incr_bench () : bool =
+  print_endline
+    "== bench incr: incremental rebuild after a one-method edit (Kuaishou) ==";
+  let r = incr_measure () in
+  incr_report r;
+  incr_byte_equal r
+
 (* ---- Crosscheck: the differential oracle over the evaluation apps ---------- *)
 
 (* Not a paper table: runs the lib/check differential oracle (baseline vs
@@ -788,7 +866,7 @@ let gate_measure () : gate_app list * float =
   in
   (apps, Clock.since_s t0)
 
-let gate_section apps total_s detect_eps =
+let gate_section apps total_s detect_eps incr =
   Json.Obj
     [ ( "apps",
         Json.Obj
@@ -801,7 +879,12 @@ let gate_section apps total_s detect_eps =
                      ("reduction_pl", Json.Float (gate_reduction g)) ] ))
              apps) );
       ("total_build_s", Json.Float total_s);
-      ("detect_elements_per_s", Json.Float detect_eps) ]
+      ("detect_elements_per_s", Json.Float detect_eps);
+      ( "incr",
+        Json.Obj
+          [ ("cold_s", Json.Float incr.i_cold_s);
+            ("warm_speedup", Json.Float (incr_min_speedup incr));
+            ("byte_equal", Json.Bool (incr_byte_equal incr)) ] ) ]
 
 (* The envelope committed in bench/baseline.json is a *budget*, not a
    measurement: 3x the build time observed when the baseline was written
@@ -816,6 +899,14 @@ let write_baseline path =
   Printf.eprintf "[gate] measuring detection throughput...\n%!";
   let eps, elements = detect_eps () in
   let eps_floor = Float.round (eps /. envelope_slack) in
+  Printf.eprintf "[gate] measuring incremental rebuild...\n%!";
+  let incr = incr_measure () in
+  if not (incr_byte_equal incr) then
+    failwith "incr: warm rebuild is not byte-identical to cold";
+  let incr_speedup = incr_min_speedup incr in
+  let incr_floor =
+    Float.round (incr_speedup /. envelope_slack *. 100.) /. 100.
+  in
   let doc =
     Json.Obj
       [ ("schema", Json.Int 1);
@@ -835,15 +926,17 @@ let write_baseline path =
         ( "detect",
           Json.Obj
             [ ("elements", Json.Int elements);
-              ("elements_per_s_floor", Json.Float eps_floor) ] ) ]
+              ("elements_per_s_floor", Json.Float eps_floor) ] );
+        ( "incr",
+          Json.Obj [ ("warm_speedup_floor", Json.Float incr_floor) ] ) ]
   in
   Obs.write_file path doc;
   Printf.printf
     "wrote %s (%d apps, measured %.2fs, envelope %.2fs, detect %.0f el/s, \
-     floor %.0f)\n"
+     floor %.0f, incr %.1fx, floor %.2fx)\n"
     path (List.length apps) total_s
     (total_s *. envelope_slack)
-    eps eps_floor
+    eps eps_floor incr_speedup incr_floor
 
 (* Reduction may not regress below the committed value by more than this
    (absolute, in reduction points). Sizes are deterministic, so any drift
@@ -858,9 +951,19 @@ let gate ~baseline_path : Json.t * string list =
   let apps, total_s = gate_measure () in
   Printf.eprintf "[gate] measuring detection throughput...\n%!";
   let eps, _ = detect_eps () in
-  let section = gate_section apps total_s eps in
+  Printf.eprintf "[gate] measuring incremental rebuild...\n%!";
+  let incr = incr_measure () in
+  let section = gate_section apps total_s eps incr in
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  (* Byte equality is a correctness property, not a perf budget: it fails
+     the gate whatever the committed baseline says. *)
+  List.iter
+    (fun s ->
+      if not s.i_byte_equal then
+        add "incr seed %d: warm rebuild is not byte-identical to cold"
+          s.i_seed)
+    incr.i_seeds;
   (match
      let contents =
        let ic = open_in baseline_path in
@@ -914,20 +1017,41 @@ let gate ~baseline_path : Json.t * string list =
         if total_s > limit then
           add "total build time %.2fs exceeds envelope %.2fs by >25%%"
             total_s env);
+     (match
+        Option.bind
+          (Option.bind (Json.member "detect" doc)
+             (Json.member "elements_per_s_floor"))
+          Json.get_float
+      with
+      | None -> add "baseline has no \"detect\".\"elements_per_s_floor\""
+      | Some floor ->
+        let limit = floor *. 0.75 in
+        Printf.printf
+          "  detect throughput %.0f elements/s (floor %.0f, limit %.0f)  %s\n"
+          eps floor limit
+          (if eps < limit then "FAIL" else "ok");
+        if eps < limit then
+          add
+            "detection throughput %.0f elements/s fell >25%% below floor %.0f"
+            eps floor);
      match
        Option.bind
-         (Option.bind (Json.member "detect" doc)
-            (Json.member "elements_per_s_floor"))
+         (Option.bind (Json.member "incr" doc)
+            (Json.member "warm_speedup_floor"))
          Json.get_float
      with
-     | None -> add "baseline has no \"detect\".\"elements_per_s_floor\""
+     | None -> add "baseline has no \"incr\".\"warm_speedup_floor\""
      | Some floor ->
+       let speedup = incr_min_speedup incr in
        let limit = floor *. 0.75 in
        Printf.printf
-         "  detect throughput %.0f elements/s (floor %.0f, limit %.0f)  %s\n"
-         eps floor limit
-         (if eps < limit then "FAIL" else "ok");
-       if eps < limit then
-         add "detection throughput %.0f elements/s fell >25%% below floor %.0f"
-           eps floor);
+         "  incr warm speedup %.1fx, bytes %s (floor %.2fx, limit %.2fx)  %s\n"
+         speedup
+         (if incr_byte_equal incr then "identical" else "DIFFER")
+         floor limit
+         (if speedup < limit || not (incr_byte_equal incr) then "FAIL"
+          else "ok");
+       if speedup < limit then
+         add "incremental warm speedup %.1fx fell >25%% below floor %.2fx"
+           speedup floor);
   (section, List.rev !fail)

@@ -24,6 +24,8 @@ let usage () =
     \  all (default)    every table, figure, ablation and micro-benchmark\n\
     \  table1..table7, fig2..fig6, stats, ablation, bechamel, crosscheck\n\
     \  detect           detection-throughput microbenchmark (largest app)\n\
+    \  incr             cold vs warm incremental rebuild after a one-method\n\
+    \                   edit (largest app); exit 1 if warm bytes differ\n\
     \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
@@ -80,6 +82,7 @@ let () =
    | "crosscheck" -> Harness.crosscheck ()
    | "digest" -> Harness.digests ()
    | "detect" -> Harness.detect_bench ()
+   | "incr" -> if not (Harness.incr_bench ()) then exit_code := 1
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()

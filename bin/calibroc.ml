@@ -40,7 +40,14 @@ let build_cmd =
            ~doc:"simpleperf-style profile enabling hot-function filtering.")
   in
   let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the oatdump of the result.") in
-  let run input output cto ltbo parallel hot_profile dump =
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Content-addressed compilation cache directory: per-method \
+                 artifacts and LTBO detection results are reused across \
+                 builds (incremental rebuilds). Overrides \
+                 \\$(b,CALIBRO_CACHE_DIR).")
+  in
+  let run input output cto ltbo parallel hot_profile dump cache_dir =
     match parse_apk input with
     | Error e -> prerr_endline e; exit 1
     | Ok apk -> (
@@ -62,10 +69,24 @@ let build_cmd =
           parallel_trees = parallel;
           hot_methods }
       in
-      match Pipeline.build ~config apk with
+      let cache =
+        match cache_dir with
+        | Some dir -> Some (Calibro_cache.Cache.create ~dir ())
+        | None -> Lazy.force Pipeline.env_cache
+      in
+      match Pipeline.build ~cache ~config apk with
       | exception Pipeline.Build_error e -> prerr_endline e; exit 1
       | build ->
         let oat = build.Pipeline.b_oat in
+        (match cache with
+         | None -> ()
+         | Some _ ->
+           let v n = Calibro_obs.Obs.Counter.value ("cache.method." ^ n) in
+           Printf.printf
+             "cache: %d method hits (%d from disk), %d misses, %d corrupt \
+              entries\n"
+             (v "hits" + v "disk_hits") (v "disk_hits") (v "misses")
+             (v "disk_corrupt"));
         Printf.printf "text segment: %d bytes (%d methods, %d thunks, %d outlined)\n"
           (Calibro_oat.Oat_file.text_size oat)
           (List.length oat.Calibro_oat.Oat_file.methods)
@@ -88,7 +109,8 @@ let build_cmd =
         if dump then print_string (Calibro_oat.Oatdump.dump oat))
   in
   Cmd.v (Cmd.info "build" ~doc:"Compile a .dexsim file to an OAT image.")
-    Term.(const run $ input $ output $ cto $ ltbo $ parallel $ hot_profile $ dump)
+    Term.(const run $ input $ output $ cto $ ltbo $ parallel $ hot_profile
+          $ dump $ cache_dir)
 
 (* ---- run ------------------------------------------------------------------- *)
 

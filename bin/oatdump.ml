@@ -10,8 +10,12 @@ let dump_cmd =
   let run input no_methods =
     match Calibro_oat.Oat_file.load input with
     | Error e -> prerr_endline e; exit 1
-    | Ok oat ->
-      print_string (Calibro_oat.Oatdump.dump ~methods:(not no_methods) oat)
+    | Ok oat -> (
+      match Calibro_oat.Oatdump.dump ~methods:(not no_methods) oat with
+      | dump -> print_string dump
+      | exception Calibro_oat.Oat_file.Oat_error e ->
+        prerr_endline ("oatdump: " ^ e);
+        exit 1)
   in
   Term.(const run $ input $ no_methods)
 

@@ -96,6 +96,48 @@ let truncate_outlined (oat : Oat.t) : Oat.t option =
       (Encode.encode Isa.Nop);
     Some oat
 
+(* ---- On-disk compilation-cache faults -----------------------------------
+
+   The disk tier of {!Calibro_cache.Cache} promises corruption is detected
+   (payload digest), treated as a miss, and never surfaces as wrong code.
+   These helpers manufacture the corruptions that promise is tested
+   against: the two failure modes real cache directories exhibit —
+   truncation (crash mid-write, full disk) and bit rot. They operate on
+   entry files by path ({!Calibro_cache.Cache.entry_files}) so this module
+   needs no dependency on the cache itself. *)
+
+module Cache = struct
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let write_file path s =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc s)
+
+  (* Keep the first half: the JSON document is cut mid-structure, as a
+     crash between [write] and [rename]'s durability would leave it. *)
+  let truncate path =
+    let s = read_file path in
+    write_file path (String.sub s 0 (String.length s / 2));
+    Calibro_obs.Obs.Counter.incr "fault.injected.cache-truncate"
+
+  (* Flip one bit in the middle of the file. The middle of an entry is
+     inside the payload (the header fields are short), so the document
+     still parses as JSON more often than not — only the digest check can
+     tell. *)
+  let bitflip path =
+    let s = Bytes.of_string (read_file path) in
+    let i = Bytes.length s / 2 in
+    Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0x10));
+    write_file path (Bytes.to_string s);
+    Calibro_obs.Obs.Counter.incr "fault.injected.cache-bitflip"
+end
+
 (* Inject [kind] into [oat]. [None] means the image offers no applicable
    site (e.g. no outlined functions in a CTO-only build). *)
 let inject (kind : kind) (oat : Oat.t) : Oat.t option =

@@ -23,6 +23,7 @@ open Calibro_codegen
 open Calibro_suffix_tree
 module Obs = Calibro_obs.Obs
 module Json = Calibro_obs.Json
+module Cache = Calibro_cache.Cache
 
 let outlined_sym_base = 0x500000
 
@@ -73,11 +74,8 @@ let merge_stats a b =
 (* Build the mapped sequence for [group] (indices into [methods]) and
    detect repeats. Returns decisions (occurrences expressed against global
    method indices) and statistics. *)
-let detect ~options (methods : Compiled_method.t array) (group : int list) :
-    decision list * stats =
-  Obs.span ~cat:"ltbo" "ltbo.detect"
-    ~args:(fun () -> [ ("group_methods", Json.Int (List.length group)) ])
-  @@ fun () ->
+let detect_uncached ~options (methods : Compiled_method.t array)
+    (group : int list) : decision list * stats =
   let a = Seq_map.new_allocator () in
   (* Concatenate per-method element lists; record the provenance of every
      sequence slot. *)
@@ -218,6 +216,132 @@ let detect ~options (methods : Compiled_method.t array) (group : int list) :
       s_outlined_functions = List.length !decisions;
       s_occurrences_replaced = !occ_total;
       s_instructions_saved = !saved } )
+
+(* ---- Detection memoization ---------------------------------------------
+
+   [detect_uncached] is a pure function of (options, the token sequences of
+   the group's methods): decisions are selected deterministically and
+   expressed against method indices and offsets. That makes whole-group
+   results safe to memoize content-addressed: the key folds in the cache
+   salt, the length bounds and each member's canonical token digest
+   ({!Seq_map.digest}), in group order. On an incremental rebuild where one
+   method changed, every group that does not contain it keys identically
+   and skips sequence mapping, tree construction and selection outright.
+
+   [digest_of] is the fast path: digests computed at compile time (and
+   stored with the cached artifact) for methods under the default
+   eligibility policy. Hot methods (hot-function filtering changes their
+   token run) always re-digest with their actual eligibility. *)
+
+let detect_ns = "detect"
+
+let group_key ~options ~digest_of (methods : Compiled_method.t array)
+    (group : int list) : string =
+  let digest_for mi =
+    let cm = methods.(mi) in
+    let hot = options.is_hot cm.Compiled_method.name in
+    let provided =
+      if hot then None
+      else match digest_of with Some f -> f mi | None -> None
+    in
+    match provided with
+    | Some d -> d
+    | None ->
+      let eligible off =
+        (not hot) || Meta.in_slowpath cm.Compiled_method.meta off
+      in
+      Seq_map.method_digest ~eligible cm
+  in
+  Cache.key
+    (Cache.salt :: detect_ns
+     :: string_of_int options.min_length
+     :: string_of_int options.max_length
+     :: List.concat_map (fun mi -> [ string_of_int mi; digest_for mi ]) group)
+
+let detect_result_to_json ((decisions, st) : decision list * stats) : Json.t =
+  Json.Obj
+    [ ( "decisions",
+        Json.List
+          (List.map
+             (fun d ->
+               Json.Obj
+                 [ ("len", Json.Int d.d_length);
+                   ( "words",
+                     Json.List
+                       (Array.to_list
+                          (Array.map (fun w -> Json.Int w) d.d_words)) );
+                   ( "occ",
+                     Json.List
+                       (List.map
+                          (fun (mi, off) ->
+                            Json.List [ Json.Int mi; Json.Int off ])
+                          d.d_occurrences) ) ])
+             decisions) );
+      ( "stats",
+        Json.List
+          (List.map
+             (fun i -> Json.Int i)
+             [ st.s_candidate_methods; st.s_sequence_elements;
+               st.s_tree_nodes; st.s_repeats_considered;
+               st.s_outlined_functions; st.s_occurrences_replaced;
+               st.s_instructions_saved ]) ) ]
+
+let detect_result_of_json (j : Json.t) : (decision list * stats) option =
+  let ( let* ) = Option.bind in
+  let rec all_opt = function
+    | [] -> Some []
+    | None :: _ -> None
+    | Some x :: rest ->
+      let* rest = all_opt rest in
+      Some (x :: rest)
+  in
+  let int_pair j =
+    match Json.get_list j with
+    | Some [ a; b ] -> (
+      match (Json.get_int a, Json.get_int b) with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+    | _ -> None
+  in
+  let decision j =
+    let* len = Option.bind (Json.member "len" j) Json.get_int in
+    let* words = Option.bind (Json.member "words" j) Json.get_list in
+    let* words = all_opt (List.map Json.get_int words) in
+    let* occ = Option.bind (Json.member "occ" j) Json.get_list in
+    let* occ = all_opt (List.map int_pair occ) in
+    Some
+      { d_length = len; d_words = Array.of_list words; d_occurrences = occ }
+  in
+  let* ds = Option.bind (Json.member "decisions" j) Json.get_list in
+  let* decisions = all_opt (List.map decision ds) in
+  let* st = Option.bind (Json.member "stats" j) Json.get_list in
+  let* st = all_opt (List.map Json.get_int st) in
+  match st with
+  | [ a; b; c; d; e; f; g ] ->
+    Some
+      ( decisions,
+        { s_candidate_methods = a; s_sequence_elements = b; s_tree_nodes = c;
+          s_repeats_considered = d; s_outlined_functions = e;
+          s_occurrences_replaced = f; s_instructions_saved = g } )
+  | _ -> None
+
+let detect ?cache ?digest_of ~options (methods : Compiled_method.t array)
+    (group : int list) : decision list * stats =
+  Obs.span ~cat:"ltbo" "ltbo.detect"
+    ~args:(fun () -> [ ("group_methods", Json.Int (List.length group)) ])
+  @@ fun () ->
+  match cache with
+  | None -> detect_uncached ~options methods group
+  | Some c -> (
+    let key = group_key ~options ~digest_of methods group in
+    match Option.bind (Cache.find_json c ~ns:detect_ns key)
+            detect_result_of_json
+    with
+    | Some r -> r
+    | None ->
+      let r = detect_uncached ~options methods group in
+      Cache.add_json c ~ns:detect_ns key (detect_result_to_json r);
+      r)
 
 (* ---- Steps 3 & 4: rewriting, patching ---------------------------------- *)
 
@@ -404,7 +528,7 @@ let run_with ?(sym_base = outlined_sym_base)
   { methods = methods'; outlined = List.rev !outlined; stats }
 
 (* Single global suffix tree (the non-PlOpti configuration). *)
-let run ?(options = default_options) ?sym_base
+let run ?cache ?digest_of ?(options = default_options) ?sym_base
     (methods : Compiled_method.t list) : result =
   let marr = Array.of_list methods in
   let candidates =
@@ -414,7 +538,7 @@ let run ?(options = default_options) ?sym_base
     |> List.filter_map (fun (i, cm) ->
            if Meta.outlinable cm.Compiled_method.meta then Some i else None)
   in
-  let detect_results = [ detect ~options marr candidates ] in
+  let detect_results = [ detect ?cache ?digest_of ~options marr candidates ] in
   run_with ?sym_base ~detect_results methods
 
 (* ---- Multi-round outlining ------------------------------------------------
@@ -425,13 +549,16 @@ let run ?(options = default_options) ?sym_base
    for iOS and the paper cites as related work. Outlined functions
    themselves are never re-outlined (they are not methods and carry no
    metadata), so rounds converge quickly. *)
-let run_rounds ?(options = default_options) ~rounds
+let run_rounds ?cache ?digest_of ?(options = default_options) ~rounds
     (methods : Compiled_method.t list) : result =
-  let rec go n sym_base methods acc_outlined acc_stats =
+  (* The compile-time digests describe the *input* methods: they are only
+     valid for the first round. Later rounds run over rewritten code, so
+     they re-digest (the cache still skips converged groups). *)
+  let rec go n sym_base methods acc_outlined acc_stats digest_of =
     if n = 0 then
       { methods; outlined = List.rev acc_outlined; stats = acc_stats }
     else begin
-      let r = run ~options ~sym_base methods in
+      let r = run ?cache ?digest_of ~options ~sym_base methods in
       if r.stats.s_outlined_functions = 0 then
         { methods; outlined = List.rev acc_outlined; stats = acc_stats }
       else
@@ -440,6 +567,7 @@ let run_rounds ?(options = default_options) ~rounds
           r.methods
           (List.rev_append r.outlined acc_outlined)
           (merge_stats acc_stats r.stats)
+          None
     end
   in
-  go rounds outlined_sym_base methods [] empty_stats
+  go rounds outlined_sym_base methods [] empty_stats digest_of

@@ -41,13 +41,29 @@ val empty_stats : stats
 val merge_stats : stats -> stats -> stats
 
 val detect :
+  ?cache:Calibro_cache.Cache.t ->
+  ?digest_of:(int -> string option) ->
   options:options ->
   Compiled_method.t array ->
   int list ->
   decision list * stats
 (** Detection over one group of method indices (one suffix tree). Pure with
     respect to shared state, so groups may run on separate domains
-    ({!Parallel}). *)
+    ({!Parallel}).
+
+    Detection is also a pure function of the group's token sequences, so
+    with [?cache] whole-group results are memoized under a key built from
+    the cache salt, the length bounds and each member's canonical token
+    digest ({!Seq_map.digest}) — a hit skips sequence mapping, suffix-tree
+    construction and selection entirely. [?digest_of] supplies digests
+    already computed at compile time (global method index -> digest under
+    the default eligibility policy); hot methods are always re-digested
+    with their actual eligibility. *)
+
+val detect_result_to_json : decision list * stats -> Calibro_obs.Json.t
+val detect_result_of_json :
+  Calibro_obs.Json.t -> (decision list * stats) option
+(** The memoization codec, exposed for tests. *)
 
 type site = { st_off : int; st_len_words : int; st_sym : int }
 
@@ -71,10 +87,23 @@ val run_with :
 (** Apply a set of detection results: allocate symbols (identical bodies
     are deduplicated), rewrite methods, merge statistics. *)
 
-val run : ?options:options -> ?sym_base:int -> Compiled_method.t list -> result
-(** Single global suffix tree (the paper's non-PlOpti configuration). *)
+val run :
+  ?cache:Calibro_cache.Cache.t ->
+  ?digest_of:(int -> string option) ->
+  ?options:options ->
+  ?sym_base:int ->
+  Compiled_method.t list ->
+  result
+(** Single global suffix tree (the paper's non-PlOpti configuration).
+    [?cache]/[?digest_of] as in {!detect}. *)
 
 val run_rounds :
-  ?options:options -> rounds:int -> Compiled_method.t list -> result
+  ?cache:Calibro_cache.Cache.t ->
+  ?digest_of:(int -> string option) ->
+  ?options:options ->
+  rounds:int ->
+  Compiled_method.t list ->
+  result
 (** Iterated whole-program outlining (related-work extension); stops early
-    at a fixpoint. *)
+    at a fixpoint. [?digest_of] only applies to the first round (later
+    rounds see rewritten code). *)

@@ -59,8 +59,9 @@ let partition ~k ~seed (candidates : int list) : int list list =
    keeps the per-tree working set small — the second benefit the paper
    describes). [?max_domains] overrides the cap, mainly so tests can
    exercise the pool on small hosts. *)
-let detect_parallel ?max_domains ~options (methods : Compiled_method.t array)
-    (groups : int list list) : (Ltbo.decision list * Ltbo.stats) list =
+let detect_parallel ?max_domains ?cache ?digest_of ~options
+    (methods : Compiled_method.t array) (groups : int list list) :
+    (Ltbo.decision list * Ltbo.stats) list =
   let max_domains =
     match max_domains with
     | Some m -> max 1 m
@@ -73,7 +74,7 @@ let detect_parallel ?max_domains ~options (methods : Compiled_method.t array)
   let detect_group g =
     Obs.span ~cat:"plopti" "plopti.detect_group"
       ~args:(fun () -> [ ("group_methods", Json.Int (List.length g)) ])
-      (fun () -> Ltbo.detect ~options methods g)
+      (fun () -> Ltbo.detect ?cache ?digest_of ~options methods g)
   in
   Obs.span ~cat:"plopti" "plopti.detect_parallel"
     ~args:(fun () -> [ ("groups", Json.Int (List.length groups)) ])
@@ -117,7 +118,7 @@ let detect_parallel ?max_domains ~options (methods : Compiled_method.t array)
 
 (* Full PlOpti LTBO: partition into [k] groups, detect in parallel,
    rewrite. *)
-let run ?(options = Ltbo.default_options) ?(seed = 42) ~k
+let run ?cache ?digest_of ?(options = Ltbo.default_options) ?(seed = 42) ~k
     (methods : Compiled_method.t list) : Ltbo.result =
   let marr = Array.of_list methods in
   let candidates =
@@ -126,5 +127,5 @@ let run ?(options = Ltbo.default_options) ?(seed = 42) ~k
            if Meta.outlinable cm.Compiled_method.meta then Some i else None)
   in
   let groups = partition ~k ~seed candidates in
-  let detect_results = detect_parallel ~options marr groups in
+  let detect_results = detect_parallel ?cache ?digest_of ~options marr groups in
   Ltbo.run_with ~detect_results methods

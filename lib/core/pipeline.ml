@@ -15,6 +15,7 @@ open Calibro_oat
 module Obs = Calibro_obs.Obs
 module Clock = Calibro_obs.Clock
 module Json = Calibro_obs.Json
+module Cache = Calibro_cache.Cache
 
 type build = {
   b_config : Config.t;
@@ -38,7 +39,44 @@ let timed phases name f =
       phases := (name, Clock.since_s t0) :: !phases;
       r)
 
-let build ?(config = Config.baseline) (apk : Dex_ir.apk) : build =
+(* ---- Compilation cache -------------------------------------------------
+
+   The per-method key covers everything [Codegen.compile] reads: the
+   method's own IR (instructions, register/parameter shape, flags, name),
+   its slot, the slot of every callee in call order (cached code embeds
+   resolved callee symbols in its relocations, so an add/delete elsewhere
+   in the apk that shifts a callee's slot must miss), the configuration
+   bits that reach codegen, and the cache salt. [Marshal] with
+   [No_sharing] on [Dex_ir] values is deterministic: they contain no
+   closures or cycles, and without back-references the encoding depends
+   only on structure, never on how the front end happened to share
+   sub-values — structurally equal methods always hash identically. *)
+
+let method_key ~(config : Config.t) ~slot_of_method ~slot (m : Dex_ir.meth) =
+  let callee_slots =
+    Array.to_list m.Dex_ir.insns
+    |> List.filter_map (function
+         | Dex_ir.Invoke (callee, _, _) -> Some (callee, slot_of_method callee)
+         | _ -> None)
+  in
+  Cache.key
+    [ Cache.salt; "method";
+      Digest.string
+        (Marshal.to_string (m, slot, callee_slots) [ Marshal.No_sharing ]);
+      Printf.sprintf "ir=%b;cto=%b" config.Config.optimize_ir
+        config.Config.cto ]
+
+(* The ambient cache: [CALIBRO_CACHE_DIR] names an on-disk store shared by
+   every build that does not pass [?cache] explicitly. Unset (or empty)
+   means no ambient cache. *)
+let env_cache : Cache.t option Lazy.t =
+  lazy
+    (match Sys.getenv_opt "CALIBRO_CACHE_DIR" with
+     | Some dir when String.trim dir <> "" -> Some (Cache.create ~dir ())
+     | _ -> None)
+
+let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline)
+    (apk : Dex_ir.apk) : build =
   Obs.span ~cat:"pipeline" "pipeline.build"
     ~args:(fun () ->
       [ ("apk", Json.Str apk.Dex_ir.apk_name);
@@ -64,17 +102,39 @@ let build ?(config = Config.baseline) (apk : Dex_ir.apk) : build =
       raise (Build_error ("undefined method " ^ Dex_ir.method_ref_to_string name))
   in
   (* Frontend + IR optimization + codegen, per method (Figure 5's per-method
-     lanes). *)
+     lanes). With a cache, hits skip HGraph construction, the IR passes and
+     codegen; misses are compiled as before, digested, and stored. The
+     token digests feed the LTBO detection memo below. *)
+  let digests = Array.make (List.length methods) None in
+  let compile_method (m : Dex_ir.meth) =
+    let g = Hgraph.of_method m in
+    if config.Config.optimize_ir then ignore (Passes.optimize g);
+    Codegen.compile ~config:{ Codegen.cto = config.Config.cto } ~slot_of_method
+      g
+  in
   let compiled =
     timed phases "dex2oat" (fun () ->
-        List.map
-          (fun m ->
-            let g = Hgraph.of_method m in
-            if config.Config.optimize_ir then ignore (Passes.optimize g);
-            Codegen.compile
-              ~config:{ Codegen.cto = config.Config.cto }
-              ~slot_of_method g)
-          methods)
+        match cache with
+        | None -> List.map compile_method methods
+        | Some c ->
+          List.mapi
+            (fun i (m : Dex_ir.meth) ->
+              let key =
+                method_key ~config ~slot_of_method
+                  ~slot:(slot_of_method m.Dex_ir.name) m
+              in
+              match Cache.find_method c key with
+              | Some e ->
+                digests.(i) <- Some e.Cache.ce_token_digest;
+                e.Cache.ce_method
+              | None ->
+                let cm = compile_method m in
+                let d = Seq_map.method_digest cm in
+                digests.(i) <- Some d;
+                Cache.add_method c key
+                  { Cache.ce_method = cm; ce_token_digest = d };
+                cm)
+            methods)
   in
   (* LTBO.2 *)
   let compiled, outlined, ltbo_stats =
@@ -82,13 +142,19 @@ let build ?(config = Config.baseline) (apk : Dex_ir.apk) : build =
     else
       timed phases "ltbo" (fun () ->
           let options = Config.ltbo_options config in
+          let digest_of =
+            match cache with
+            | None -> None
+            | Some _ -> Some (fun mi -> digests.(mi))
+          in
           let result =
             if config.Config.parallel_trees > 1 then
-              Parallel.run ~options ~k:config.Config.parallel_trees compiled
+              Parallel.run ?cache ?digest_of ~options
+                ~k:config.Config.parallel_trees compiled
             else if config.Config.ltbo_rounds > 1 then
-              Ltbo.run_rounds ~options ~rounds:config.Config.ltbo_rounds
-                compiled
-            else Ltbo.run ~options compiled
+              Ltbo.run_rounds ?cache ?digest_of ~options
+                ~rounds:config.Config.ltbo_rounds compiled
+            else Ltbo.run ?cache ?digest_of ~options compiled
           in
           (result.Ltbo.methods, result.Ltbo.outlined, Some result.Ltbo.stats))
   in

@@ -83,3 +83,32 @@ let map_method ?(eligible = fun _ -> true) (cm : Compiled_method.t) a :
     if off > 0 && is_target off then out := (fresh_sep a, Separator) :: !out
   done;
   !out
+
+(* ---- Canonical tokens and digests (compilation-cache fast path) --------
+
+   Separator values are fresh per allocator, so two identical methods never
+   produce equal [map_method] outputs. The canonical form abstracts the
+   separator values away ([Separator] carries none), leaving exactly the
+   information the detector's outcome depends on: which slots are words
+   (and their values/offsets) and which are separators. Equal canonical
+   forms therefore guarantee equal detection behavior, which is what lets
+   the cache key a whole detection group by per-method digests. *)
+
+let canonical ?eligible (cm : Compiled_method.t) : element list =
+  List.map snd (map_method ?eligible cm (new_allocator ()))
+
+let digest (elements : element list) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (function
+      | Word (v, off) ->
+        Buffer.add_char b 'W';
+        Buffer.add_string b (string_of_int v);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int off);
+        Buffer.add_char b ';'
+      | Separator -> Buffer.add_string b "S;")
+    elements;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let method_digest ?eligible cm = digest (canonical ?eligible cm)

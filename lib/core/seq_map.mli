@@ -30,3 +30,22 @@ val map_method :
     pairs the suffix-tree integer with its classification. [eligible] is
     the hot-function-filtering hook: offsets where it returns [false] map
     to separators (section 3.4.2). *)
+
+(** {2 Canonical tokens and digests}
+
+    The compilation cache's fast path: a per-method digest of the token
+    run with separator {e values} abstracted away (they are fresh per
+    allocator and carry no information the detector's outcome depends
+    on). Two methods with equal digests contribute identically to any
+    detection group, so a group of unchanged methods can be recognized —
+    and its detection result reused — without rebuilding its suffix
+    tree. *)
+
+val canonical : ?eligible:(int -> bool) -> Compiled_method.t -> element list
+(** [map_method] minus the concrete separator values, same order. *)
+
+val digest : element list -> string
+(** Injective-modulo-MD5 digest of a canonical token run. *)
+
+val method_digest : ?eligible:(int -> bool) -> Compiled_method.t -> string
+(** [digest (canonical ?eligible cm)]. *)

@@ -20,6 +20,26 @@ type extra_function = {
 
 exception Link_error of string
 
+(* Thunk bodies are fixed specifications ([Abi.thunk_body]); under an
+   incremental (cached) pipeline the linker runs on every warm rebuild, so
+   re-encoding the same few bodies each time is pure waste. Encode each
+   thunk once per process; [Bytes.blit] below never mutates the code, only
+   copies out of it. *)
+let thunk_code : (Abi.thunk, bytes) Hashtbl.t = Hashtbl.create 8
+let thunk_code_lock = Mutex.create ()
+
+let encode_thunk th =
+  Mutex.lock thunk_code_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock thunk_code_lock)
+    (fun () ->
+      match Hashtbl.find_opt thunk_code th with
+      | Some code -> code
+      | None ->
+        let code = Encode.to_bytes (Abi.thunk_body th) in
+        Hashtbl.replace thunk_code th code;
+        code)
+
 let link ~apk_name ?(thunks = []) ?(extra = [])
     (methods : Compiled_method.t list) : Oat_file.t =
   Obs.span ~cat:"link" "link.run"
@@ -49,7 +69,7 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
   let thunk_entries =
     List.map
       (fun th ->
-        let code = Encode.to_bytes (Abi.thunk_body th) in
+        let code = encode_thunk th in
         let off = !pos in
         define (Abi.thunk_sym th) off;
         pos := !pos + Bytes.length code;

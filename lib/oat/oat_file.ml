@@ -112,6 +112,11 @@ let data_size t =
 
 (* ---- On-disk serialization -------------------------------------------- *)
 
+exception Oat_error of string
+(* The clean failure for malformed OAT input: [of_bytes] converts it to
+   [Error], [Oatdump] lets it escape for the CLI to catch. Nothing in this
+   library surfaces [Invalid_argument] for a bad input file. *)
+
 let magic = "CALIBOAT"
 let version = 2
 
@@ -119,7 +124,17 @@ let to_bytes (t : t) : bytes =
   let b = Buffer.create (Bytes.length t.text + 4096) in
   Buffer.add_string b magic;
   Buffer.add_int32_le b (Int32.of_int version);
-  let payload = Marshal.to_string (t.apk_name, t.methods, t.thunks, t.outlined) [] in
+  (* No_sharing: the default encoding writes back-references for
+     physically shared blocks, so two structurally equal method tables
+     can serialize to different bytes (e.g. a cache-warm build decodes
+     its entries fresh while a cold build shares method_refs with the
+     IR). The table is acyclic, so a purely structural encoding is safe
+     and makes saved OAT files deterministic. *)
+  let payload =
+    Marshal.to_string
+      (t.apk_name, t.methods, t.thunks, t.outlined)
+      [ Marshal.No_sharing ]
+  in
   Buffer.add_int32_le b (Int32.of_int (String.length payload));
   Buffer.add_string b payload;
   Buffer.add_int32_le b (Int32.of_int (Bytes.length t.text));
@@ -127,32 +142,58 @@ let to_bytes (t : t) : bytes =
   Buffer.to_bytes b
 
 let of_bytes (buf : bytes) : (t, string) result =
+  (* Every region is bounds-checked before it is read, so a file truncated
+     at any offset — before the magic, mid-header, mid-method-table —
+     reports where it ran out instead of escaping as [Invalid_argument]
+     from a blind [Bytes.sub]. *)
+  let len = Bytes.length buf in
+  let truncated what pos need =
+    raise
+      (Oat_error
+         (Printf.sprintf
+            "truncated OAT: %s needs %d bytes at offset %d, file is %d bytes"
+            what need pos len))
+  in
+  let need what pos n =
+    if n < 0 then
+      raise (Oat_error (Printf.sprintf "corrupt OAT: negative %s length" what));
+    if pos + n > len then truncated what pos n
+  in
   try
+    need "magic" 0 (String.length magic);
     let m = Bytes.sub_string buf 0 (String.length magic) in
     if m <> magic then Error "bad magic"
     else begin
       let pos = ref (String.length magic) in
-      let read_i32 () =
+      let read_i32 what =
+        need what !pos 4;
         let v = Int32.to_int (Bytes.get_int32_le buf !pos) in
         pos := !pos + 4;
         v
       in
-      let v = read_i32 () in
+      let v = read_i32 "version" in
       if v <> version then Error (Printf.sprintf "bad version %d" v)
       else begin
-        let payload_len = read_i32 () in
+        let payload_len = read_i32 "method-table length" in
+        need "method table" !pos payload_len;
         let payload = Bytes.sub_string buf !pos payload_len in
         pos := !pos + payload_len;
         let apk_name, methods, thunks, outlined =
           (Marshal.from_string payload 0
             : string * method_entry list * thunk_entry list * outlined_entry list)
         in
-        let text_len = read_i32 () in
+        let text_len = read_i32 "text length" in
+        need "text segment" !pos text_len;
         let text = Bytes.sub buf !pos text_len in
         Ok { apk_name; text; methods; thunks; outlined }
       end
     end
-  with e -> Error (Printexc.to_string e)
+  with
+  | Oat_error m -> Error m
+  | Failure m ->
+    (* [Marshal.from_string] on a damaged (but length-complete) payload *)
+    Error ("corrupt OAT method table: " ^ m)
+  | e -> Error (Printexc.to_string e)
 
 let save t path =
   let oc = open_out_bin path in

@@ -5,7 +5,25 @@
 open Calibro_aarch64
 open Calibro_codegen
 
+(* A region table can disagree with the text segment it describes — a
+   truncated download, a bad tool, a hand-edited image. Validate every
+   extent before touching the bytes so the dump fails with
+   {!Oat_file.Oat_error} instead of an [Invalid_argument] escaping from
+   [Bytes.sub] halfway through the output. *)
+let check_extent (oat : Oat_file.t) what ~offset ~size =
+  let text = Oat_file.text_size oat in
+  if offset < 0 || size < 0 || offset + size > text then
+    raise
+      (Oat_file.Oat_error
+         (Printf.sprintf
+            "%s spans +%#x..+%#x but the text segment is %d bytes" what
+            offset (offset + size) text))
+
 let dump_method buf (oat : Oat_file.t) (m : Oat_file.method_entry) =
+  check_extent oat
+    (Printf.sprintf "method %s"
+       (Calibro_dex.Dex_ir.method_ref_to_string m.me_name))
+    ~offset:m.me_offset ~size:m.me_size;
   Buffer.add_string buf
     (Printf.sprintf "method %s (slot %d) at +%#x, %d bytes%s%s\n"
        (Calibro_dex.Dex_ir.method_ref_to_string m.me_name)
@@ -40,6 +58,9 @@ let dump ?(methods = true) (oat : Oat_file.t) =
        (List.length oat.Oat_file.outlined));
   List.iter
     (fun (t : Oat_file.thunk_entry) ->
+      check_extent oat
+        (Printf.sprintf "thunk %s" (Abi.thunk_name t.th))
+        ~offset:t.th_offset ~size:t.th_size;
       Buffer.add_string buf
         (Printf.sprintf "thunk %s at +%#x, %d bytes\n" (Abi.thunk_name t.th)
            t.th_offset t.th_size);
@@ -50,6 +71,9 @@ let dump ?(methods = true) (oat : Oat_file.t) =
   if methods then List.iter (dump_method buf oat) oat.Oat_file.methods;
   List.iter
     (fun (o : Oat_file.outlined_entry) ->
+      check_extent oat
+        (Printf.sprintf "outlined function at +%#x" o.ol_offset)
+        ~offset:o.ol_offset ~size:o.ol_size;
       Buffer.add_string buf
         (Printf.sprintf "outlined at +%#x, %d bytes\n" o.ol_offset o.ol_size);
       Buffer.add_string buf

@@ -1,0 +1,157 @@
+(* Deterministic app mutations: the incremental-build workload.
+
+   A real app-store rebuild changes a handful of methods between releases;
+   [mutate] models the three delta kinds an incremental pipeline must
+   survive:
+
+   - {b edit}: flip the literal of a [Const] in one method — same shape,
+     different code bytes, so exactly that method's cache key changes;
+   - {b add}: append a fresh class with one unreferenced method at the end
+     of the last dex — earlier slots are stable, the slot table grows;
+   - {b delete}: remove an unreferenced, non-entry method — later slots
+     shift, which must cascade into the keys of their callers (the key
+     covers callee slots).
+
+   Everything is driven by a seeded [Random.State], so a (seed, apk) pair
+   always produces the same mutant — the byte-equivalence battery relies
+   on replaying the same mutation for its cold and warm builds. *)
+
+open Calibro_dex.Dex_ir
+
+type op =
+  | Edit_const of method_ref
+  | Add_method of method_ref
+  | Delete_method of method_ref
+
+let op_to_string = function
+  | Edit_const r -> "edit " ^ method_ref_to_string r
+  | Add_method r -> "add " ^ method_ref_to_string r
+  | Delete_method r -> "delete " ^ method_ref_to_string r
+
+let map_methods f apk =
+  { apk with
+    dexes =
+      List.map
+        (fun d ->
+          { d with
+            classes =
+              List.map
+                (fun c -> { c with cls_methods = f c.cls_methods })
+                d.classes })
+        apk.dexes }
+
+(* Methods that hold at least one [Const] to flip. Native methods have no
+   compiled body; leave them alone. *)
+let editable apk =
+  List.filter
+    (fun m ->
+      (not m.is_native)
+      && Array.exists (function Const _ -> true | _ -> false) m.insns)
+    (methods_of_apk apk)
+
+let referenced apk =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      Array.iter
+        (function
+          | Invoke (callee, _, _) -> Hashtbl.replace tbl callee ()
+          | _ -> ())
+        m.insns)
+    (methods_of_apk apk);
+  tbl
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let edit_const rng apk : apk * op =
+  match editable apk with
+  | [] -> invalid_arg "Mutate: no editable method (no Const anywhere)"
+  | candidates ->
+    let victim = (pick rng candidates).name in
+    (* Flip low bits of the first Const; keep the literal small and
+       non-negative so every codegen materialization path stays valid. *)
+    let delta = 1 + Random.State.int rng 0xFFFF in
+    let apk =
+      map_methods
+        (List.map (fun m ->
+             if m.name <> victim then m
+             else begin
+               let edited = ref false in
+               { m with
+                 insns =
+                   Array.map
+                     (function
+                       | Const (r, v) when not !edited ->
+                         edited := true;
+                         Const (r, abs (v lxor delta) land 0xFFFFF)
+                       | i -> i)
+                     m.insns }
+             end))
+        apk
+    in
+    (apk, Edit_const victim)
+
+let add_method rng apk : apk * op =
+  let n = Random.State.int rng 1000 in
+  let name =
+    { class_name = Printf.sprintf "com.mutant.C%d" n;
+      method_name = Printf.sprintf "m%d" (method_count apk) }
+  in
+  let k = Random.State.int rng 4096 in
+  let m =
+    { name; num_params = 2; num_vregs = 3; is_native = false;
+      is_entry = false;
+      insns =
+        [| Const (2, k);
+           Binop (Add, 2, 2, 0);
+           Binop (Mul, 2, 2, 1);
+           Return (Some 2) |] }
+  in
+  let cls = { cls_name = name.class_name; cls_methods = [ m ] } in
+  let rec add_last = function
+    | [] -> [ { dex_name = "mutant.dex"; classes = [ cls ] } ]
+    | [ d ] -> [ { d with classes = d.classes @ [ cls ] } ]
+    | d :: rest -> d :: add_last rest
+  in
+  ({ apk with dexes = add_last apk.dexes }, Add_method name)
+
+(* Only unreferenced, non-entry methods can go: deleting a callee would
+   make the apk fail [Dex_check], and entry methods anchor the scripts. *)
+let delete_method rng apk : (apk * op) option =
+  let refs = referenced apk in
+  match
+    List.filter
+      (fun m -> (not m.is_entry) && not (Hashtbl.mem refs m.name))
+      (methods_of_apk apk)
+  with
+  | [] -> None
+  | candidates ->
+    let victim = (pick rng candidates).name in
+    ( map_methods (List.filter (fun m -> m.name <> victim)) apk,
+      Delete_method victim )
+    |> Option.some
+
+let apply_one rng apk =
+  match Random.State.int rng 5 with
+  | 0 | 1 | 2 -> edit_const rng apk
+  | 3 -> add_method rng apk
+  | _ -> (
+    match delete_method rng apk with
+    | Some r -> r
+    | None -> edit_const rng apk)
+
+let mutate ?(ops = 1) ~seed (apk : apk) : apk * op list =
+  let rng = Random.State.make [| 0x6D75; seed |] in
+  let rec go n apk acc =
+    if n = 0 then (apk, List.rev acc)
+    else
+      let apk, op = apply_one rng apk in
+      go (n - 1) apk (op :: acc)
+  in
+  go (max 1 ops) apk []
+
+let edit_one ~seed (apk : apk) : apk * method_ref =
+  let rng = Random.State.make [| 0x6D76; seed |] in
+  match edit_const rng apk with
+  | apk, Edit_const r -> (apk, r)
+  | _ -> assert false

@@ -1,0 +1,28 @@
+(** Deterministic app mutations — the incremental-build workload: the
+    method-level deltas (edit/add/delete) an app-store rebuild applies
+    between releases. A (seed, apk) pair always produces the same mutant,
+    so cold and warm builds of "the next release" can be compared
+    byte-for-byte. *)
+
+open Calibro_dex.Dex_ir
+
+type op =
+  | Edit_const of method_ref
+      (** one [Const] literal flipped in this method *)
+  | Add_method of method_ref
+      (** fresh unreferenced method appended in a new class at the end of
+          the last dex (earlier slots stay stable) *)
+  | Delete_method of method_ref
+      (** an unreferenced, non-entry method removed (later slots shift) *)
+
+val op_to_string : op -> string
+
+val mutate : ?ops:int -> seed:int -> apk -> apk * op list
+(** Apply [ops] (default 1) random deltas — edits weighted over
+    adds/deletes, mirroring release churn. The mutant passes [Dex_check]
+    by construction.
+    @raise Invalid_argument if the apk has no method with a [Const]. *)
+
+val edit_one : seed:int -> apk -> apk * method_ref
+(** Exactly one [Edit_const]; returns the edited method. The
+    [bench incr] workload: the smallest possible release delta. *)

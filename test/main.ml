@@ -1,4 +1,11 @@
 let () =
+  (* CI snapshots the observability counters the suite accumulated (cache
+     hit/miss/corrupt accounting, fault-injection counts) as an artifact. *)
+  (match Sys.getenv_opt "CALIBRO_METRICS_OUT" with
+   | Some f when String.trim f <> "" ->
+     at_exit (fun () ->
+         Calibro_obs.Obs.write_file f (Calibro_obs.Obs.metrics_json ()))
+   | _ -> ());
   Alcotest.run "calibro"
     [ ("aarch64", Test_aarch64.suite);
       ("suffix_tree", Test_suffix_tree.suite);
@@ -11,4 +18,5 @@ let () =
       ("workload", Test_workload.suite);
       ("edge", Test_edge.suite);
       ("check", Test_check.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite) ]

@@ -85,7 +85,38 @@ let seq_map_tests =
           Seq_map.map_method ~eligible:(fun _ -> false) cm a
           |> List.for_all (fun (_, e) -> e = Seq_map.Separator)
         in
-        Alcotest.(check bool) "all separators when ineligible" true all_sep)
+        Alcotest.(check bool) "all separators when ineligible" true all_sep);
+    Alcotest.test_case "digest equality coincides with canonical equality"
+      `Quick (fun () ->
+        (* The detection cache keys groups by [method_digest]; a collision
+           between distinct token runs would replay the wrong decisions, a
+           split between identical runs would only cost a recompute. Check
+           the iff on 500 random method pairs of the demo app (the
+           generator repeats code shapes, so equal non-identical pairs do
+           occur). *)
+        let a = Calibro_workload.Appgen.generate Calibro_workload.Apps.demo in
+        let _, cms = compile_methods a.Calibro_workload.Appgen.app in
+        let arr = Array.of_list cms in
+        let n = Array.length arr in
+        let rng = Random.State.make [| 0x5e9; 42 |] in
+        let equal_pairs = ref 0 in
+        for _ = 1 to 500 do
+          let i = Random.State.int rng n in
+          let j =
+            if Random.State.int rng 4 = 0 then i else Random.State.int rng n
+          in
+          let ci = Seq_map.canonical arr.(i)
+          and cj = Seq_map.canonical arr.(j) in
+          let di = Seq_map.digest ci and dj = Seq_map.digest cj in
+          if ci = cj then incr equal_pairs;
+          Alcotest.(check bool)
+            (Printf.sprintf "pair (%d,%d)" i j)
+            (ci = cj) (di = dj);
+          Alcotest.(check string) "method_digest is digest of canonical" di
+            (Seq_map.method_digest arr.(i))
+        done;
+        Alcotest.(check bool) "both directions exercised" true
+          (!equal_pairs > 0 && !equal_pairs < 500))
   ]
 
 let redundancy_tests =

@@ -158,5 +158,60 @@ let suite =
          | Ok _ -> Alcotest.fail "expected magic failure");
         match Oat_file.of_bytes (Bytes.of_string "CALIBOAT\xff\xff\xff\xff") with
         | Error _ -> ()
-        | Ok _ -> Alcotest.fail "expected version failure")
+        | Ok _ -> Alcotest.fail "expected version failure");
+    Alcotest.test_case "truncated OAT reports truncation at every boundary"
+      `Quick (fun () ->
+        (* Regression: a cut inside any region used to escape as
+           [Invalid_argument] from a blind [Bytes.sub]. *)
+        let m0 = mk_method ~slot:0 [ Isa.Nop; Isa.Ret ] in
+        let m1 = mk_method ~slot:1 [ Isa.Ret ] in
+        let full = Oat_file.to_bytes (Linker.link ~apk_name:"t" [ m0; m1 ]) in
+        let len = Bytes.length full in
+        let payload_len = Int32.to_int (Bytes.get_int32_le full 12) in
+        (* empty file, mid-magic, mid-version, mid method-table length,
+           mid method table, mid text length, mid text segment *)
+        let cuts =
+          [ 0; 5; 10; 14; 16 + (payload_len / 2); 16 + payload_len + 2;
+            len - 2 ]
+        in
+        List.iter
+          (fun cut ->
+            match Oat_file.of_bytes (Bytes.sub full 0 cut) with
+            | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "cut at %d reports truncation (%s)" cut msg)
+                true
+                (Astring.String.is_infix ~affix:"truncated" msg)
+            | Ok _ -> Alcotest.failf "cut at %d loaded" cut)
+          cuts);
+    Alcotest.test_case "no OAT prefix raises" `Quick (fun () ->
+        let m0 = mk_method ~slot:0 [ Isa.Nop; Isa.Ret ] in
+        let full = Oat_file.to_bytes (Linker.link ~apk_name:"t" [ m0 ]) in
+        for cut = 0 to Bytes.length full - 1 do
+          match Oat_file.of_bytes (Bytes.sub full 0 cut) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "prefix of %d bytes loaded" cut
+          | exception e ->
+            Alcotest.failf "prefix of %d bytes raised %s" cut
+              (Printexc.to_string e)
+        done);
+    Alcotest.test_case "oatdump rejects a method extent past the text" `Quick
+      (fun () ->
+        let m0 = mk_method ~slot:0 [ Isa.Nop; Isa.Ret ] in
+        let oat = Linker.link ~apk_name:"t" [ m0 ] in
+        let bad =
+          { oat with
+            Oat_file.methods =
+              List.map
+                (fun (me : Oat_file.method_entry) ->
+                  { me with Oat_file.me_size = me.Oat_file.me_size + 64 })
+                oat.Oat_file.methods }
+        in
+        match Oatdump.dump bad with
+        | exception Oat_file.Oat_error msg ->
+          Alcotest.(check bool) "names the method" true
+            (Astring.String.is_infix ~affix:"t.m0" msg)
+        | exception e ->
+          Alcotest.failf "%s escaped" (Printexc.to_string e)
+        | _ -> Alcotest.fail "expected Oat_error")
   ]

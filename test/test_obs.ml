@@ -180,8 +180,10 @@ let test_trace_roundtrip_pipeline () =
     (Calibro_workload.Appgen.generate Calibro_workload.Apps.demo)
       .Calibro_workload.Appgen.app
   in
+  (* ~cache:None: the asserted spans are the *cold* build's trace shape —
+     under CALIBRO_CACHE_DIR a detection-cache hit would skip tree_build *)
   ignore
-    (Calibro_core.Pipeline.build
+    (Calibro_core.Pipeline.build ~cache:None
        ~config:(Calibro_core.Config.cto_ltbo_pl ~k:2 ()) apk);
   let trace = Json.to_string ~pretty:true (Obs.trace_json ()) in
   match Json.parse trace with
