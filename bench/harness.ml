@@ -866,7 +866,7 @@ let gate_measure () : gate_app list * float =
   in
   (apps, Clock.since_s t0)
 
-let gate_section apps total_s detect_eps incr =
+let gate_section apps total_s detect_eps incr serve =
   Json.Obj
     [ ( "apps",
         Json.Obj
@@ -884,7 +884,8 @@ let gate_section apps total_s detect_eps incr =
         Json.Obj
           [ ("cold_s", Json.Float incr.i_cold_s);
             ("warm_speedup", Json.Float (incr_min_speedup incr));
-            ("byte_equal", Json.Bool (incr_byte_equal incr)) ] ) ]
+            ("byte_equal", Json.Bool (incr_byte_equal incr)) ] );
+      ("serve", Serve.section serve) ]
 
 (* The envelope committed in bench/baseline.json is a *budget*, not a
    measurement: 3x the build time observed when the baseline was written
@@ -907,6 +908,16 @@ let write_baseline path =
   let incr_floor =
     Float.round (incr_speedup /. envelope_slack *. 100.) /. 100.
   in
+  Printf.eprintf "[gate] measuring served-build throughput...\n%!";
+  let serve = Serve.measure () in
+  if not serve.Serve.sv_byte_ok then
+    failwith "serve: served OATs are not byte-identical to in-process builds";
+  let serve_floor =
+    Float.round (serve.Serve.sv_throughput /. envelope_slack *. 100.) /. 100.
+  in
+  let serve_p95_env =
+    Float.round (serve.Serve.sv_p95_s *. envelope_slack *. 1000.) /. 1000.
+  in
   let doc =
     Json.Obj
       [ ("schema", Json.Int 1);
@@ -928,15 +939,20 @@ let write_baseline path =
             [ ("elements", Json.Int elements);
               ("elements_per_s_floor", Json.Float eps_floor) ] );
         ( "incr",
-          Json.Obj [ ("warm_speedup_floor", Json.Float incr_floor) ] ) ]
+          Json.Obj [ ("warm_speedup_floor", Json.Float incr_floor) ] );
+        ( "serve",
+          Json.Obj
+            [ ("throughput_floor_builds_per_s", Json.Float serve_floor);
+              ("p95_latency_envelope_s", Json.Float serve_p95_env) ] ) ]
   in
   Obs.write_file path doc;
   Printf.printf
     "wrote %s (%d apps, measured %.2fs, envelope %.2fs, detect %.0f el/s, \
-     floor %.0f, incr %.1fx, floor %.2fx)\n"
+     floor %.0f, incr %.1fx, floor %.2fx, serve %.1f builds/s, floor %.2f)\n"
     path (List.length apps) total_s
     (total_s *. envelope_slack)
-    eps eps_floor incr_speedup incr_floor
+    eps eps_floor incr_speedup incr_floor serve.Serve.sv_throughput
+    serve_floor
 
 (* Reduction may not regress below the committed value by more than this
    (absolute, in reduction points). Sizes are deterministic, so any drift
@@ -953,7 +969,9 @@ let gate ~baseline_path : Json.t * string list =
   let eps, _ = detect_eps () in
   Printf.eprintf "[gate] measuring incremental rebuild...\n%!";
   let incr = incr_measure () in
-  let section = gate_section apps total_s eps incr in
+  Printf.eprintf "[gate] measuring served-build throughput...\n%!";
+  let serve = Serve.measure () in
+  let section = gate_section apps total_s eps incr serve in
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
   (* Byte equality is a correctness property, not a perf budget: it fails
@@ -964,6 +982,8 @@ let gate ~baseline_path : Json.t * string list =
         add "incr seed %d: warm rebuild is not byte-identical to cold"
           s.i_seed)
     incr.i_seeds;
+  if not serve.Serve.sv_byte_ok then
+    add "serve: served OATs are not byte-identical to in-process builds";
   (match
      let contents =
        let ic = open_in baseline_path in
@@ -1034,24 +1054,62 @@ let gate ~baseline_path : Json.t * string list =
           add
             "detection throughput %.0f elements/s fell >25%% below floor %.0f"
             eps floor);
+     (match
+        Option.bind
+          (Option.bind (Json.member "incr" doc)
+             (Json.member "warm_speedup_floor"))
+          Json.get_float
+      with
+      | None -> add "baseline has no \"incr\".\"warm_speedup_floor\""
+      | Some floor ->
+        let speedup = incr_min_speedup incr in
+        let limit = floor *. 0.75 in
+        Printf.printf
+          "  incr warm speedup %.1fx, bytes %s (floor %.2fx, limit %.2fx)  %s\n"
+          speedup
+          (if incr_byte_equal incr then "identical" else "DIFFER")
+          floor limit
+          (if speedup < limit || not (incr_byte_equal incr) then "FAIL"
+           else "ok");
+        if speedup < limit then
+          add "incremental warm speedup %.1fx fell >25%% below floor %.2fx"
+            speedup floor);
+     (match
+        Option.bind
+          (Option.bind (Json.member "serve" doc)
+             (Json.member "throughput_floor_builds_per_s"))
+          Json.get_float
+      with
+      | None -> add "baseline has no \"serve\".\"throughput_floor_builds_per_s\""
+      | Some floor ->
+        let limit = floor *. 0.75 in
+        Printf.printf
+          "  serve throughput %.1f builds/s, bytes %s (floor %.2f, limit \
+           %.2f)  %s\n"
+          serve.Serve.sv_throughput
+          (if serve.Serve.sv_byte_ok then "identical" else "DIFFER")
+          floor limit
+          (if serve.Serve.sv_throughput < limit
+              || not serve.Serve.sv_byte_ok
+           then "FAIL"
+           else "ok");
+        if serve.Serve.sv_throughput < limit then
+          add "served-build throughput %.1f builds/s fell >25%% below floor \
+               %.2f"
+            serve.Serve.sv_throughput floor);
      match
        Option.bind
-         (Option.bind (Json.member "incr" doc)
-            (Json.member "warm_speedup_floor"))
+         (Option.bind (Json.member "serve" doc)
+            (Json.member "p95_latency_envelope_s"))
          Json.get_float
      with
-     | None -> add "baseline has no \"incr\".\"warm_speedup_floor\""
-     | Some floor ->
-       let speedup = incr_min_speedup incr in
-       let limit = floor *. 0.75 in
-       Printf.printf
-         "  incr warm speedup %.1fx, bytes %s (floor %.2fx, limit %.2fx)  %s\n"
-         speedup
-         (if incr_byte_equal incr then "identical" else "DIFFER")
-         floor limit
-         (if speedup < limit || not (incr_byte_equal incr) then "FAIL"
-          else "ok");
-       if speedup < limit then
-         add "incremental warm speedup %.1fx fell >25%% below floor %.2fx"
-           speedup floor);
+     | None -> add "baseline has no \"serve\".\"p95_latency_envelope_s\""
+     | Some env ->
+       let limit = env *. 1.25 in
+       Printf.printf "  serve p95 latency %.3fs (envelope %.3fs, limit %.3fs)  %s\n"
+         serve.Serve.sv_p95_s env limit
+         (if serve.Serve.sv_p95_s > limit then "FAIL" else "ok");
+       if serve.Serve.sv_p95_s > limit then
+         add "served-build p95 latency %.3fs exceeds envelope %.3fs by >25%%"
+           serve.Serve.sv_p95_s env);
   (section, List.rev !fail)

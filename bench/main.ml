@@ -26,6 +26,9 @@ let usage () =
     \  detect           detection-throughput microbenchmark (largest app)\n\
     \  incr             cold vs warm incremental rebuild after a one-method\n\
     \                   edit (largest app); exit 1 if warm bytes differ\n\
+    \  serve            concurrent served-build throughput through the\n\
+    \                   calibrod service path; exit 1 if any served OAT\n\
+    \                   differs from its in-process build\n\
     \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
@@ -83,6 +86,7 @@ let () =
    | "digest" -> Harness.digests ()
    | "detect" -> Harness.detect_bench ()
    | "incr" -> if not (Harness.incr_bench ()) then exit_code := 1
+   | "serve" -> if not (Serve.bench ()) then exit_code := 1
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()
@@ -132,14 +136,7 @@ let () =
     | Some section -> [ ("bench", section) ]
     | None -> []
   in
-  (match !metrics with
-   | None -> ()
-   | Some f ->
-     Obs.write_file f (Obs.metrics_json ~extra ());
-     Printf.eprintf "[bench] metrics written to %s\n%!" f);
-  (match !trace with
-   | None -> ()
-   | Some f ->
-     Obs.write_file f (Obs.trace_json ());
-     Printf.eprintf "[bench] trace written to %s\n%!" f);
+  Obs.export ~extra ~metrics:!metrics ~trace:!trace ();
+  Option.iter (Printf.eprintf "[bench] metrics written to %s\n%!") !metrics;
+  Option.iter (Printf.eprintf "[bench] trace written to %s\n%!") !trace;
   exit !exit_code

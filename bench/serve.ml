@@ -1,0 +1,148 @@
+(* bench serve: throughput and latency of the calibrod service path.
+
+   An in-process server (2 worker domains, shared in-memory cache) is
+   driven by concurrent client threads over a real Unix-domain socket —
+   the full wire path: encode, frame, admit, queue, build, respond. The
+   workload is release mutants of the demo app with a small seed pool, so
+   the run mixes cold builds with ShareJIT warm hits, like the daemon's
+   steady state.
+
+   Correctness is measured before speed: every served OAT is byte-compared
+   against an in-process build of the same request (computed up front,
+   before the server starts). A mismatch fails `bench serve` and the gate
+   unconditionally — a fast wrong answer is not a result.
+
+   The committed baseline keeps a throughput floor (measured/3) and a p95
+   latency envelope (measured*3); the gate fails below 0.75x the floor or
+   above 1.25x the envelope, same slack discipline as the build-time
+   envelope. *)
+
+open Calibro_core
+open Calibro_workload
+module Server = Calibro_server.Server
+module Client = Calibro_server.Client
+module Worker = Calibro_server.Worker
+module Protocol = Calibro_server.Protocol
+module Clock = Calibro_obs.Clock
+module Json = Calibro_obs.Json
+
+let clients = 4
+let requests_per_client = 8
+let seed_pool = 4
+
+type result = {
+  sv_requests : int;
+  sv_built : int;
+  sv_rejected : int;
+  sv_errors : int;
+  sv_throughput : float;  (* built responses per second of loaded wall time *)
+  sv_p95_s : float;
+  sv_byte_ok : bool;
+}
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let measure () : result =
+  let base = (Appgen.generate Apps.demo).Appgen.app in
+  let config =
+    match Config.of_string "pl2" with Ok c -> c | Error e -> failwith e
+  in
+  let slots =
+    Array.init seed_pool (fun i ->
+        let apk, _ = Mutate.mutate ~seed:(i + 1) base in
+        { Protocol.rq_config = config;
+          rq_dexsim = Calibro_dex.Dex_text.to_string apk;
+          rq_profile = None;
+          rq_deadline_ms = None })
+  in
+  (* Expected bytes per slot, computed before the server exists (the
+     snapshot-free window) through the same build path calibroc uses. *)
+  let expected =
+    Array.map
+      (fun rq ->
+        match Worker.build_response ~cache:None rq with
+        | Protocol.Built { oat; _ } -> oat
+        | Protocol.Rejected rej ->
+          failwith ("serve bench workload does not build: "
+                    ^ Protocol.rejection_to_string rej))
+      slots
+  in
+  let socket =
+    Printf.sprintf "%s/calibro-bench-%d.sock"
+      (Filename.get_temp_dir_name ()) (Unix.getpid ())
+  in
+  let server =
+    Server.create
+      { (Server.default_config ~socket_path:socket) with
+        Server.cache = Some (Calibro_cache.Cache.create ()) }
+  in
+  let total = clients * requests_per_client in
+  let latencies = Array.make total 0.0 in
+  let built = Atomic.make 0
+  and rejected = Atomic.make 0
+  and errors = Atomic.make 0
+  and mismatches = Atomic.make 0 in
+  let t0 = Clock.now_ns () in
+  let client_thread c () =
+    for r = 0 to requests_per_client - 1 do
+      let ix = (c * requests_per_client) + r in
+      let slot = ix mod seed_pool in
+      let t = Clock.now_ns () in
+      match Client.request ~socket slots.(slot) with
+      | Ok (Protocol.Built { oat; _ }) ->
+        latencies.(ix) <- Clock.since_s t;
+        Atomic.incr built;
+        if not (String.equal oat expected.(slot)) then Atomic.incr mismatches
+      | Ok (Protocol.Rejected _) -> Atomic.incr rejected
+      | Error _ -> Atomic.incr errors
+    done
+  in
+  let threads =
+    List.init clients (fun c -> Thread.create (client_thread c) ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Clock.since_s t0 in
+  Server.request_drain server;
+  Server.drain server;
+  let lats =
+    Array.of_list
+      (List.filter (fun l -> l > 0.0) (Array.to_list latencies))
+  in
+  Array.sort compare lats;
+  { sv_requests = total;
+    sv_built = Atomic.get built;
+    sv_rejected = Atomic.get rejected;
+    sv_errors = Atomic.get errors;
+    sv_throughput = float_of_int (Atomic.get built) /. wall_s;
+    sv_p95_s = percentile lats 0.95;
+    sv_byte_ok = Atomic.get mismatches = 0 && Atomic.get errors = 0 }
+
+let report r =
+  Printf.printf
+    "  %d requests (%d clients): %d built, %d rejected, %d errors\n"
+    r.sv_requests clients r.sv_built r.sv_rejected r.sv_errors;
+  Printf.printf "  throughput %.2f builds/s  p95 latency %.3fs  bytes %s\n%!"
+    r.sv_throughput r.sv_p95_s
+    (if r.sv_byte_ok then "identical to in-process builds" else "DIFFER")
+
+(* `bench serve`: print the measurement; false (-> exit 1 in main) unless
+   every served OAT matched its in-process twin. *)
+let bench () : bool =
+  print_endline
+    "== bench serve: concurrent builds through calibrod's service path ==";
+  let r = measure () in
+  report r;
+  r.sv_byte_ok
+
+let section r =
+  Json.Obj
+    [ ("requests", Json.Int r.sv_requests);
+      ("built", Json.Int r.sv_built);
+      ("throughput_builds_per_s", Json.Float r.sv_throughput);
+      ("p95_latency_s", Json.Float r.sv_p95_s);
+      ("byte_equal", Json.Bool r.sv_byte_ok) ]

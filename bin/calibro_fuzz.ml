@@ -55,16 +55,11 @@ let run seeds base_seed configs_spec no_shrink fault quiet trace metrics =
   in
   (* Observability exports: the spans/counters every layer recorded during
      the run (seeds run, faults caught, per-phase durations). *)
-  (match metrics with
-   | None -> ()
-   | Some f ->
-     Obs.write_file f (Obs.metrics_json ());
-     if not quiet then Printf.eprintf "metrics written to %s\n%!" f);
-  (match trace with
-   | None -> ()
-   | Some f ->
-     Obs.write_file f (Obs.trace_json ());
-     if not quiet then Printf.eprintf "trace written to %s\n%!" f);
+  Obs.export ~metrics ~trace ();
+  if not quiet then begin
+    Option.iter (Printf.eprintf "metrics written to %s\n%!") metrics;
+    Option.iter (Printf.eprintf "trace written to %s\n%!") trace
+  end;
   if Fuzz.ok outcome then begin
     Printf.printf "OK: %d seeds, no divergences\n" outcome.Fuzz.fz_seeds;
     0

@@ -1,0 +1,214 @@
+(* calibro_load — load-generating client for calibrod.
+
+   Drives N concurrent clients through a mixed cold/warm workload: each
+   request compiles a release mutant (Calibro_workload.Mutate delta) of a
+   base app, with mutation seeds drawn from a small cycling pool so
+   different clients ask for overlapping releases and the daemon's shared
+   cache gets warm hits. Reports throughput and p50/p95 latency.
+
+   --verify recomputes every distinct request in-process through the same
+   pipeline calibroc uses and fails (exit 1) unless the served OAT images
+   are byte-identical. --allow-errors tolerates refused or dropped
+   requests — the mode the CI drain test uses while SIGTERMing the daemon
+   mid-load. *)
+
+open Cmdliner
+open Calibro_core
+open Calibro_workload
+module Protocol = Calibro_server.Protocol
+module Client = Calibro_server.Client
+module Worker = Calibro_server.Worker
+module Clock = Calibro_obs.Clock
+
+type built = { latency_s : float; oat : string; req_ix : int }
+
+type outcome =
+  | O_built of built
+  | O_rejected of Protocol.rejection
+  | O_transport of string
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let run socket clients requests app_name seeds config_name deadline_ms
+    verify allow_errors =
+  let profile =
+    if String.lowercase_ascii app_name = "demo" then Some Apps.demo
+    else Apps.by_name app_name
+  in
+  let base =
+    match profile with
+    | None -> Printf.eprintf "unknown app %s\n" app_name; exit 2
+    | Some p -> (Appgen.generate p).Appgen.app
+  in
+  let config =
+    match Config.of_string config_name with
+    | Ok c -> c
+    | Error e -> Printf.eprintf "%s\n" e; exit 2
+  in
+  let seeds = max 1 seeds in
+  let total = clients * requests in
+  (* One request per (seed pool slot); the pool cycles so concurrent
+     clients hit overlapping releases. *)
+  let request_of_ix ix =
+    let seed = (ix mod seeds) + 1 in
+    let apk, _ops = Mutate.mutate ~seed base in
+    { Protocol.rq_config = config;
+      rq_dexsim = Calibro_dex.Dex_text.to_string apk;
+      rq_profile = None;
+      rq_deadline_ms = deadline_ms }
+  in
+  let requests_by_slot =
+    (* distinct wire requests, computed once: seeds cycle, so there are
+       at most [seeds] of them *)
+    Array.init (min seeds total) request_of_ix
+  in
+  let outcomes = Array.make (max 1 total) (O_transport "not run") in
+  let t0 = Clock.now_ns () in
+  let client_thread c () =
+    for r = 0 to requests - 1 do
+      let ix = (c * requests) + r in
+      let rq = requests_by_slot.(ix mod Array.length requests_by_slot) in
+      let t = Clock.now_ns () in
+      outcomes.(ix) <-
+        (match Client.request ~socket rq with
+         | Ok (Protocol.Built { oat; _ }) ->
+           O_built
+             { latency_s = Clock.since_s t;
+               oat;
+               req_ix = ix mod Array.length requests_by_slot }
+         | Ok (Protocol.Rejected rej) -> O_rejected rej
+         | Error m -> O_transport m)
+    done
+  in
+  let threads = List.init clients (fun c -> Thread.create (client_thread c) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Clock.since_s t0 in
+  let built =
+    Array.to_list outcomes
+    |> List.filter_map (function O_built b -> Some b | _ -> None)
+  in
+  let count pred = Array.to_list outcomes |> List.filter pred |> List.length in
+  let rejected =
+    count (function O_rejected _ -> true | _ -> false)
+  and transport = count (function O_transport _ -> true | _ -> false) in
+  let lats =
+    List.map (fun b -> b.latency_s) built |> Array.of_list
+  in
+  Array.sort compare lats;
+  Printf.printf
+    "calibro_load: %d requests (%d clients x %d), %d built, %d rejected, %d \
+     transport errors in %.2fs\n"
+    total clients requests (List.length built) rejected transport wall_s;
+  if List.length built > 0 then
+    Printf.printf
+      "  throughput %.2f builds/s  latency p50 %.3fs  p95 %.3fs  max %.3fs\n"
+      (float_of_int (List.length built) /. wall_s)
+      (percentile lats 0.50) (percentile lats 0.95)
+      lats.(Array.length lats - 1);
+  Array.iteri
+    (fun ix o ->
+      match o with
+      | O_rejected rej when not allow_errors ->
+        Printf.printf "  request %d rejected: %s\n" ix
+          (Protocol.rejection_to_string rej)
+      | O_transport m when not allow_errors ->
+        Printf.printf "  request %d transport error: %s\n" ix m
+      | _ -> ())
+    outcomes;
+  let mismatches =
+    if not verify then 0
+    else begin
+      (* Recompute each distinct request in-process — the same
+         Pipeline.build path calibroc's build subcommand runs — and
+         demand byte-identical OAT images from the daemon. *)
+      let expected =
+        Array.map
+          (fun rq ->
+            match Worker.build_response ~cache:None rq with
+            | Protocol.Built { oat; _ } -> oat
+            | Protocol.Rejected rej ->
+              Printf.eprintf "local build failed: %s\n"
+                (Protocol.rejection_to_string rej);
+              exit 2)
+          requests_by_slot
+      in
+      List.fold_left
+        (fun acc (b : _) ->
+          if String.equal b.oat expected.(b.req_ix) then acc
+          else begin
+            Printf.printf "  VERIFY FAIL: request slot %d differs from \
+                           in-process build\n"
+              b.req_ix;
+            acc + 1
+          end)
+        0 built
+    end
+  in
+  if verify && mismatches = 0 && built <> [] then
+    Printf.printf "  verify: %d served OATs byte-identical to in-process \
+                   builds\n"
+      (List.length built);
+  if mismatches > 0 then 1
+  else if (not allow_errors) && (rejected > 0 || transport > 0) then 1
+  else 0
+
+let cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The daemon's Unix-domain socket.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client threads.")
+  in
+  let requests =
+    Arg.(value & opt int 4 & info [ "requests" ] ~docv:"M"
+           ~doc:"Requests per client.")
+  in
+  let app_arg =
+    Arg.(value & opt string "taobao" & info [ "app" ] ~docv:"APP"
+           ~doc:"Base app: toutiao taobao fanqie meituan kuaishou wechat \
+                 demo.")
+  in
+  let seeds =
+    Arg.(value & opt int 4 & info [ "seeds" ] ~docv:"K"
+           ~doc:"Mutation-seed pool size; smaller = more overlap = more \
+                 warm cache hits.")
+  in
+  let config =
+    Arg.(value & opt string "pl2" & info [ "config" ] ~docv:"CONFIG"
+           ~doc:"Build configuration (baseline, cto, ltbo, plK, roundsN).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Byte-compare every served OAT against an in-process build \
+                 of the same request; mismatch exits 1.")
+  in
+  let allow_errors =
+    Arg.(value & flag & info [ "allow-errors" ]
+           ~doc:"Tolerate rejected or dropped requests (for driving a \
+                 draining daemon).")
+  in
+  Cmd.v
+    (Cmd.info "calibro_load"
+       ~doc:"Concurrent load generator and verifier for calibrod.")
+    Term.(
+      const
+        (fun socket clients requests app seeds config deadline_ms verify
+             allow_errors ->
+          Stdlib.exit
+            (run socket clients requests app seeds config deadline_ms verify
+               allow_errors))
+      $ socket $ clients $ requests $ app_arg $ seeds $ config $ deadline_ms
+      $ verify $ allow_errors)
+
+let () = exit (Cmd.eval cmd)

@@ -47,7 +47,18 @@ let build_cmd =
                  builds (incremental rebuilds). Overrides \
                  \\$(b,CALIBRO_CACHE_DIR).")
   in
-  let run input output cto ltbo parallel hot_profile dump cache_dir =
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the flat metrics JSON (counters, gauges, histograms, \
+                 span aggregates) after the build.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the build's pipeline \
+                 spans (chrome://tracing, Perfetto).")
+  in
+  let run input output cto ltbo parallel hot_profile dump cache_dir metrics
+      trace =
     match parse_apk input with
     | Error e -> prerr_endline e; exit 1
     | Ok apk -> (
@@ -106,11 +117,12 @@ let build_cmd =
            Calibro_oat.Oat_file.save oat path;
            Printf.printf "wrote %s\n" path
          | None -> ());
-        if dump then print_string (Calibro_oat.Oatdump.dump oat))
+        if dump then print_string (Calibro_oat.Oatdump.dump oat);
+        Calibro_obs.Obs.export ~metrics ~trace ())
   in
   Cmd.v (Cmd.info "build" ~doc:"Compile a .dexsim file to an OAT image.")
     Term.(const run $ input $ output $ cto $ ltbo $ parallel $ hot_profile
-          $ dump $ cache_dir)
+          $ dump $ cache_dir $ metrics $ trace)
 
 (* ---- run ------------------------------------------------------------------- *)
 

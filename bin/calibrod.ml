@@ -1,0 +1,109 @@
+(* calibrod — the Calibro compilation daemon.
+
+   A long-lived multi-client compilation service: the app-store scenario
+   where a continuous stream of releases is compiled on demand, all builds
+   sharing one content-addressed compilation cache (the ShareJIT effect).
+   Clients speak the length-prefixed binary protocol of
+   Calibro_server.Protocol over a Unix-domain socket; calibro_load is the
+   reference client.
+
+   Lifecycle: runs until SIGTERM (or SIGINT), then drains gracefully —
+   stops accepting, answers every admitted job, joins the workers, removes
+   the socket, exports --metrics/--trace, and exits 0. *)
+
+open Cmdliner
+module Server = Calibro_server.Server
+module Obs = Calibro_obs.Obs
+
+let serve socket workers queue_capacity cache_dir recv_timeout deadline_ms
+    metrics trace =
+  let cache =
+    match cache_dir with
+    | Some dir -> Some (Calibro_cache.Cache.create ~dir ())
+    | None -> Lazy.force Calibro_core.Pipeline.env_cache
+  in
+  let cfg =
+    { (Server.default_config ~socket_path:socket) with
+      Server.workers;
+      queue_capacity;
+      cache;
+      recv_timeout_s = recv_timeout;
+      default_deadline_ms = deadline_ms }
+  in
+  let t =
+    try Server.create cfg
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "calibrod: cannot bind %s: %s\n" socket
+        (Unix.error_message e);
+      exit 1
+  in
+  Server.install_sigterm t;
+  Printf.eprintf
+    "calibrod: serving on %s (%d workers, queue %d, cache %s)\n%!" socket
+    workers queue_capacity
+    (match cache with
+     | Some c ->
+       (match Calibro_cache.Cache.dir c with
+        | Some d -> d
+        | None -> "memory")
+     | None -> "off");
+  Server.join t;
+  let tt = Server.totals t in
+  Printf.eprintf
+    "calibrod: drained; %d accepted, %d overloaded, %d malformed, %d \
+     stalled, %d refused while draining\n%!"
+    tt.Server.t_accepted tt.Server.t_overloaded tt.Server.t_malformed
+    tt.Server.t_stalled tt.Server.t_refused_draining;
+  Obs.export ~metrics ~trace ();
+  exit 0
+
+let cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket to listen on (created; removed on drain).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains pulling jobs off the admission queue.")
+  in
+  let queue_capacity =
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N"
+           ~doc:"Admission-queue bound; a full queue answers a typed \
+                 Overloaded rejection (backpressure, never buffering).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Content-addressed compilation cache shared by all clients; \
+                 identical methods compiled for different releases hit \
+                 warm. Overrides \\$(b,CALIBRO_CACHE_DIR); without either, \
+                 an in-memory cache is not created and every build is cold.")
+  in
+  let recv_timeout =
+    Arg.(value & opt float 10.0 & info [ "recv-timeout-s" ] ~docv:"S"
+           ~doc:"Drop a connection whose client stalls mid-frame longer \
+                 than this (0 = wait forever).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "default-deadline-ms" ]
+           ~docv:"MS"
+           ~doc:"Deadline applied to requests that carry none.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the flat metrics JSON (request counters by outcome, \
+                 queue-depth gauge, latency histograms) at drain.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON (per-worker lanes with \
+                 per-phase pipeline spans) at drain.")
+  in
+  Cmd.v
+    (Cmd.info "calibrod"
+       ~doc:"Calibro compilation daemon: concurrent builds over a \
+             Unix-domain socket with admission control, deadlines and \
+             graceful drain.")
+    Term.(const serve $ socket $ workers $ queue_capacity $ cache_dir
+          $ recv_timeout $ deadline_ms $ metrics $ trace)
+
+let () = exit (Cmd.eval cmd)

@@ -138,6 +138,54 @@ module Cache = struct
     Calibro_obs.Obs.Counter.incr "fault.injected.cache-bitflip"
 end
 
+(* ---- Compilation-service faults -----------------------------------------
+
+   The calibrod daemon promises that no client behaviour can take it down:
+   a connection dropped mid-frame, a client that stalls past its deadline,
+   and a poisoned job (parses, then fails the build) must each surface as
+   one failed request. These helpers manufacture exactly those three
+   abuses. They operate on raw frame bytes and .dexsim text so this module
+   needs no dependency on lib/server; the tests drive the sockets. *)
+
+module Server = struct
+  type kind = Drop_mid_frame | Stall_mid_frame | Poison_job
+
+  let all = [ Drop_mid_frame; Stall_mid_frame; Poison_job ]
+
+  let to_string = function
+    | Drop_mid_frame -> "drop-mid-frame"
+    | Stall_mid_frame -> "stall-mid-frame"
+    | Poison_job -> "poison-job"
+
+  let of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "drop-mid-frame" -> Ok Drop_mid_frame
+    | "stall-mid-frame" -> Ok Stall_mid_frame
+    | "poison-job" -> Ok Poison_job
+    | s -> Error (Printf.sprintf "unknown server fault kind %S" s)
+
+  let inject kind =
+    Calibro_obs.Obs.Counter.incr ("fault.injected.server-" ^ to_string kind)
+
+  (* The first half of an encoded frame: the header promises more bytes
+     than will ever arrive. A client that sends this and closes is the
+     drop-mid-frame fault; one that sends it and holds the connection is
+     the stall fault (the daemon's receive timeout must reap it). *)
+  let first_half frame = String.sub frame 0 (String.length frame / 2)
+
+  (* A .dexsim that parses cleanly but cannot build: the call target does
+     not exist, so admission succeeds and the pipeline fails — the
+     poisoned job must come back as a typed per-request error. *)
+  let poison_dexsim =
+    ".apk poisoned\n\
+     .dex classes01\n\
+     .class com.poison.Main\n\
+     .method run params #0 regs #2 entry\n\
+    \    invoke com.poison.Missing.helper () -> v0\n\
+    \    return v0\n\
+     .end\n"
+end
+
 (* Inject [kind] into [oat]. [None] means the image offers no applicable
    site (e.g. no outlined functions in a CTO-only build). *)
 let inject (kind : kind) (oat : Oat.t) : Oat.t option =

@@ -27,6 +27,12 @@ module Cache = Calibro_cache.Cache
 
 let outlined_sym_base = 0x500000
 
+exception Ltbo_error of string
+(* The typed failure for an input that breaks an LTBO invariant
+   (stackmap-consistency validation after rewriting). A long-lived caller
+   — the calibrod worker — maps this to a per-request error; it must
+   never surface as an untyped [Failure]. *)
+
 type options = {
   min_length : int;          (** shortest candidate sequence, in instructions *)
   max_length : int;          (** longest, bounds tree traversal *)
@@ -436,10 +442,12 @@ let rewrite_method_sites (cm : Compiled_method.t) (sites : site list) :
     (match Stackmap.validate new_stackmap ~code_size:!new_pos with
      | Ok () -> ()
      | Error e ->
-       failwith
-         (Printf.sprintf "LTBO broke stackmaps of %s: %s"
-            (Calibro_dex.Dex_ir.method_ref_to_string cm.Compiled_method.name)
-            e));
+       raise
+         (Ltbo_error
+            (Printf.sprintf "LTBO broke stackmaps of %s: %s"
+               (Calibro_dex.Dex_ir.method_ref_to_string
+                  cm.Compiled_method.name)
+               e)));
     { cm with
       Compiled_method.code = new_code;
       relocs =

@@ -11,6 +11,12 @@ open Calibro_codegen
 val outlined_sym_base : int
 (** First symbol id given to outlined functions. *)
 
+exception Ltbo_error of string
+(** Raised when rewriting breaks an LTBO invariant (currently: stackmap
+    consistency after repositioning). Typed so long-lived callers — the
+    calibrod worker pool — can answer the offending request with an error
+    instead of dying on an untyped [Failure]. *)
+
 type options = {
   min_length : int;  (** shortest candidate sequence, in instructions *)
   max_length : int;  (** longest; bounds the tree traversal *)
@@ -71,7 +77,7 @@ val rewrite_method_sites : Compiled_method.t -> site list -> Compiled_method.t
 (** Steps 3 and 4 for one method: replace each site with a [bl], rebuild
     the offset map, patch PC-relative instructions in the bytes, remap
     metadata and stackmaps, and validate the result.
-    @raise Failure if stackmap consistency is broken (a bug). *)
+    @raise Ltbo_error if stackmap consistency is broken (a bug). *)
 
 type result = {
   methods : Compiled_method.t list;

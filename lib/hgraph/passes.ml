@@ -11,6 +11,11 @@
 open Calibro_dex.Dex_ir
 open Hgraph
 
+exception Pass_error of string
+(* The typed failure for a method whose graph breaks verification after a
+   pass — per-method damage, so a long-lived caller (the calibrod worker)
+   can fail the one request instead of dying on an untyped [Failure]. *)
+
 (* Evaluate a binary operation the same way the simulated machine does.
    Division by zero is never evaluated here (guarded by the caller). *)
 let eval_binop op a b =
@@ -376,10 +381,11 @@ let optimize ?(max_rounds = 8) (g : t) =
             let c = pass.run g in
             (try verify g
              with Invalid msg ->
-               failwith
-                 (Printf.sprintf "pass %s broke %s: %s" pass.pass_name
-                    (method_ref_to_string g.g_name)
-                    msg));
+               raise
+                 (Pass_error
+                    (Printf.sprintf "pass %s broke %s: %s" pass.pass_name
+                       (method_ref_to_string g.g_name)
+                       msg)));
             acc || c)
           false all_passes
       in

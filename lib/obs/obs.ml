@@ -347,3 +347,12 @@ let write_file path doc =
     (fun () ->
       output_string oc (Json.to_string ~pretty:true doc);
       output_char oc '\n')
+
+(* The shared --metrics/--trace exit path of every entry point. *)
+let export ?(extra = []) ~metrics ~trace () =
+  (match metrics with
+   | None -> ()
+   | Some path -> write_file path (metrics_json ~extra ()));
+  match trace with
+  | None -> ()
+  | Some path -> write_file path (trace_json ())

@@ -95,3 +95,12 @@ val trace_json : unit -> Json.t
 
 val write_file : string -> Json.t -> unit
 (** Pretty-print a document to [path] (creating or truncating it). *)
+
+val export :
+  ?extra:(string * Json.t) list -> metrics:string option ->
+  trace:string option -> unit -> unit
+(** The one obs-export code path every entry point (calibroc, calibrod,
+    calibro_fuzz, bench) shares: write {!metrics_json} (with [?extra]
+    appended) to the [metrics] path and {!trace_json} to the [trace]
+    path, skipping whichever is [None]. Being a snapshot, this must run
+    after all worker domains have joined. *)

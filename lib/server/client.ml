@@ -1,0 +1,43 @@
+(* Client side of the calibrod protocol. *)
+
+type t = { fd : Unix.file_descr }
+
+(* A daemon draining mid-request closes connections under us; without
+   this, the resulting EPIPE kills the whole client process instead of
+   failing one request. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let connect path =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> { fd }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let send t rq = Protocol.write_frame t.fd (Protocol.encode_request rq)
+
+let recv t =
+  match Protocol.read_frame t.fd with
+  | payload -> Protocol.decode_response payload
+  | exception Protocol.Frame_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request ~socket rq =
+  match connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("connect: " ^ Unix.error_message e)
+  | t ->
+    Fun.protect
+      ~finally:(fun () -> close t)
+      (fun () ->
+        match send t rq with
+        | () -> recv t
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("send: " ^ Unix.error_message e))

@@ -1,0 +1,27 @@
+(** Client side of the calibrod protocol: connect, send one request, read
+    one response. Used by [calibro_load], [bench serve] and the tests. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket. The first call ignores
+    [SIGPIPE] process-wide, so a daemon hanging up mid-request surfaces
+    as a per-request [EPIPE] error instead of killing the client.
+    @raise Unix.Unix_error (e.g. [ECONNREFUSED], [ENOENT]) if no daemon
+    is listening there. *)
+
+val send : t -> Protocol.build_request -> unit
+(** Write the request frame. Split from {!recv} so tests can interleave
+    (e.g. hold a connection open past a deadline). *)
+
+val recv : t -> (Protocol.response, string) result
+(** Read and decode the response frame. [Error] covers a dead or
+    misbehaving peer, never a daemon-side refusal — those arrive as
+    [Ok (Rejected _)]. *)
+
+val close : t -> unit
+
+val request :
+  socket:string -> Protocol.build_request ->
+  (Protocol.response, string) result
+(** One-shot convenience: connect, send, receive, close. *)

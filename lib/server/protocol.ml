@@ -1,0 +1,339 @@
+(* The calibrod wire protocol. See protocol.mli for the frame layout and
+   lifecycle; this file is the codec.
+
+   Encoding discipline: little-endian fixed-width integers, u32
+   length-prefixed strings, 0/1 bytes for booleans and option tags —
+   nothing implicit, no [Marshal]. Decoding reads through a cursor that
+   bounds-checks every field, so damage anywhere in a frame produces a
+   message naming the field that ran out rather than an exception from
+   the bowels of [Bytes]. *)
+
+open Calibro_core
+
+let magic = "CLB1"
+let max_frame = 64 * 1024 * 1024
+
+exception Frame_error of string
+
+(* ---- Socket framing ---------------------------------------------------- *)
+
+let rec restart_on_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
+
+let really_read fd n ~what =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then buf
+    else
+      let k = restart_on_intr (fun () -> Unix.read fd buf off (n - off)) in
+      if k = 0 then
+        raise
+          (Frame_error
+             (Printf.sprintf "unexpected EOF reading %s (%d of %d bytes)"
+                what off n))
+      else go (off + k)
+  in
+  go 0
+
+let really_write fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let k = restart_on_intr (fun () -> Unix.write fd b off (n - off)) in
+      go (off + k)
+  in
+  go 0
+
+let header payload =
+  let b = Buffer.create 8 in
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.contents b
+
+let to_frame payload = header payload ^ payload
+
+let write_frame fd payload =
+  if String.length payload > max_frame then
+    raise (Frame_error "refusing to send oversized frame");
+  really_write fd (to_frame payload)
+
+let read_frame fd =
+  let hdr = really_read fd 8 ~what:"frame header" in
+  let m = Bytes.sub_string hdr 0 4 in
+  if m <> magic then
+    raise (Frame_error (Printf.sprintf "bad frame magic %S" m));
+  let len = Int32.to_int (Bytes.get_int32_le hdr 4) in
+  if len < 0 || len > max_frame then
+    raise (Frame_error (Printf.sprintf "oversized frame: %d bytes" len));
+  Bytes.to_string (really_read fd len ~what:"frame payload")
+
+(* ---- Primitive writers -------------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "u32 out of range: %d" v);
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let w_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_opt w b = function
+  | None -> w_u8 b 0
+  | Some v ->
+    w_u8 b 1;
+    w b v
+
+let w_list w b l =
+  w_u32 b (List.length l);
+  List.iter (w b) l
+
+(* ---- Primitive readers --------------------------------------------------
+
+   A cursor over the payload string. Every read names its field so a
+   truncated or mangled frame reports *which* field was cut. *)
+
+exception Decode_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let need c n ~what =
+  if c.pos + n > String.length c.src then
+    raise
+      (Decode_error
+         (Printf.sprintf "truncated payload: %s needs %d bytes at offset %d, \
+                          payload is %d bytes"
+            what n c.pos (String.length c.src)))
+
+let r_u8 c ~what =
+  need c 1 ~what;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_bool c ~what =
+  match r_u8 c ~what with
+  | 0 -> false
+  | 1 -> true
+  | v -> raise (Decode_error (Printf.sprintf "bad boolean %d in %s" v what))
+
+let r_u32 c ~what =
+  need c 4 ~what;
+  let v = Int32.to_int (String.get_int32_le c.src c.pos) in
+  c.pos <- c.pos + 4;
+  (* int32 round-trips negative for the top bit; reinterpret as u32 *)
+  let v = v land 0xFFFFFFFF in
+  v
+
+let r_f64 c ~what =
+  need c 8 ~what;
+  let v = Int64.float_of_bits (String.get_int64_le c.src c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_str c ~what =
+  let len = r_u32 c ~what:(what ^ " length") in
+  need c len ~what;
+  let s = String.sub c.src c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let r_opt r c ~what =
+  match r_u8 c ~what:(what ^ " tag") with
+  | 0 -> None
+  | 1 -> Some (r c ~what)
+  | v -> raise (Decode_error (Printf.sprintf "bad option tag %d in %s" v what))
+
+let r_list r c ~what =
+  let n = r_u32 c ~what:(what ^ " count") in
+  List.init n (fun i -> r c ~what:(Printf.sprintf "%s[%d]" what i))
+
+let finish c what =
+  if c.pos <> String.length c.src then
+    raise
+      (Decode_error
+         (Printf.sprintf "%d trailing bytes after %s"
+            (String.length c.src - c.pos)
+            what))
+
+let decoding f s =
+  match f { src = s; pos = 0 } with
+  | v -> Ok v
+  | exception Decode_error m -> Error m
+
+(* ---- Configuration ------------------------------------------------------ *)
+
+let w_method_ref b (m : Calibro_dex.Dex_ir.method_ref) =
+  w_str b m.Calibro_dex.Dex_ir.class_name;
+  w_str b m.Calibro_dex.Dex_ir.method_name
+
+let r_method_ref c ~what =
+  let class_name = r_str c ~what:(what ^ ".class") in
+  let method_name = r_str c ~what:(what ^ ".method") in
+  { Calibro_dex.Dex_ir.class_name; method_name }
+
+let w_config b (cfg : Config.t) =
+  w_str b cfg.Config.name;
+  w_bool b cfg.Config.optimize_ir;
+  w_bool b cfg.Config.cto;
+  w_bool b cfg.Config.ltbo;
+  w_u32 b cfg.Config.parallel_trees;
+  w_list w_method_ref b cfg.Config.hot_methods;
+  w_u32 b cfg.Config.ltbo_min_length;
+  w_u32 b cfg.Config.ltbo_max_length;
+  w_u32 b cfg.Config.ltbo_rounds
+
+let r_config c =
+  let name = r_str c ~what:"config.name" in
+  let optimize_ir = r_bool c ~what:"config.optimize_ir" in
+  let cto = r_bool c ~what:"config.cto" in
+  let ltbo = r_bool c ~what:"config.ltbo" in
+  let parallel_trees = r_u32 c ~what:"config.parallel_trees" in
+  let hot_methods = r_list r_method_ref c ~what:"config.hot_methods" in
+  let ltbo_min_length = r_u32 c ~what:"config.ltbo_min_length" in
+  let ltbo_max_length = r_u32 c ~what:"config.ltbo_max_length" in
+  let ltbo_rounds = r_u32 c ~what:"config.ltbo_rounds" in
+  { Config.name; optimize_ir; cto; ltbo; parallel_trees; hot_methods;
+    ltbo_min_length; ltbo_max_length; ltbo_rounds }
+
+(* ---- Requests ------------------------------------------------------------ *)
+
+type build_request = {
+  rq_config : Config.t;
+  rq_dexsim : string;
+  rq_profile : string option;
+  rq_deadline_ms : int option;
+}
+
+let tag_build = 1
+
+let encode_request (r : build_request) =
+  let b = Buffer.create (String.length r.rq_dexsim + 256) in
+  w_u8 b tag_build;
+  w_config b r.rq_config;
+  w_str b r.rq_dexsim;
+  w_opt w_str b r.rq_profile;
+  w_opt w_u32 b r.rq_deadline_ms;
+  Buffer.contents b
+
+let decode_request =
+  decoding @@ fun c ->
+  let tag = r_u8 c ~what:"request tag" in
+  if tag <> tag_build then
+    raise (Decode_error (Printf.sprintf "unknown request tag %d" tag));
+  let rq_config = r_config c in
+  let rq_dexsim = r_str c ~what:"dexsim" in
+  let rq_profile = r_opt r_str c ~what:"profile" in
+  let rq_deadline_ms = r_opt r_u32 c ~what:"deadline_ms" in
+  finish c "build request";
+  { rq_config; rq_dexsim; rq_profile; rq_deadline_ms }
+
+(* ---- Responses ----------------------------------------------------------- *)
+
+type build_stats = {
+  bs_text_size : int;
+  bs_methods : int;
+  bs_thunks : int;
+  bs_outlined : int;
+  bs_build_s : float;
+}
+
+type rejection =
+  | Malformed of string
+  | Parse_error of string
+  | Build_failed of string
+  | Overloaded
+  | Deadline_exceeded
+  | Draining
+  | Internal of string
+
+let rejection_to_string = function
+  | Malformed m -> "malformed request: " ^ m
+  | Parse_error m -> "parse error: " ^ m
+  | Build_failed m -> "build failed: " ^ m
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline exceeded"
+  | Draining -> "draining"
+  | Internal m -> "internal error: " ^ m
+
+type response =
+  | Built of { oat : string; stats : build_stats }
+  | Rejected of rejection
+
+let tag_built = 1
+let tag_rejected = 2
+
+(* Rejection codes on the wire; codes with a message carry one string. *)
+let rejection_code = function
+  | Malformed _ -> 1
+  | Parse_error _ -> 2
+  | Build_failed _ -> 3
+  | Overloaded -> 4
+  | Deadline_exceeded -> 5
+  | Draining -> 6
+  | Internal _ -> 7
+
+let encode_response (r : response) =
+  let b =
+    Buffer.create
+      (match r with Built { oat; _ } -> String.length oat + 64 | _ -> 64)
+  in
+  (match r with
+   | Built { oat; stats } ->
+     w_u8 b tag_built;
+     w_str b oat;
+     w_u32 b stats.bs_text_size;
+     w_u32 b stats.bs_methods;
+     w_u32 b stats.bs_thunks;
+     w_u32 b stats.bs_outlined;
+     w_f64 b stats.bs_build_s
+   | Rejected rej ->
+     w_u8 b tag_rejected;
+     w_u8 b (rejection_code rej);
+     (match rej with
+      | Malformed m | Parse_error m | Build_failed m | Internal m ->
+        w_str b m
+      | Overloaded | Deadline_exceeded | Draining -> ()));
+  Buffer.contents b
+
+let decode_response =
+  decoding @@ fun c ->
+  let tag = r_u8 c ~what:"response tag" in
+  let r =
+    if tag = tag_built then begin
+      let oat = r_str c ~what:"oat" in
+      let bs_text_size = r_u32 c ~what:"stats.text_size" in
+      let bs_methods = r_u32 c ~what:"stats.methods" in
+      let bs_thunks = r_u32 c ~what:"stats.thunks" in
+      let bs_outlined = r_u32 c ~what:"stats.outlined" in
+      let bs_build_s = r_f64 c ~what:"stats.build_s" in
+      Built
+        { oat;
+          stats =
+            { bs_text_size; bs_methods; bs_thunks; bs_outlined; bs_build_s } }
+    end
+    else if tag = tag_rejected then begin
+      let code = r_u8 c ~what:"rejection code" in
+      let msg ~what = r_str c ~what in
+      Rejected
+        (match code with
+         | 1 -> Malformed (msg ~what:"malformed message")
+         | 2 -> Parse_error (msg ~what:"parse-error message")
+         | 3 -> Build_failed (msg ~what:"build-failed message")
+         | 4 -> Overloaded
+         | 5 -> Deadline_exceeded
+         | 6 -> Draining
+         | 7 -> Internal (msg ~what:"internal-error message")
+         | c ->
+           raise (Decode_error (Printf.sprintf "unknown rejection code %d" c)))
+    end
+    else raise (Decode_error (Printf.sprintf "unknown response tag %d" tag))
+  in
+  finish c "response";
+  r

@@ -1,0 +1,98 @@
+(** The calibrod wire protocol: length-prefixed binary frames over a
+    Unix-domain stream socket.
+
+    Every message is one frame: a 4-byte magic ({!magic}), a little-endian
+    u32 payload length, then the payload. Frames larger than {!max_frame}
+    are rejected before the payload is read, and a frame cut short by the
+    peer surfaces as a clean {!Frame_error}, never a blind [Bytes.sub]
+    failure.
+
+    The connection lifecycle is one-shot, like HTTP/1.0: the client sends
+    exactly one request frame, the daemon answers with exactly one
+    response frame and closes. Admission control, deadlines and drain all
+    speak through the typed {!rejection} codes, so a client can always
+    distinguish "the daemon refused" from "the connection died".
+
+    The codec is hand-rolled (no [Marshal] on the wire): every field is
+    written explicitly, so a frame produced by one build of calibrod can
+    be decoded by another, and a corrupt frame fails field-by-field with
+    a message saying what ran out. *)
+
+(** {2 Framing} *)
+
+val magic : string
+(** ["CLB1"] — 4 bytes at the start of every frame. *)
+
+val max_frame : int
+(** Upper bound on a payload, in bytes (64 MiB). Oversized frames are
+    rejected from the header alone. *)
+
+exception Frame_error of string
+(** Raised by {!read_frame} on EOF, bad magic, an oversized length or a
+    payload cut short — protocol-level damage, as opposed to
+    [Unix.Unix_error] which escapes for the caller to interpret (e.g. a
+    receive timeout on a stalled client). *)
+
+val read_frame : Unix.file_descr -> string
+(** Read one frame, returning its payload.
+    @raise Frame_error on protocol damage (see above). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame [payload] and write it fully. Unix errors (e.g. [EPIPE] when
+    the peer vanished) escape to the caller. *)
+
+val to_frame : string -> string
+(** The exact bytes {!write_frame} would send: header plus payload. The
+    fault-injection tests mangle this ({!Calibro_check.Fault.Server}). *)
+
+(** {2 Requests} *)
+
+type build_request = {
+  rq_config : Calibro_core.Config.t;
+      (** Full evaluation configuration; [hot_methods] travels inline. *)
+  rq_dexsim : string;  (** the application, in .dexsim text *)
+  rq_profile : string option;
+      (** optional simpleperf-style profile text; its hot set is merged
+          into [rq_config.hot_methods] server-side *)
+  rq_deadline_ms : int option;
+      (** per-job deadline, relative to admission; a job that cannot be
+          dispatched (or finished) in time is answered [`Deadline_exceeded] *)
+}
+
+val encode_request : build_request -> string
+val decode_request : string -> (build_request, string) result
+(** Payload codec; [decode_request (encode_request r) = Ok r]. *)
+
+(** {2 Responses} *)
+
+type build_stats = {
+  bs_text_size : int;
+  bs_methods : int;
+  bs_thunks : int;
+  bs_outlined : int;
+  bs_build_s : float;  (** server-side wall time of the pipeline proper *)
+}
+
+(** Why the daemon refused (or failed) a request. Every rejection is a
+    first-class response: clients never infer failure from a dropped
+    connection. *)
+type rejection =
+  | Malformed of string  (** frame decoded but the request did not *)
+  | Parse_error of string  (** .dexsim or profile text did not parse *)
+  | Build_failed of string
+      (** typed pipeline failure: [Build_error], [Ltbo_error],
+          [Pass_error] — the job was bad, the daemon is fine *)
+  | Overloaded  (** admission queue full: back off and retry *)
+  | Deadline_exceeded
+  | Draining  (** daemon is shutting down and refuses new work *)
+  | Internal of string  (** anything else; the daemon survived it *)
+
+val rejection_to_string : rejection -> string
+
+type response =
+  | Built of { oat : string;  (** [Calibro_oat.Oat_file.to_bytes] image *)
+               stats : build_stats }
+  | Rejected of rejection
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

@@ -1,0 +1,62 @@
+(* Bounded MPMC admission queue. See queue.mli for the contract. *)
+
+module Obs = Calibro_obs.Obs
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Stdlib.Queue.t;
+  capacity : int;
+  gauge : string option;
+  mutable closed : bool;
+}
+
+let create ?gauge ~capacity () =
+  { lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Stdlib.Queue.create ();
+    capacity = max 1 capacity;
+    gauge;
+    closed = false }
+
+let set_gauge t depth =
+  match t.gauge with
+  | Some g -> Obs.Gauge.set g (float_of_int depth)
+  | None -> ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+type push_result = Pushed | Full | Closed
+
+let try_push t x =
+  locked t @@ fun () ->
+  if t.closed then Closed
+  else if Stdlib.Queue.length t.items >= t.capacity then Full
+  else begin
+    Stdlib.Queue.add x t.items;
+    set_gauge t (Stdlib.Queue.length t.items);
+    Condition.signal t.nonempty;
+    Pushed
+  end
+
+let pop t =
+  locked t @@ fun () ->
+  while Stdlib.Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.lock
+  done;
+  (* Closed queues still drain: admitted jobs have clients waiting. *)
+  match Stdlib.Queue.take_opt t.items with
+  | Some x ->
+    set_gauge t (Stdlib.Queue.length t.items);
+    Some x
+  | None -> None
+
+let close t =
+  locked t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty
+
+let length t = locked t @@ fun () -> Stdlib.Queue.length t.items
+let capacity t = t.capacity

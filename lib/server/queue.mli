@@ -1,0 +1,35 @@
+(** Bounded admission queue: the backpressure point of calibrod.
+
+    A mutex/condition MPMC queue with a hard capacity. Admission is
+    non-blocking — a full queue answers {!Full} immediately so the
+    connection handler can send the client a typed [Overloaded] rejection
+    instead of buffering without bound or hanging the accept loop.
+    Dispatch is FIFO; per-job deadlines ride on the job value and are
+    enforced by the worker at dispatch time (an expired job is answered,
+    never silently dropped — the client is still waiting on the socket).
+
+    Safe to use from any mix of threads and domains: connection-reader
+    threads push, worker domains pop. *)
+
+type 'a t
+
+val create : ?gauge:string -> capacity:int -> unit -> 'a t
+(** [capacity] is clamped to at least 1. [?gauge] names a
+    {!Calibro_obs.Obs.Gauge} kept equal to the current depth (gauges are
+    lock-protected, so updating from reader threads is safe). *)
+
+type push_result = Pushed | Full | Closed
+
+val try_push : 'a t -> 'a -> push_result
+(** Never blocks. [Full] and [Closed] leave the queue unchanged. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available or the queue is closed; [None] only
+    after close when every queued item has been drained — so workers that
+    loop on [pop] finish all admitted work before exiting. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked poppers. Idempotent. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int

@@ -1,0 +1,229 @@
+(* The accept loop and lifecycle. See server.mli for the threading and
+   drain contracts. *)
+
+module Obs = Calibro_obs.Obs
+module Clock = Calibro_obs.Clock
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  cache : Calibro_cache.Cache.t option;
+  recv_timeout_s : float;
+  default_deadline_ms : int option;
+}
+
+let default_config ~socket_path =
+  { socket_path;
+    workers = 2;
+    queue_capacity = 64;
+    cache = None;
+    recv_timeout_s = 10.0;
+    default_deadline_ms = None }
+
+type totals = {
+  t_accepted : int;
+  t_overloaded : int;
+  t_malformed : int;
+  t_stalled : int;
+  t_refused_draining : int;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  queue : Worker.job Queue.t;
+  pool : Worker.pool;
+  stop : bool Atomic.t;  (* drain requested *)
+  drained : bool Atomic.t;
+  drain_lock : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  readers : int Atomic.t;  (* live connection-reader threads *)
+  next_id : int Atomic.t;
+  (* Admission-path tallies. These run on threads that share the creating
+     domain, where the per-domain Obs counter shards are not thread-safe;
+     atomics here, mirrored into counters by [drain]. *)
+  a_accepted : int Atomic.t;
+  a_overloaded : int Atomic.t;
+  a_malformed : int Atomic.t;
+  a_stalled : int Atomic.t;
+  a_refused_draining : int Atomic.t;
+}
+
+let socket_path t = t.cfg.socket_path
+let draining t = Atomic.get t.stop
+let request_drain t = Atomic.set t.stop true
+
+let totals t =
+  { t_accepted = Atomic.get t.a_accepted;
+    t_overloaded = Atomic.get t.a_overloaded;
+    t_malformed = Atomic.get t.a_malformed;
+    t_stalled = Atomic.get t.a_stalled;
+    t_refused_draining = Atomic.get t.a_refused_draining }
+
+(* ---- Connection handling ------------------------------------------------ *)
+
+(* One reader thread per accepted connection: read one frame, decode,
+   admit or reject. Must not touch Obs counters/histograms/spans (it
+   shares the accept domain's shard with other threads); gauges are fine. *)
+let handle_connection t fd =
+  if t.cfg.recv_timeout_s > 0.0 then
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.recv_timeout_s;
+  let reject count rejection =
+    Atomic.incr count;
+    ignore (Worker.respond fd (Protocol.Rejected rejection))
+  in
+  match Protocol.read_frame fd with
+  | exception Protocol.Frame_error m ->
+    (* Bad magic / oversized / cut mid-frame. Try to say so — the peer is
+       often already gone, which respond absorbs. *)
+    reject t.a_malformed (Protocol.Malformed m)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (* The client stalled past the receive timeout. *)
+    Atomic.incr t.a_stalled;
+    Worker.(ignore (respond fd (Protocol.Rejected Protocol.Deadline_exceeded)))
+  | exception Unix.Unix_error _ ->
+    Atomic.incr t.a_stalled;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | payload -> (
+    match Protocol.decode_request payload with
+    | Error m -> reject t.a_malformed (Protocol.Malformed m)
+    | Ok rq ->
+      if Atomic.get t.stop then reject t.a_refused_draining Protocol.Draining
+      else begin
+        let deadline_ms =
+          match rq.Protocol.rq_deadline_ms with
+          | Some _ as d -> d
+          | None -> t.cfg.default_deadline_ms
+        in
+        let now = Clock.now_ns () in
+        let job =
+          { Worker.j_id = Atomic.fetch_and_add t.next_id 1;
+            j_fd = fd;
+            j_request = rq;
+            j_deadline_ns =
+              Option.map
+                (fun ms -> Int64.add now (Int64.of_int (ms * 1_000_000)))
+                deadline_ms;
+            j_accepted_ns = now }
+        in
+        match Queue.try_push t.queue job with
+        | Queue.Pushed -> Atomic.incr t.a_accepted
+        | Queue.Full -> reject t.a_overloaded Protocol.Overloaded
+        | Queue.Closed -> reject t.a_refused_draining Protocol.Draining
+      end)
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if not (Atomic.get t.stop) then loop ()
+    | exception Unix.Unix_error _ ->
+      (* The listening socket was shut down (drain) or is otherwise
+         unusable; either way accepting is over. *)
+      ()
+    | fd, _ ->
+      if Atomic.get t.stop then (
+        (* Drain raced the accept: refuse explicitly. *)
+        Atomic.incr t.a_refused_draining;
+        ignore (Worker.respond fd (Protocol.Rejected Protocol.Draining)))
+      else begin
+        Atomic.incr t.readers;
+        ignore
+          (Thread.create
+             (fun () ->
+               Fun.protect
+                 ~finally:(fun () -> Atomic.decr t.readers)
+                 (fun () ->
+                   try handle_connection t fd
+                   with _ ->
+                     (* A reader must never take the accept loop down. *)
+                     (try Unix.close fd with Unix.Unix_error _ -> ())))
+             ())
+      end;
+      loop ()
+  in
+  loop ()
+
+(* ---- Lifecycle ---------------------------------------------------------- *)
+
+let unlink_quietly path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let create cfg =
+  (* A vanished client must surface as EPIPE on write, not kill us. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match
+     unlink_quietly cfg.socket_path;
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with
+   | () -> ()
+   | exception e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let queue =
+    Queue.create ~gauge:"server.queue_depth" ~capacity:cfg.queue_capacity ()
+  in
+  let pool = Worker.start ~workers:cfg.workers ~cache:cfg.cache ~queue in
+  let t =
+    { cfg;
+      listen_fd;
+      queue;
+      pool;
+      stop = Atomic.make false;
+      drained = Atomic.make false;
+      drain_lock = Mutex.create ();
+      accept_thread = None;
+      readers = Atomic.make 0;
+      next_id = Atomic.make 0;
+      a_accepted = Atomic.make 0;
+      a_overloaded = Atomic.make 0;
+      a_malformed = Atomic.make 0;
+      a_stalled = Atomic.make 0;
+      a_refused_draining = Atomic.make 0 }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let drain t =
+  Mutex.lock t.drain_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.drain_lock) @@ fun () ->
+  if not (Atomic.get t.drained) then begin
+    Atomic.set t.stop true;
+    (* Wake the accept loop: shutdown on a listening socket makes a
+       blocked accept(2) return with an error. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* Let in-flight reader threads finish admitting or rejecting. *)
+    while Atomic.get t.readers > 0 do
+      Thread.delay 0.001
+    done;
+    (* No new admissions; workers drain what was admitted, then exit. *)
+    Queue.close t.queue;
+    Worker.join t.pool;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    unlink_quietly t.cfg.socket_path;
+    (* Workers and readers are gone: safe to mirror the admission tallies
+       into the (single-writer-per-domain) Obs counters. *)
+    let tt = totals t in
+    Obs.Counter.add "server.requests.accepted" tt.t_accepted;
+    Obs.Counter.add "server.requests.overloaded" tt.t_overloaded;
+    Obs.Counter.add "server.requests.malformed" tt.t_malformed;
+    Obs.Counter.add "server.requests.stalled" tt.t_stalled;
+    Obs.Counter.add "server.requests.refused_draining" tt.t_refused_draining;
+    Obs.Gauge.set "server.queue_depth" 0.0;
+    Atomic.set t.drained true
+  end
+
+let join t =
+  while not (Atomic.get t.stop) do
+    Thread.delay 0.05
+  done;
+  drain t
+
+let install_sigterm t =
+  let handle = Sys.Signal_handle (fun _ -> request_drain t) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle

@@ -1,0 +1,81 @@
+(** calibrod's connection and lifecycle layer: a Unix-domain accept loop
+    in front of the admission {!Queue} and the {!Worker} pool.
+
+    Threading model: the accept loop runs on a background thread of the
+    creating domain; each accepted connection gets a short-lived reader
+    thread that reads and decodes one request frame, then either admits a
+    job (handing the connection to a worker domain) or answers a typed
+    rejection itself ([Overloaded], [Malformed], [Draining]). CPU-bound
+    work only ever runs on the worker domains.
+
+    Observability: worker domains record their own counters, histograms
+    and spans (single-writer shards). The admission path — which runs on
+    threads sharing the creating domain — counts through process-local
+    atomics instead, mirrored into [server.requests.*] counters by
+    {!drain} once every thread and worker has stopped, respecting the
+    {!Calibro_obs.Obs} snapshot contract. The queue depth is exported
+    live through the (lock-protected) [server.queue_depth] gauge.
+
+    Graceful drain ({!drain}, or SIGTERM via {!install_sigterm} +
+    {!join}): stop accepting, answer nothing new, finish every admitted
+    job, join the workers, remove the socket — then return, so the caller
+    can exit 0. *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  cache : Calibro_cache.Cache.t option;
+      (** shared compilation cache; [None] = every build cold *)
+  recv_timeout_s : float;
+      (** how long a client may stall mid-frame before its connection is
+          dropped; [0.] = wait forever *)
+  default_deadline_ms : int option;
+      (** applied to requests that carry no deadline of their own *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, capacity 64, no cache, 10 s receive timeout, no default
+    deadline. *)
+
+type t
+
+val create : config -> t
+(** Bind the socket (replacing a stale file), start the workers and the
+    accept loop. Also sets [SIGPIPE] to ignore — a vanished client must
+    surface as [EPIPE], not kill the daemon.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val request_drain : t -> unit
+(** Flag the server to drain. Async-signal-safe (one atomic store); the
+    actual drain is performed by {!join} or {!drain}. *)
+
+val draining : t -> bool
+
+val drain : t -> unit
+(** Perform the graceful drain described above. Blocks until every
+    admitted job has been answered and all workers have exited.
+    Idempotent; concurrent callers block until the first finishes. *)
+
+val join : t -> unit
+(** Block until {!request_drain} is called (typically from the SIGTERM
+    handler), then {!drain}. The daemon's main loop. *)
+
+val install_sigterm : t -> unit
+(** Route SIGTERM (and SIGINT) to {!request_drain} on this server. *)
+
+(** {2 Introspection} *)
+
+type totals = {
+  t_accepted : int;  (** requests admitted to the queue *)
+  t_overloaded : int;  (** rejected: queue full *)
+  t_malformed : int;  (** rejected: frame or request did not decode *)
+  t_stalled : int;  (** connections dropped mid-frame or on timeout *)
+  t_refused_draining : int;  (** rejected: arrived during drain *)
+}
+
+val totals : t -> totals
+(** Admission-path totals so far (atomics; safe to read live). After
+    {!drain} these are also mirrored to [server.requests.*] counters. *)
+
+val socket_path : t -> string

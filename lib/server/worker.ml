@@ -1,0 +1,173 @@
+(* The worker pool. See worker.mli for the isolation and deadline
+   contract. *)
+
+open Calibro_core
+module Obs = Calibro_obs.Obs
+module Clock = Calibro_obs.Clock
+module Json = Calibro_obs.Json
+
+type job = {
+  j_id : int;
+  j_fd : Unix.file_descr;
+  j_request : Protocol.build_request;
+  j_deadline_ns : int64 option;
+  j_accepted_ns : int64;
+}
+
+type pool = { domains : unit Domain.t list }
+
+(* ---- Connection plumbing ------------------------------------------------ *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let respond fd resp =
+  let delivered =
+    match Protocol.write_frame fd (Protocol.encode_response resp) with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+    | exception Protocol.Frame_error _ -> false
+  in
+  close_quietly fd;
+  delivered
+
+(* The client speaks first and exactly once, then blocks on the reply; a
+   readable fd whose peek returns 0 bytes means it hung up. *)
+let client_gone fd =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> (
+    let b = Bytes.create 1 in
+    match Unix.recv fd b 0 1 [ Unix.MSG_PEEK ] with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> true)
+  | _ -> false
+  | exception Unix.Unix_error _ -> true
+
+(* ---- The job body ------------------------------------------------------- *)
+
+let expired deadline_ns =
+  match deadline_ns with
+  | None -> false
+  | Some d -> Int64.compare (Clock.now_ns ()) d > 0
+
+(* Parse, build, summarize. Every failure mode a request can provoke maps
+   to a typed rejection; nothing escapes. *)
+let build_response ~cache (rq : Protocol.build_request) : Protocol.response =
+  match
+    match Calibro_dex.Dex_text.parse rq.Protocol.rq_dexsim with
+    | Error e -> Protocol.Rejected (Protocol.Parse_error e)
+    | Ok apk ->
+      let profile_hot =
+        match rq.Protocol.rq_profile with
+        | None -> Ok []
+        | Some text -> (
+          match Calibro_profile.Profile.of_string text with
+          | Ok prof -> Ok (Calibro_profile.Profile.hot_set prof)
+          | Error e -> Error e)
+      in
+      (match profile_hot with
+       | Error e -> Protocol.Rejected (Protocol.Parse_error ("profile: " ^ e))
+       | Ok hot ->
+         let config =
+           let c = rq.Protocol.rq_config in
+           if hot = [] then c
+           else
+             { c with
+               Config.hot_methods =
+                 List.sort_uniq compare (c.Config.hot_methods @ hot) }
+         in
+         let t0 = Clock.now_ns () in
+         let b = Pipeline.build ~cache ~config apk in
+         let build_s = Clock.since_s t0 in
+         let oat = b.Pipeline.b_oat in
+         Protocol.Built
+           { oat = Bytes.to_string (Calibro_oat.Oat_file.to_bytes oat);
+             stats =
+               { Protocol.bs_text_size = Calibro_oat.Oat_file.text_size oat;
+                 bs_methods = List.length oat.Calibro_oat.Oat_file.methods;
+                 bs_thunks = List.length oat.Calibro_oat.Oat_file.thunks;
+                 bs_outlined = List.length oat.Calibro_oat.Oat_file.outlined;
+                 bs_build_s = build_s } })
+  with
+  | r -> r
+  | exception Pipeline.Build_error m ->
+    Protocol.Rejected (Protocol.Build_failed m)
+  | exception Ltbo.Ltbo_error m ->
+    Protocol.Rejected (Protocol.Build_failed ("ltbo: " ^ m))
+  | exception Calibro_hgraph.Passes.Pass_error m ->
+    Protocol.Rejected (Protocol.Build_failed ("ir passes: " ^ m))
+  | exception Calibro_dex.Dex_text.Parse_error { line; message } ->
+    Protocol.Rejected
+      (Protocol.Parse_error (Printf.sprintf "line %d: %s" line message))
+  | exception e -> Protocol.Rejected (Protocol.Internal (Printexc.to_string e))
+
+let outcome_counter (resp : Protocol.response) =
+  match resp with
+  | Protocol.Built _ -> "ok"
+  | Protocol.Rejected (Protocol.Parse_error _) -> "parse_error"
+  | Protocol.Rejected (Protocol.Build_failed _) -> "build_error"
+  | Protocol.Rejected Protocol.Deadline_exceeded -> "deadline"
+  | Protocol.Rejected (Protocol.Internal _) -> "internal_error"
+  | Protocol.Rejected _ -> "rejected"
+
+let handle ~cache (job : job) =
+  Obs.span ~cat:"server" "server.job"
+    ~args:(fun () ->
+      [ ("id", Json.Int job.j_id);
+        ("config", Json.Str job.j_request.Protocol.rq_config.Config.name) ])
+  @@ fun () ->
+  Obs.Histogram.observe "server.queue_wait_s"
+    (Int64.to_float (Int64.sub (Clock.now_ns ()) job.j_accepted_ns) /. 1e9);
+  if client_gone job.j_fd then begin
+    (* The client hung up while the job sat in the queue: cancel. *)
+    Obs.Counter.incr "server.jobs.cancelled";
+    close_quietly job.j_fd
+  end
+  else if expired job.j_deadline_ns then begin
+    Obs.Counter.incr "server.jobs.deadline";
+    ignore (respond job.j_fd (Protocol.Rejected Protocol.Deadline_exceeded))
+  end
+  else begin
+    let resp = build_response ~cache job.j_request in
+    (* A result the deadline already passed is useless to the caller:
+       report it as exceeded, honestly, rather than as success. *)
+    let resp =
+      match resp with
+      | Protocol.Built _ when expired job.j_deadline_ns ->
+        Protocol.Rejected Protocol.Deadline_exceeded
+      | r -> r
+    in
+    Obs.Counter.incr ("server.jobs." ^ outcome_counter resp);
+    if not (respond job.j_fd resp) then
+      Obs.Counter.incr "server.responses.lost";
+    Obs.Histogram.observe "server.latency_s"
+      (Int64.to_float (Int64.sub (Clock.now_ns ()) job.j_accepted_ns) /. 1e9)
+  end
+
+(* ---- The pool ----------------------------------------------------------- *)
+
+let worker_loop ~cache queue () =
+  Obs.span ~cat:"server" "server.worker" @@ fun () ->
+  let rec loop () =
+    match Queue.pop queue with
+    | None -> ()
+    | Some job ->
+      (* [handle] maps every job failure to a response; this last-resort
+         catch covers bugs in the handler itself (e.g. a pathological fd):
+         the worker logs and lives on. *)
+      (match handle ~cache job with
+       | () -> ()
+       | exception _ ->
+         Obs.Counter.incr "server.jobs.handler_error";
+         close_quietly job.j_fd);
+      loop ()
+  in
+  loop ()
+
+let start ~workers ~cache ~queue =
+  let workers = max 1 workers in
+  Obs.Gauge.set "server.workers" (float_of_int workers);
+  { domains =
+      List.init workers (fun _ -> Domain.spawn (worker_loop ~cache queue)) }
+
+let join pool = List.iter Domain.join pool.domains

@@ -1,0 +1,57 @@
+(** The calibrod worker pool: a fixed set of OCaml 5 domains pulling jobs
+    off the admission {!Queue} and running {!Calibro_core.Pipeline.build}
+    against one shared {!Calibro_cache.Cache} — so identical methods
+    compiled for different clients hit warm (the ShareJIT effect).
+
+    Isolation contract: a job can only fail its own request. Parse
+    errors, [Build_error], [Ltbo_error], [Pass_error] and any other
+    exception a build raises are mapped to a typed
+    {!Protocol.rejection} and answered on the job's connection; nothing a
+    client sends can kill a worker domain, let alone the daemon.
+
+    Deadlines are enforced at dispatch (an expired job is answered
+    [`Deadline_exceeded] without compiling) and re-checked at completion
+    (a result the client's deadline already passed is reported as
+    exceeded, not as success). A job whose client hung up while queued is
+    cancelled without compiling.
+
+    Each worker is a single-threaded domain, so it may freely use the
+    per-domain {!Calibro_obs.Obs} counters, histograms and spans; all of
+    its instrumentation lands in its own shard and its trace lane. *)
+
+type job = {
+  j_id : int;
+  j_fd : Unix.file_descr;
+      (** the client connection; the worker answers and closes it *)
+  j_request : Protocol.build_request;
+  j_deadline_ns : int64 option;  (** absolute, {!Calibro_obs.Clock} scale *)
+  j_accepted_ns : int64;  (** admission time, for queue-wait metrics *)
+}
+
+type pool
+
+val start :
+  workers:int -> cache:Calibro_cache.Cache.t option -> queue:job Queue.t ->
+  pool
+(** Spawn [max 1 workers] domains looping on [queue]. [cache] is shared
+    by every job ([None] = every build cold). *)
+
+val join : pool -> unit
+(** Wait for every worker to exit; returns only after the queue is closed
+    and fully drained. *)
+
+val respond : Unix.file_descr -> Protocol.response -> bool
+(** Answer a connection and close it. False if the reply could not be
+    delivered (peer already gone) — the fd is closed either way. Never
+    raises; used by both workers and the admission path. *)
+
+val client_gone : Unix.file_descr -> bool
+(** True if the peer has closed its end (EOF is pending). Used to cancel
+    queued jobs whose client disconnected. *)
+
+val build_response :
+  cache:Calibro_cache.Cache.t option -> Protocol.build_request ->
+  Protocol.response
+(** The job body without the socket: parse, build, summarize — exposed so
+    tests and the load generator can produce the exact expected response
+    for a request in-process. *)

@@ -19,4 +19,5 @@ let () =
       ("edge", Test_edge.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
-      ("cache", Test_cache.suite) ]
+      ("cache", Test_cache.suite);
+      ("server", Test_server.suite) ]

@@ -282,4 +282,80 @@ let mutate_tests =
           (Dex_ir.method_count apk)
           (Dex_ir.method_count apk')) ]
 
-let suite = equivalence_tests @ disk_tests @ codec_tests @ mutate_tests
+(* ---- Concurrent sharing: one cache, many domains (the calibrod shape) --- *)
+
+let concurrent_tests =
+  [ Alcotest.test_case "N domains sharing one cache build identical bytes"
+      `Slow (fun () ->
+        (* The daemon's steady state in miniature: worker domains build
+           overlapping releases against one Cache.t. Every concurrent
+           build must produce exactly the bytes its sequential cold twin
+           does, and the counters must still add up afterwards: the cache
+           may never lose a store or serve a stale artifact under
+           contention. *)
+        let apk = demo () in
+        let mutants =
+          Array.init 4 (fun i -> fst (Mutate.mutate ~seed:(i + 1) apk))
+        in
+        let cold =
+          Array.map
+            (fun m ->
+              Digest.bytes
+                (Pipeline.build ~cache:None ~config:Config.cto_ltbo m)
+                  .Pipeline.b_oat.Calibro_oat.Oat_file.text)
+            mutants
+        in
+        let h0 = counter "cache.method.hits" in
+        let m0 = counter "cache.method.misses" in
+        let s0 = counter "cache.method.stores" in
+        let e0 = counter "cache.method.evictions" in
+        let cache = Cache.create () in
+        let domains =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  (* Each domain walks the mutants in a different order so
+                     hits and misses interleave across domains. *)
+                  Array.init (Array.length mutants) (fun i ->
+                      let ix = (i + d) mod Array.length mutants in
+                      let b =
+                        Pipeline.build ~cache:(Some cache)
+                          ~config:Config.cto_ltbo mutants.(ix)
+                      in
+                      ( ix,
+                        Digest.bytes
+                          b.Pipeline.b_oat.Calibro_oat.Oat_file.text ))))
+        in
+        let results = List.map Domain.join domains in
+        (* Counters are snapshot only now, after every domain joined. *)
+        List.iteri
+          (fun d ->
+            Array.iter (fun (ix, dg) ->
+                Alcotest.(check string)
+                  (Printf.sprintf "domain %d mutant %d matches cold build" d
+                     ix)
+                  (Digest.to_hex cold.(ix))
+                  (Digest.to_hex dg)))
+          results;
+        let hits = counter "cache.method.hits" - h0 in
+        let misses = counter "cache.method.misses" - m0 in
+        let stores = counter "cache.method.stores" - s0 in
+        let lookups =
+          List.fold_left
+            (fun acc m -> acc + List.length (Dex_ir.methods_of_apk m))
+            0
+            (Array.to_list mutants)
+          * 4
+        in
+        Alcotest.(check int) "every lookup is a hit or a miss" lookups
+          (hits + misses);
+        Alcotest.(check int) "every miss is stored" misses stores;
+        Alcotest.(check int) "nothing evicted" e0
+          (counter "cache.method.evictions");
+        Alcotest.(check bool)
+          (Printf.sprintf "sharing pays (hits %d, misses %d)" hits misses)
+          true
+          (hits > 0)) ]
+
+let suite =
+  equivalence_tests @ disk_tests @ codec_tests @ mutate_tests
+  @ concurrent_tests

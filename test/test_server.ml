@@ -1,0 +1,512 @@
+(* The compilation-service battery: wire-codec round-trips and rejection
+   of damaged frames, admission-queue semantics, and a live in-process
+   server driven over real Unix-domain sockets — byte-identity of served
+   builds against the in-process pipeline across the oracle matrix, typed
+   Overloaded under a full queue, deadlines, abusive-client faults
+   (lib/check), and SIGTERM graceful drain. *)
+
+open Calibro_core
+open Calibro_workload
+module Protocol = Calibro_server.Protocol
+module Queue = Calibro_server.Queue
+module Worker = Calibro_server.Worker
+module Server = Calibro_server.Server
+module Client = Calibro_server.Client
+module Fault = Calibro_check.Fault
+
+let demo_app = lazy (Appgen.generate Apps.demo)
+
+let request ?profile ?deadline_ms ?(config = Config.baseline) dexsim =
+  { Protocol.rq_config = config;
+    rq_dexsim = dexsim;
+    rq_profile = profile;
+    rq_deadline_ms = deadline_ms }
+
+let demo_request ?profile ?deadline_ms ?config () =
+  request ?profile ?deadline_ms ?config
+    (Calibro_dex.Dex_text.to_string (Lazy.force demo_app).Appgen.app)
+
+let sock_counter = ref 0
+
+(* A fresh socket path per server; the server unlinks it on drain. *)
+let fresh_socket () =
+  incr sock_counter;
+  Printf.sprintf "%s/calibro-test-%d-%d.sock"
+    (Filename.get_temp_dir_name ())
+    (Unix.getpid ()) !sock_counter
+
+let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
+    ?cache f =
+  let cache =
+    match cache with Some c -> c | None -> Calibro_cache.Cache.create ()
+  in
+  let t =
+    Server.create
+      { Server.socket_path = fresh_socket ();
+        workers;
+        queue_capacity;
+        cache = Some cache;
+        recv_timeout_s;
+        default_deadline_ms = None }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain t;
+      Server.drain t)
+    (fun () -> f t)
+
+let response =
+  Alcotest.testable
+    (fun fmt -> function
+      | Protocol.Built { oat; stats } ->
+        Format.fprintf fmt "Built(%d bytes, %d methods)" (String.length oat)
+          stats.Protocol.bs_methods
+      | Protocol.Rejected r ->
+        Format.fprintf fmt "Rejected(%s)" (Protocol.rejection_to_string r))
+    (fun a b ->
+      match (a, b) with
+      | Protocol.Built a, Protocol.Built b ->
+        (* Byte equality of the whole OAT image; stats must agree except
+           for the wall-clock field. *)
+        String.equal a.oat b.oat
+        && a.stats.Protocol.bs_text_size = b.stats.Protocol.bs_text_size
+        && a.stats.Protocol.bs_methods = b.stats.Protocol.bs_methods
+        && a.stats.Protocol.bs_thunks = b.stats.Protocol.bs_thunks
+        && a.stats.Protocol.bs_outlined = b.stats.Protocol.bs_outlined
+      | Protocol.Rejected a, Protocol.Rejected b -> a = b
+      | _ -> false)
+
+(* ---- Wire codec ---------------------------------------------------------- *)
+
+let sample_config =
+  { (Config.cto_ltbo_pl ~k:4 ()) with
+    Config.name = "wire-sample";
+    hot_methods =
+      [ { Calibro_dex.Dex_ir.class_name = "com.a.B"; method_name = "run" };
+        { Calibro_dex.Dex_ir.class_name = "com.c.D"; method_name = "go" } ] }
+
+let sample_request =
+  { Protocol.rq_config = sample_config;
+    rq_dexsim = ".apk x\n.dex d\n";
+    rq_profile = Some "com.a.B run 500\n";
+    rq_deadline_ms = Some 1500 }
+
+let sample_stats =
+  { Protocol.bs_text_size = 40960;
+    bs_methods = 123;
+    bs_thunks = 7;
+    bs_outlined = 31;
+    bs_build_s = 0.4375 }
+
+let check_request_roundtrip name rq =
+  match Protocol.decode_request (Protocol.encode_request rq) with
+  | Error e -> Alcotest.failf "%s did not decode: %s" name e
+  | Ok rq' ->
+    Alcotest.(check bool) (name ^ " round-trips") true (rq = rq')
+
+let check_response_roundtrip name resp =
+  match Protocol.decode_response (Protocol.encode_response resp) with
+  | Error e -> Alcotest.failf "%s did not decode: %s" name e
+  | Ok resp' -> Alcotest.check response name resp resp'
+
+let codec_tests =
+  [ Alcotest.test_case "request round-trips exactly" `Quick (fun () ->
+        check_request_roundtrip "full request" sample_request;
+        check_request_roundtrip "bare request"
+          { Protocol.rq_config = Config.baseline;
+            rq_dexsim = "";
+            rq_profile = None;
+            rq_deadline_ms = None });
+    Alcotest.test_case "every response round-trips exactly" `Quick (fun () ->
+        check_response_roundtrip "built"
+          (Protocol.Built { oat = "\x00\x01binary\xffpayload";
+                            stats = sample_stats });
+        List.iter
+          (fun rej ->
+            check_response_roundtrip
+              (Protocol.rejection_to_string rej)
+              (Protocol.Rejected rej))
+          [ Protocol.Malformed "bad tag";
+            Protocol.Parse_error "line 3: nope";
+            Protocol.Build_failed "undefined method";
+            Protocol.Overloaded;
+            Protocol.Deadline_exceeded;
+            Protocol.Draining;
+            Protocol.Internal "Stack_overflow" ]);
+    Alcotest.test_case "every truncation of a request is rejected" `Quick
+      (fun () ->
+        (* Cutting the payload anywhere must produce a typed decode error
+           naming a field — never a wrong request, never an exception. *)
+        let full = Protocol.encode_request sample_request in
+        for len = 0 to String.length full - 1 do
+          match Protocol.decode_request (String.sub full 0 len) with
+          | Error m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "error at %d names the damage" len)
+              true
+              (String.length m > 0)
+          | Ok _ ->
+            Alcotest.failf "truncation to %d bytes decoded as a request" len
+        done);
+    Alcotest.test_case "trailing bytes are rejected" `Quick (fun () ->
+        match
+          Protocol.decode_request (Protocol.encode_request sample_request ^ "x")
+        with
+        | Error m ->
+          Alcotest.(check bool) "mentions trailing" true
+            (Astring.String.is_infix ~affix:"trailing" m)
+        | Ok _ -> Alcotest.fail "trailing garbage decoded as a request");
+    Alcotest.test_case "frame layer refuses bad magic and oversized frames"
+      `Quick (fun () ->
+        let feed bytes =
+          let r, w = Unix.pipe () in
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter
+                (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+                [ r; w ])
+            (fun () ->
+              ignore
+                (Unix.write_substring w bytes 0 (String.length bytes));
+              Unix.close w;
+              Protocol.read_frame r)
+        in
+        (match feed (Protocol.to_frame "hello") with
+         | payload -> Alcotest.(check string) "round-trip" "hello" payload
+         | exception Protocol.Frame_error m ->
+           Alcotest.failf "well-formed frame refused: %s" m);
+        (match feed "XLB1\x05\x00\x00\x00hello" with
+         | _ -> Alcotest.fail "bad magic accepted"
+         | exception Protocol.Frame_error m ->
+           Alcotest.(check bool) "names the magic" true
+             (Astring.String.is_infix ~affix:"magic" m));
+        (match feed "CLB1\xff\xff\xff\x7fxx" with
+         | _ -> Alcotest.fail "oversized length accepted"
+         | exception Protocol.Frame_error m ->
+           Alcotest.(check bool) "names the size" true
+             (Astring.String.is_infix ~affix:"oversized" m));
+        match feed (Fault.Server.first_half (Protocol.to_frame "hello")) with
+        | _ -> Alcotest.fail "half frame accepted"
+        | exception Protocol.Frame_error m ->
+          Alcotest.(check bool) "names the EOF" true
+            (Astring.String.is_infix ~affix:"EOF" m));
+    Alcotest.test_case "oversized payload is refused before sending" `Quick
+      (fun () ->
+        let r, w = Unix.pipe () in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              [ r; w ])
+          (fun () ->
+            match
+              Protocol.write_frame w (String.make (Protocol.max_frame + 1) 'x')
+            with
+            | () -> Alcotest.fail "oversized frame sent"
+            | exception Protocol.Frame_error _ -> ())) ]
+
+(* ---- Admission queue ----------------------------------------------------- *)
+
+let push_result =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt
+        (match r with
+         | Queue.Pushed -> "Pushed"
+         | Queue.Full -> "Full"
+         | Queue.Closed -> "Closed"))
+    ( = )
+
+let queue_tests =
+  [ Alcotest.test_case "bounded: Full at capacity, never blocks" `Quick
+      (fun () ->
+        let q = Queue.create ~capacity:2 () in
+        Alcotest.check push_result "1st" Queue.Pushed (Queue.try_push q 1);
+        Alcotest.check push_result "2nd" Queue.Pushed (Queue.try_push q 2);
+        Alcotest.check push_result "3rd is Full" Queue.Full
+          (Queue.try_push q 3);
+        Alcotest.(check int) "depth" 2 (Queue.length q);
+        Alcotest.(check (option int)) "FIFO" (Some 1) (Queue.pop q);
+        Alcotest.check push_result "slot freed" Queue.Pushed
+          (Queue.try_push q 3));
+    Alcotest.test_case "close drains the backlog, then returns None" `Quick
+      (fun () ->
+        let q = Queue.create ~capacity:4 () in
+        ignore (Queue.try_push q 1);
+        ignore (Queue.try_push q 2);
+        Queue.close q;
+        Alcotest.check push_result "push after close" Queue.Closed
+          (Queue.try_push q 3);
+        Alcotest.(check (option int)) "drains 1" (Some 1) (Queue.pop q);
+        Alcotest.(check (option int)) "drains 2" (Some 2) (Queue.pop q);
+        Alcotest.(check (option int)) "then None" None (Queue.pop q);
+        Alcotest.(check (option int)) "stays None" None (Queue.pop q));
+    Alcotest.test_case "blocked pop is woken by a push" `Quick (fun () ->
+        let q = Queue.create ~capacity:1 () in
+        let got = Atomic.make None in
+        let th =
+          Thread.create (fun () -> Atomic.set got (Queue.pop q)) ()
+        in
+        Thread.delay 0.02;
+        ignore (Queue.try_push q 42);
+        Thread.join th;
+        Alcotest.(check (option int)) "woken with the item" (Some 42)
+          (Atomic.get got));
+    Alcotest.test_case "blocked pop is woken by close" `Quick (fun () ->
+        let q : int Queue.t = Queue.create ~capacity:1 () in
+        let done_ = Atomic.make false in
+        let th =
+          Thread.create
+            (fun () ->
+              ignore (Queue.pop q);
+              Atomic.set done_ true)
+            ()
+        in
+        Thread.delay 0.02;
+        Queue.close q;
+        Thread.join th;
+        Alcotest.(check bool) "popper exited" true (Atomic.get done_)) ]
+
+(* ---- Served builds vs the in-process pipeline ---------------------------- *)
+
+(* Hot set of the demo app under its bundled script (as test_cache does),
+   enabling the HfOpti row of the matrix. *)
+let demo_hot () =
+  let a = Lazy.force demo_app in
+  let b = Pipeline.build ~cache:None ~config:Config.baseline a.Appgen.app in
+  let t = Calibro_vm.Interp.load b.Pipeline.b_oat in
+  List.iter
+    (fun (st : Appgen.script_step) ->
+      for _ = 1 to st.Appgen.sc_repeat do
+        ignore (Calibro_vm.Interp.call t st.Appgen.sc_method st.Appgen.sc_args)
+      done)
+    a.Appgen.app_script;
+  Calibro_profile.Profile.of_interp t
+
+let serve_tests =
+  [ Alcotest.test_case
+      "served builds are byte-identical across the oracle matrix" `Slow
+      (fun () ->
+        let prof = demo_hot () in
+        let hot = Calibro_profile.Profile.hot_set prof in
+        with_server @@ fun t ->
+        List.iter
+          (fun (config : Config.t) ->
+            let rq = demo_request ~config () in
+            let expected = Worker.build_response ~cache:None rq in
+            match Client.request ~socket:(Server.socket_path t) rq with
+            | Error m -> Alcotest.failf "%s: %s" config.Config.name m
+            | Ok served ->
+              Alcotest.check response config.Config.name expected served)
+          (Config.baseline :: Config.matrix ~hot_methods:hot ()));
+    Alcotest.test_case "a wire profile reaches the hot-function filter" `Quick
+      (fun () ->
+        let prof = demo_hot () in
+        let rq =
+          demo_request
+            ~profile:(Calibro_profile.Profile.to_string prof)
+            ~config:(Config.cto_ltbo_pl ~k:2 ())
+            ()
+        in
+        let expected = Worker.build_response ~cache:None rq in
+        (match expected with
+         | Protocol.Built _ -> ()
+         | Protocol.Rejected r ->
+           Alcotest.failf "profiled build failed in-process: %s"
+             (Protocol.rejection_to_string r));
+        with_server @@ fun t ->
+        match Client.request ~socket:(Server.socket_path t) rq with
+        | Error m -> Alcotest.fail m
+        | Ok served -> Alcotest.check response "profiled build" expected served);
+    Alcotest.test_case "a full queue answers typed Overloaded" `Quick
+      (fun () ->
+        (* One worker, one queue slot, a burst of concurrent requests:
+           some build, at least one must be refused with Overloaded — and
+           every request gets *an* answer (nothing hangs, nothing dies). *)
+        with_server ~workers:1 ~queue_capacity:1 @@ fun t ->
+        let n = 12 in
+        let outcomes = Array.make n (Error "not run") in
+        let threads =
+          List.init n (fun i ->
+              Thread.create
+                (fun () ->
+                  outcomes.(i) <-
+                    Client.request ~socket:(Server.socket_path t)
+                      (demo_request ~config:Config.cto ()))
+                ())
+        in
+        List.iter Thread.join threads;
+        let built = ref 0 and overloaded = ref 0 in
+        Array.iter
+          (function
+            | Ok (Protocol.Built _) -> incr built
+            | Ok (Protocol.Rejected Protocol.Overloaded) -> incr overloaded
+            | Ok (Protocol.Rejected r) ->
+              Alcotest.failf "unexpected rejection: %s"
+                (Protocol.rejection_to_string r)
+            | Error m -> Alcotest.failf "transport error: %s" m)
+          outcomes;
+        Alcotest.(check int) "every request answered" n (!built + !overloaded);
+        Alcotest.(check bool) "some built" true (!built >= 1);
+        Alcotest.(check bool)
+          (Printf.sprintf "some refused (built %d, overloaded %d)" !built
+             !overloaded)
+          true (!overloaded >= 1);
+        let tt = Server.totals t in
+        Alcotest.(check int) "admission tallies cover the burst" n
+          (tt.Server.t_accepted + tt.Server.t_overloaded));
+    Alcotest.test_case "an expired deadline is answered, not built" `Quick
+      (fun () ->
+        with_server @@ fun t ->
+        match
+          Client.request ~socket:(Server.socket_path t)
+            (demo_request ~deadline_ms:1 ~config:(Config.cto_ltbo_pl ~k:2 ()) ())
+        with
+        | Ok (Protocol.Rejected Protocol.Deadline_exceeded) -> ()
+        | Ok r ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (match r with
+             | Protocol.Built _ -> "Built"
+             | Protocol.Rejected rej -> Protocol.rejection_to_string rej)
+        | Error m -> Alcotest.fail m) ]
+
+(* ---- Abusive clients (lib/check fault points) ----------------------------- *)
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let write_all fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* After the abuse, the server must still answer a well-formed request
+   correctly — the fault cost one request, not the daemon. *)
+let assert_still_serving t =
+  match Client.request ~socket:(Server.socket_path t) (demo_request ()) with
+  | Ok (Protocol.Built _) -> ()
+  | Ok (Protocol.Rejected r) ->
+    Alcotest.failf "server degraded after fault: %s"
+      (Protocol.rejection_to_string r)
+  | Error m -> Alcotest.failf "server dead after fault: %s" m
+
+let fault_tests =
+  [ Alcotest.test_case "drop-mid-frame costs one connection" `Quick (fun () ->
+        with_server @@ fun t ->
+        Fault.Server.inject Fault.Server.Drop_mid_frame;
+        let frame =
+          Protocol.to_frame (Protocol.encode_request (demo_request ()))
+        in
+        let fd = raw_connect (Server.socket_path t) in
+        write_all fd (Fault.Server.first_half frame);
+        Unix.close fd;
+        (* The reader sees EOF mid-frame and gives up on that connection. *)
+        assert_still_serving t);
+    Alcotest.test_case "stall-mid-frame is reaped by the receive timeout"
+      `Quick (fun () ->
+        with_server ~recv_timeout_s:0.2 @@ fun t ->
+        Fault.Server.inject Fault.Server.Stall_mid_frame;
+        let frame =
+          Protocol.to_frame (Protocol.encode_request (demo_request ()))
+        in
+        let fd = raw_connect (Server.socket_path t) in
+        write_all fd (Fault.Server.first_half frame);
+        (* Hold the connection open, never sending the rest. *)
+        Thread.delay 0.5;
+        assert_still_serving t;
+        Unix.close fd;
+        let tt = Server.totals t in
+        Alcotest.(check bool)
+          (Printf.sprintf "stall counted (stalled %d)" tt.Server.t_stalled)
+          true
+          (tt.Server.t_stalled >= 1));
+    Alcotest.test_case "a poisoned job fails only its own request" `Quick
+      (fun () ->
+        with_server @@ fun t ->
+        Fault.Server.inject Fault.Server.Poison_job;
+        (match
+           Client.request ~socket:(Server.socket_path t)
+             (request Fault.Server.poison_dexsim)
+         with
+         | Ok (Protocol.Rejected (Protocol.Build_failed _)) -> ()
+         | Ok (Protocol.Built _) -> Alcotest.fail "poisoned job built"
+         | Ok (Protocol.Rejected r) ->
+           Alcotest.failf "expected Build_failed, got %s"
+             (Protocol.rejection_to_string r)
+         | Error m -> Alcotest.fail m);
+        assert_still_serving t);
+    Alcotest.test_case "garbage bytes get a typed Malformed answer" `Quick
+      (fun () ->
+        with_server @@ fun t ->
+        let fd = raw_connect (Server.socket_path t) in
+        write_all fd "GET / HTTP/1.1\r\n\r\n";
+        (match Protocol.read_frame fd with
+         | payload -> (
+           match Protocol.decode_response payload with
+           | Ok (Protocol.Rejected (Protocol.Malformed _)) -> ()
+           | Ok _ -> Alcotest.fail "garbage was not answered Malformed"
+           | Error e -> Alcotest.failf "unreadable answer: %s" e)
+         | exception Protocol.Frame_error _ ->
+           (* The server may also just hang up on garbage; either way it
+              must keep serving. *)
+           ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        assert_still_serving t) ]
+
+(* ---- Graceful drain ------------------------------------------------------- *)
+
+let drain_tests =
+  [ Alcotest.test_case "SIGTERM drains: in-flight finish, then exit" `Quick
+      (fun () ->
+        let cache = Calibro_cache.Cache.create () in
+        let socket = fresh_socket () in
+        let t =
+          Server.create
+            { Server.socket_path = socket;
+              workers = 2;
+              queue_capacity = 16;
+              cache = Some cache;
+              recv_timeout_s = 10.0;
+              default_deadline_ms = None }
+        in
+        Server.install_sigterm t;
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.set_signal Sys.sigterm Sys.Signal_default;
+            Sys.set_signal Sys.sigint Sys.Signal_default)
+          (fun () ->
+            (* A client already mid-build when the signal lands. *)
+            let result = Atomic.make (Error "not run") in
+            let client =
+              Thread.create
+                (fun () ->
+                  Atomic.set result
+                    (Client.request ~socket (demo_request ())))
+                ()
+            in
+            Thread.delay 0.05;
+            Unix.kill (Unix.getpid ()) Sys.sigterm;
+            (* join returns only after the drain has fully completed. *)
+            Server.join t;
+            Thread.join client;
+            (match Atomic.get result with
+             | Ok (Protocol.Built _) -> ()
+             | Ok (Protocol.Rejected Protocol.Draining) ->
+               (* The request raced the signal and was refused — typed,
+                  not dropped. *)
+               ()
+             | Ok (Protocol.Rejected r) ->
+               Alcotest.failf "in-flight request got %s"
+                 (Protocol.rejection_to_string r)
+             | Error m -> Alcotest.failf "in-flight request lost: %s" m);
+            Alcotest.(check bool) "socket removed" false
+              (Sys.file_exists socket);
+            (* A late client finds nobody listening — never a hang. *)
+            (match Client.request ~socket (demo_request ()) with
+             | Error _ -> ()
+             | Ok _ -> Alcotest.fail "request served after drain");
+            Alcotest.(check bool) "drain recorded" true (Server.draining t)))
+  ]
+
+let suite =
+  codec_tests @ queue_tests @ serve_tests @ fault_tests @ drain_tests
