@@ -866,7 +866,7 @@ let gate_measure () : gate_app list * float =
   in
   (apps, Clock.since_s t0)
 
-let gate_section apps total_s detect_eps incr serve =
+let gate_section apps total_s detect_eps incr serve fleet =
   Json.Obj
     [ ( "apps",
         Json.Obj
@@ -885,7 +885,8 @@ let gate_section apps total_s detect_eps incr serve =
           [ ("cold_s", Json.Float incr.i_cold_s);
             ("warm_speedup", Json.Float (incr_min_speedup incr));
             ("byte_equal", Json.Bool (incr_byte_equal incr)) ] );
-      ("serve", Serve.section serve) ]
+      ("serve", Serve.section serve);
+      ("fleet", Serve.fleet_section fleet) ]
 
 (* The envelope committed in bench/baseline.json is a *budget*, not a
    measurement: 3x the build time observed when the baseline was written
@@ -918,6 +919,18 @@ let write_baseline path =
   let serve_p95_env =
     Float.round (serve.Serve.sv_p95_s *. envelope_slack *. 1000.) /. 1000.
   in
+  Printf.eprintf "[gate] measuring fleet throughput (3 shards + router)...\n%!";
+  let fleet = Serve.fleet_measure () in
+  if not fleet.Serve.fl_byte_ok then
+    failwith "fleet: served OATs are not byte-identical to in-process builds";
+  if fleet.Serve.fl_failovers = 0 then
+    failwith "fleet: mid-run shard drain exercised no failover";
+  let fleet_floor =
+    Float.round (fleet.Serve.fl_throughput /. envelope_slack *. 100.) /. 100.
+  in
+  let fleet_p95_env =
+    Float.round (fleet.Serve.fl_p95_s *. envelope_slack *. 1000.) /. 1000.
+  in
   let doc =
     Json.Obj
       [ ("schema", Json.Int 1);
@@ -943,16 +956,22 @@ let write_baseline path =
         ( "serve",
           Json.Obj
             [ ("throughput_floor_builds_per_s", Json.Float serve_floor);
-              ("p95_latency_envelope_s", Json.Float serve_p95_env) ] ) ]
+              ("p95_latency_envelope_s", Json.Float serve_p95_env) ] );
+        ( "fleet",
+          Json.Obj
+            [ ("throughput_floor_builds_per_s", Json.Float fleet_floor);
+              ("p95_latency_envelope_s", Json.Float fleet_p95_env) ] ) ]
   in
   Obs.write_file path doc;
   Printf.printf
     "wrote %s (%d apps, measured %.2fs, envelope %.2fs, detect %.0f el/s, \
-     floor %.0f, incr %.1fx, floor %.2fx, serve %.1f builds/s, floor %.2f)\n"
+     floor %.0f, incr %.1fx, floor %.2fx, serve %.1f builds/s, floor %.2f, \
+     fleet %.1f builds/s, floor %.2f, %d failovers)\n"
     path (List.length apps) total_s
     (total_s *. envelope_slack)
     eps eps_floor incr_speedup incr_floor serve.Serve.sv_throughput
-    serve_floor
+    serve_floor fleet.Serve.fl_throughput fleet_floor
+    fleet.Serve.fl_failovers
 
 (* Reduction may not regress below the committed value by more than this
    (absolute, in reduction points). Sizes are deterministic, so any drift
@@ -971,11 +990,15 @@ let gate ~baseline_path : Json.t * string list =
   let incr = incr_measure () in
   Printf.eprintf "[gate] measuring served-build throughput...\n%!";
   let serve = Serve.measure () in
-  let section = gate_section apps total_s eps incr serve in
+  Printf.eprintf "[gate] measuring fleet throughput (3 shards + router)...\n%!";
+  let fleet = Serve.fleet_measure () in
+  let section = gate_section apps total_s eps incr serve fleet in
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
   (* Byte equality is a correctness property, not a perf budget: it fails
-     the gate whatever the committed baseline says. *)
+     the gate whatever the committed baseline says. The fleet run must
+     also have exercised at least one failover (the mid-run shard drain),
+     or the measurement proved nothing about failure handling. *)
   List.iter
     (fun s ->
       if not s.i_byte_equal then
@@ -984,6 +1007,11 @@ let gate ~baseline_path : Json.t * string list =
     incr.i_seeds;
   if not serve.Serve.sv_byte_ok then
     add "serve: served OATs are not byte-identical to in-process builds";
+  if not fleet.Serve.fl_byte_ok then
+    add "fleet: served OATs are not byte-identical to in-process builds \
+         (under a mid-run shard drain)";
+  if fleet.Serve.fl_failovers = 0 then
+    add "fleet: mid-run shard drain exercised no failover";
   (match
      let contents =
        let ic = open_in baseline_path in
@@ -1097,19 +1125,82 @@ let gate ~baseline_path : Json.t * string list =
           add "served-build throughput %.1f builds/s fell >25%% below floor \
                %.2f"
             serve.Serve.sv_throughput floor);
+     (match
+        Option.bind
+          (Option.bind (Json.member "serve" doc)
+             (Json.member "p95_latency_envelope_s"))
+          Json.get_float
+      with
+      | None -> add "baseline has no \"serve\".\"p95_latency_envelope_s\""
+      | Some env ->
+        let limit = env *. 1.25 in
+        Printf.printf "  serve p95 latency %.3fs (envelope %.3fs, limit %.3fs)  %s\n"
+          serve.Serve.sv_p95_s env limit
+          (if serve.Serve.sv_p95_s > limit then "FAIL" else "ok");
+        if serve.Serve.sv_p95_s > limit then
+          add "served-build p95 latency %.3fs exceeds envelope %.3fs by >25%%"
+            serve.Serve.sv_p95_s env);
+     (* The fleet scaling check: 3 shards behind the router must clear
+        twice the committed single-daemon floor, or sharding is not
+        buying throughput. *)
+     (match
+        Option.bind
+          (Option.bind (Json.member "serve" doc)
+             (Json.member "throughput_floor_builds_per_s"))
+          Json.get_float
+      with
+      | None -> ()  (* already reported above *)
+      | Some serve_floor ->
+        (* Same 25% measurement slack as every other floor comparison —
+           the committed relationship is "2x the single-daemon floor",
+           the gate trips at 0.75x of that. *)
+        let scale_floor = serve_floor *. 2.0 in
+        let scale_limit = scale_floor *. 0.75 in
+        Printf.printf
+          "  fleet throughput %.1f builds/s vs 2x single-daemon floor %.2f \
+           (limit %.2f)  %s\n"
+          fleet.Serve.fl_throughput scale_floor scale_limit
+          (if fleet.Serve.fl_throughput < scale_limit then "FAIL" else "ok");
+        if fleet.Serve.fl_throughput < scale_limit then
+          add
+            "fleet throughput %.1f builds/s fell >25%% below 2x the \
+             single-daemon floor %.2f"
+            fleet.Serve.fl_throughput scale_floor);
+     (match
+        Option.bind
+          (Option.bind (Json.member "fleet" doc)
+             (Json.member "throughput_floor_builds_per_s"))
+          Json.get_float
+      with
+      | None -> add "baseline has no \"fleet\".\"throughput_floor_builds_per_s\""
+      | Some floor ->
+        let limit = floor *. 0.75 in
+        Printf.printf
+          "  fleet throughput %.1f builds/s, bytes %s, failovers %d (floor \
+           %.2f, limit %.2f)  %s\n"
+          fleet.Serve.fl_throughput
+          (if fleet.Serve.fl_byte_ok then "identical" else "DIFFER")
+          fleet.Serve.fl_failovers floor limit
+          (if fleet.Serve.fl_throughput < limit
+              || not (Serve.fleet_ok fleet)
+           then "FAIL"
+           else "ok");
+        if fleet.Serve.fl_throughput < limit then
+          add "fleet throughput %.1f builds/s fell >25%% below floor %.2f"
+            fleet.Serve.fl_throughput floor);
      match
        Option.bind
-         (Option.bind (Json.member "serve" doc)
+         (Option.bind (Json.member "fleet" doc)
             (Json.member "p95_latency_envelope_s"))
          Json.get_float
      with
-     | None -> add "baseline has no \"serve\".\"p95_latency_envelope_s\""
+     | None -> add "baseline has no \"fleet\".\"p95_latency_envelope_s\""
      | Some env ->
        let limit = env *. 1.25 in
-       Printf.printf "  serve p95 latency %.3fs (envelope %.3fs, limit %.3fs)  %s\n"
-         serve.Serve.sv_p95_s env limit
-         (if serve.Serve.sv_p95_s > limit then "FAIL" else "ok");
-       if serve.Serve.sv_p95_s > limit then
-         add "served-build p95 latency %.3fs exceeds envelope %.3fs by >25%%"
-           serve.Serve.sv_p95_s env);
+       Printf.printf "  fleet p95 latency %.3fs (envelope %.3fs, limit %.3fs)  %s\n"
+         fleet.Serve.fl_p95_s env limit
+         (if fleet.Serve.fl_p95_s > limit then "FAIL" else "ok");
+       if fleet.Serve.fl_p95_s > limit then
+         add "fleet p95 latency %.3fs exceeds envelope %.3fs by >25%%"
+           fleet.Serve.fl_p95_s env);
   (section, List.rev !fail)

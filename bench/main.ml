@@ -29,6 +29,10 @@ let usage () =
     \  serve            concurrent served-build throughput through the\n\
     \                   calibrod service path; exit 1 if any served OAT\n\
     \                   differs from its in-process build\n\
+    \  fleet            aggregate throughput of 3 calibrod shards behind\n\
+    \                   the consistent-hash router, with one shard drained\n\
+    \                   mid-run; exit 1 on byte divergence or if the drain\n\
+    \                   exercised no failover\n\
     \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
@@ -87,6 +91,7 @@ let () =
    | "detect" -> Harness.detect_bench ()
    | "incr" -> if not (Harness.incr_bench ()) then exit_code := 1
    | "serve" -> if not (Serve.bench ()) then exit_code := 1
+   | "fleet" -> if not (Serve.fleet_bench ()) then exit_code := 1
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()

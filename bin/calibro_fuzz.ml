@@ -29,6 +29,29 @@ let parse_configs spec =
 
 module Obs = Calibro_obs.Obs
 
+(* --proto: fuzz the wire-frame layer instead of the pipeline. Each seed
+   derives truncated/oversized/garbage frames deterministically and feeds
+   them to Protocol.read_frame over a real socketpair; anything but a
+   typed Frame_error (or an oversized allocation) is a failure. *)
+let run_proto seeds base_seed quiet trace metrics =
+  let log = if quiet then fun _ -> () else prerr_endline in
+  let outcome = Fuzz.Proto.run ~seeds ~base_seed ~log () in
+  Obs.export ~metrics ~trace ();
+  if Fuzz.Proto.ok outcome then begin
+    Printf.printf "OK: %d frame cases (%d seeds), all damage typed\n"
+      outcome.Fuzz.Proto.pf_cases seeds;
+    0
+  end
+  else begin
+    Printf.printf "FAILED: %d of %d frame cases\n"
+      (List.length outcome.Fuzz.Proto.pf_failures)
+      outcome.Fuzz.Proto.pf_cases;
+    List.iter
+      (fun f -> Printf.printf "  %s\n" f)
+      outcome.Fuzz.Proto.pf_failures;
+    1
+  end
+
 let run seeds base_seed configs_spec no_shrink fault quiet trace metrics =
   let configs =
     match configs_spec with
@@ -134,13 +157,25 @@ let cmd =
            ~doc:"Write the flat metrics JSON (seeds run, faults caught, \
                  per-phase durations).")
   in
-  let main seeds base_seed configs no_shrink _shrink fault quiet trace metrics =
-    exit (run seeds base_seed configs no_shrink fault quiet trace metrics)
+  let proto =
+    Arg.(value & flag & info [ "proto" ]
+           ~doc:"Fuzz the wire-frame layer instead of the pipeline: feed \
+                 truncated, oversized and garbage length-prefixed frames \
+                 to the daemon's frame reader over a socketpair. Every \
+                 corruption must surface as a typed frame error — never \
+                 another exception, never an allocation sized by the \
+                 attacker's length field.")
+  in
+  let main seeds base_seed configs no_shrink _shrink fault proto quiet trace
+      metrics =
+    exit
+      (if proto then run_proto seeds base_seed quiet trace metrics
+       else run seeds base_seed configs no_shrink fault quiet trace metrics)
   in
   Cmd.v
     (Cmd.info "calibro_fuzz"
        ~doc:"Differential fuzzing oracle for the Calibro outlining pipeline.")
     Term.(const main $ seeds $ base_seed $ configs $ no_shrink $ shrink $ fault
-          $ quiet $ trace $ metrics)
+          $ proto $ quiet $ trace $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -18,6 +18,7 @@ open Calibro_workload
 module Protocol = Calibro_server.Protocol
 module Client = Calibro_server.Client
 module Worker = Calibro_server.Worker
+module Transport = Calibro_server.Transport
 module Clock = Calibro_obs.Clock
 
 type built = { latency_s : float; oat : string; req_ix : int }
@@ -34,7 +35,7 @@ let percentile sorted p =
     let rank = int_of_float (ceil (p *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
-let run socket clients requests app_name seeds config_name deadline_ms
+let run endpoint clients requests app_name seeds config_name deadline_ms
     verify allow_errors =
   let profile =
     if String.lowercase_ascii app_name = "demo" then Some Apps.demo
@@ -75,7 +76,7 @@ let run socket clients requests app_name seeds config_name deadline_ms
       let rq = requests_by_slot.(ix mod Array.length requests_by_slot) in
       let t = Clock.now_ns () in
       outcomes.(ix) <-
-        (match Client.request ~socket rq with
+        (match Client.request ~endpoint rq with
          | Ok (Protocol.Built { oat; _ }) ->
            O_built
              { latency_s = Clock.since_s t;
@@ -159,8 +160,13 @@ let run socket clients requests app_name seeds config_name deadline_ms
 
 let cmd =
   let socket =
-    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-           ~doc:"The daemon's Unix-domain socket.")
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The daemon's (or router's) Unix-domain socket.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"The daemon's (or router's) TCP address. Exactly one of \
+                 $(b,--socket) or $(b,--tcp) is required.")
   in
   let clients =
     Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
@@ -203,12 +209,26 @@ let cmd =
        ~doc:"Concurrent load generator and verifier for calibrod.")
     Term.(
       const
-        (fun socket clients requests app seeds config deadline_ms verify
+        (fun socket tcp clients requests app seeds config deadline_ms verify
              allow_errors ->
+          let endpoint =
+            match (socket, tcp) with
+            | Some path, None -> Transport.Unix_socket { path }
+            | None, Some spec -> (
+              match Transport.of_string ("tcp:" ^ spec) with
+              | Ok ep -> ep
+              | Error e ->
+                Printf.eprintf "calibro_load: %s\n" e;
+                Stdlib.exit 2)
+            | _ ->
+              Printf.eprintf
+                "calibro_load: pass exactly one of --socket or --tcp\n";
+              Stdlib.exit 2
+          in
           Stdlib.exit
-            (run socket clients requests app seeds config deadline_ms verify
-               allow_errors))
-      $ socket $ clients $ requests $ app_arg $ seeds $ config $ deadline_ms
-      $ verify $ allow_errors)
+            (run endpoint clients requests app seeds config deadline_ms
+               verify allow_errors))
+      $ socket $ tcp $ clients $ requests $ app_arg $ seeds $ config
+      $ deadline_ms $ verify $ allow_errors)
 
 let () = exit (Cmd.eval cmd)

@@ -4,26 +4,42 @@
    where a continuous stream of releases is compiled on demand, all builds
    sharing one content-addressed compilation cache (the ShareJIT effect).
    Clients speak the length-prefixed binary protocol of
-   Calibro_server.Protocol over a Unix-domain socket; calibro_load is the
-   reference client.
+   Calibro_server.Protocol over a Unix-domain socket (--socket) or TCP
+   (--tcp, the sharded-fleet transport behind calibro_router);
+   calibro_load is the reference client.
 
    Lifecycle: runs until SIGTERM (or SIGINT), then drains gracefully —
-   stops accepting, answers every admitted job, joins the workers, removes
-   the socket, exports --metrics/--trace, and exits 0. *)
+   stops accepting, answers every admitted job, joins the workers, closes
+   the listener (removing a Unix socket file), exports --metrics/--trace,
+   and exits 0. *)
 
 open Cmdliner
 module Server = Calibro_server.Server
+module Transport = Calibro_server.Transport
 module Obs = Calibro_obs.Obs
 
-let serve socket workers queue_capacity cache_dir recv_timeout deadline_ms
+let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
     metrics trace =
+  let endpoint =
+    match (socket, tcp) with
+    | Some path, None -> Transport.Unix_socket { path }
+    | None, Some spec -> (
+      match Transport.of_string ("tcp:" ^ spec) with
+      | Ok ep -> ep
+      | Error e ->
+        Printf.eprintf "calibrod: %s\n" e;
+        exit 2)
+    | _ ->
+      Printf.eprintf "calibrod: pass exactly one of --socket or --tcp\n";
+      exit 2
+  in
   let cache =
     match cache_dir with
     | Some dir -> Some (Calibro_cache.Cache.create ~dir ())
     | None -> Lazy.force Calibro_core.Pipeline.env_cache
   in
   let cfg =
-    { (Server.default_config ~socket_path:socket) with
+    { (Server.default_config ~endpoint) with
       Server.workers;
       queue_capacity;
       cache;
@@ -33,13 +49,15 @@ let serve socket workers queue_capacity cache_dir recv_timeout deadline_ms
   let t =
     try Server.create cfg
     with Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "calibrod: cannot bind %s: %s\n" socket
+      Printf.eprintf "calibrod: cannot bind %s: %s\n"
+        (Transport.to_string endpoint)
         (Unix.error_message e);
       exit 1
   in
   Server.install_sigterm t;
   Printf.eprintf
-    "calibrod: serving on %s (%d workers, queue %d, cache %s)\n%!" socket
+    "calibrod: serving on %s (%d workers, queue %d, cache %s)\n%!"
+    (Transport.to_string (Server.endpoint t))
     workers queue_capacity
     (match cache with
      | Some c ->
@@ -59,8 +77,15 @@ let serve socket workers queue_capacity cache_dir recv_timeout deadline_ms
 
 let cmd =
   let socket =
-    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix-domain socket to listen on (created; removed on drain).")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP address to listen on instead of a Unix socket — the \
+                 sharded-fleet transport (port 0 binds an ephemeral port, \
+                 printed at startup). Exactly one of $(b,--socket) or \
+                 $(b,--tcp) is required.")
   in
   let workers =
     Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
@@ -101,9 +126,9 @@ let cmd =
   Cmd.v
     (Cmd.info "calibrod"
        ~doc:"Calibro compilation daemon: concurrent builds over a \
-             Unix-domain socket with admission control, deadlines and \
-             graceful drain.")
-    Term.(const serve $ socket $ workers $ queue_capacity $ cache_dir
+             Unix-domain socket or TCP with admission control, deadlines \
+             and graceful drain.")
+    Term.(const serve $ socket $ tcp $ workers $ queue_capacity $ cache_dir
           $ recv_timeout $ deadline_ms $ metrics $ trace)
 
 let () = exit (Cmd.eval cmd)

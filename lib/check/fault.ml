@@ -184,6 +184,154 @@ module Server = struct
     \    invoke com.poison.Missing.helper () -> v0\n\
     \    return v0\n\
      .end\n"
+
+  (* ---- Fleet fixtures ---------------------------------------------------
+
+     Mini-daemons that misbehave the way real shards die, for driving the
+     router's failover path without a full calibrod behind every port:
+     one that accepts and immediately hangs up, one that stalls mid-
+     response-frame, one that serves k requests and then drops dead, and a
+     well-behaved one to fail over to. Every state transition is
+     synchronized on a condition variable — [await_stalled]/[release]
+     instead of sleeps — so tests are deterministic on any scheduler. *)
+
+  module Fixture = struct
+    module P = Calibro_server.Protocol
+    module T = Calibro_server.Transport
+
+    type behavior =
+      | Accept_close
+          (** accept the connection, then close it without reading: the
+              crash-during-accept shard *)
+      | Stall_mid_frame of { response : string }
+          (** read the request, write only half the response frame, hold
+              the connection until {!release} (then close: EOF mid-frame) *)
+      | Serve of (string -> string)
+          (** well-behaved single-frame responder: request payload in,
+              response payload out *)
+      | Die_after of { responses : int; serve : string -> string }
+          (** behave as [Serve] for [responses] requests, then close the
+              listener and vanish (subsequent connects are refused) *)
+
+    type t = {
+      fx_behavior : behavior;
+      fx_endpoint : T.endpoint;
+      fx_listen : Unix.file_descr;
+      fx_accepted : int Atomic.t;
+      fx_served : int Atomic.t;
+      fx_stop : bool Atomic.t;
+      fx_lock : Mutex.t;
+      fx_cond : Condition.t;
+      mutable fx_stalled : bool;
+      mutable fx_released : bool;
+      mutable fx_thread : Thread.t option;
+    }
+
+    let endpoint t = t.fx_endpoint
+    let accepted t = Atomic.get t.fx_accepted
+    let served t = Atomic.get t.fx_served
+
+    let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+    let kill_listener t =
+      (try Unix.shutdown t.fx_listen Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      close_quiet t.fx_listen
+
+    let handle_serve fd serve =
+      (match P.read_frame fd with
+       | exception _ -> false
+       | payload ->
+         (match P.write_frame fd (serve payload) with
+          | () -> true
+          | exception _ -> false))
+      |> fun ok ->
+      close_quiet fd;
+      ok
+
+    let handle_stall t fd response =
+      (match P.read_frame fd with
+       | exception _ -> ()
+       | (_ : string) ->
+         let half = first_half (P.to_frame response) in
+         (try ignore (Unix.write_substring fd half 0 (String.length half))
+          with Unix.Unix_error _ -> ());
+         Mutex.lock t.fx_lock;
+         t.fx_stalled <- true;
+         Condition.broadcast t.fx_cond;
+         while not (t.fx_released || Atomic.get t.fx_stop) do
+           Condition.wait t.fx_cond t.fx_lock
+         done;
+         Mutex.unlock t.fx_lock);
+      (* Closing with the frame incomplete is the whole point: the peer
+         sees EOF mid-frame, deterministically, with no timeout needed. *)
+      close_quiet fd
+
+    let rec loop t =
+      match Unix.accept t.fx_listen with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if not (Atomic.get t.fx_stop) then loop t
+      | exception Unix.Unix_error _ -> ()  (* listener closed: fixture dead *)
+      | fd, _ ->
+        Atomic.incr t.fx_accepted;
+        if Atomic.get t.fx_stop then close_quiet fd
+        else begin
+          (match t.fx_behavior with
+           | Accept_close -> close_quiet fd
+           | Stall_mid_frame { response } -> handle_stall t fd response
+           | Serve serve ->
+             if handle_serve fd serve then Atomic.incr t.fx_served
+           | Die_after { responses; serve } ->
+             if handle_serve fd serve then Atomic.incr t.fx_served;
+             if Atomic.get t.fx_served >= responses then kill_listener t);
+          loop t
+        end
+
+    let start ?(endpoint = T.Tcp { host = "127.0.0.1"; port = 0 }) behavior =
+      let listen_fd, resolved = T.listen endpoint in
+      let t =
+        { fx_behavior = behavior;
+          fx_endpoint = resolved;
+          fx_listen = listen_fd;
+          fx_accepted = Atomic.make 0;
+          fx_served = Atomic.make 0;
+          fx_stop = Atomic.make false;
+          fx_lock = Mutex.create ();
+          fx_cond = Condition.create ();
+          fx_stalled = false;
+          fx_released = false;
+          fx_thread = None }
+      in
+      t.fx_thread <- Some (Thread.create loop t);
+      t
+
+    (* Block until the stall fixture has written its half-frame and parked
+       — the synchronization point tests use instead of sleeping. *)
+    let await_stalled t =
+      Mutex.lock t.fx_lock;
+      while not (t.fx_stalled || Atomic.get t.fx_stop) do
+        Condition.wait t.fx_cond t.fx_lock
+      done;
+      Mutex.unlock t.fx_lock
+
+    (* Unpark the stalled connection; it closes immediately, handing the
+       peer an EOF in the middle of the response frame. *)
+    let release t =
+      Mutex.lock t.fx_lock;
+      t.fx_released <- true;
+      Condition.broadcast t.fx_cond;
+      Mutex.unlock t.fx_lock
+
+    let stop t =
+      Atomic.set t.fx_stop true;
+      release t;
+      kill_listener t;
+      match t.fx_thread with
+      | Some th ->
+        Thread.join th;
+        t.fx_thread <- None
+      | None -> ()
+  end
 end
 
 (* Inject [kind] into [oat]. [None] means the image offers no applicable

@@ -152,3 +152,170 @@ let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink
       failures := f :: !failures
   done;
   { fz_seeds = seeds; fz_failures = List.rev !failures }
+
+(* ---- Protocol frame fuzzing (--proto) ------------------------------------
+
+   The wire layer's promise is narrower and harsher than the pipeline's:
+   whatever bytes arrive, {!Calibro_server.Protocol.read_frame} either
+   returns a payload or raises the typed [Frame_error] — never any other
+   exception, and never an allocation sized by an attacker-controlled
+   length field. Each seed deterministically derives a handful of frame
+   corruptions (truncations, bad magic, oversized declared lengths, pure
+   garbage, trailing junk) and feeds them through a real socketpair, the
+   same fd path the daemon reads. Request decoding is fuzzed behind the
+   frame layer the same way: garbage payloads must come back [Error],
+   never raise. *)
+
+module Proto = struct
+  module P = Calibro_server.Protocol
+
+  type outcome = { pf_cases : int; pf_failures : string list }
+
+  let ok o = o.pf_failures = []
+
+  (* The same splitmix64 stream the partitioner and router use; the fuzz
+     corpus is a pure function of the seed. *)
+  let splitmix64 z =
+    let z = Int64.mul 0x9E3779B97F4A7C15L (Int64.logxor z (Int64.shift_right_logical z 30)) in
+    let z = Int64.mul 0xBF58476D1CE4E5B9L (Int64.logxor z (Int64.shift_right_logical z 27)) in
+    let z = Int64.mul 0x94D049BB133111EBL (Int64.logxor z (Int64.shift_right_logical z 31)) in
+    Int64.logxor z (Int64.shift_right_logical z 33)
+
+  type rng = { mutable state : int64 }
+
+  let rng seed = { state = splitmix64 (Int64.of_int (seed + 1)) }
+
+  let next r =
+    r.state <- splitmix64 r.state;
+    Int64.to_int (Int64.logand r.state 0x3FFFFFFFFFFFFFFFL)
+
+  let bytes r n = String.init n (fun _ -> Char.chr (next r land 0xff))
+
+  (* Feed [input] to read_frame through a socketpair — the writer runs in
+     its own thread (then shuts down its end, so short inputs surface as
+     EOF, exactly like a dropped client). *)
+  let feed input =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let writer =
+      Thread.create
+        (fun () ->
+          (try
+             ignore (Unix.write_substring b input 0 (String.length input))
+           with Unix.Unix_error _ -> ());
+          try Unix.shutdown b Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+        ()
+    in
+    let result =
+      match P.read_frame a with
+      | payload -> Ok payload
+      | exception P.Frame_error m -> Error (`Frame_error m)
+      | exception e -> Error (`Raised (Printexc.to_string e))
+    in
+    Thread.join writer;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ a; b ];
+    result
+
+  (* One seed's worth of cases; each returns [None] or a failure line. *)
+  let cases_of_seed seed : (string * (unit -> string option)) list =
+    let r = rng seed in
+    let payload = bytes r (1 + (next r mod 2048)) in
+    let frame = P.to_frame payload in
+    let expect_frame_error what input () =
+      match feed input with
+      | Ok p ->
+        Some
+          (Printf.sprintf "seed %d: %s was accepted as a %d-byte payload"
+             seed what (String.length p))
+      | Error (`Frame_error _) -> None
+      | Error (`Raised e) ->
+        Some (Printf.sprintf "seed %d: %s raised %s, not Frame_error" seed
+                what e)
+    in
+    [ ( "valid frame",
+        fun () ->
+          match feed frame with
+          | Ok p when String.equal p payload -> None
+          | Ok _ -> Some (Printf.sprintf "seed %d: payload corrupted" seed)
+          | Error (`Frame_error m) ->
+            Some (Printf.sprintf "seed %d: valid frame refused: %s" seed m)
+          | Error (`Raised e) ->
+            Some (Printf.sprintf "seed %d: valid frame raised %s" seed e) );
+      ( "truncated frame",
+        (* Cut anywhere strictly inside: mid-magic, mid-length or
+           mid-payload, all must be typed EOF errors. *)
+        expect_frame_error "truncated frame"
+          (String.sub frame 0 (next r mod String.length frame)) );
+      ( "bad magic",
+        expect_frame_error "bad magic"
+          (let b = Bytes.of_string frame in
+           let i = next r mod 4 in
+           Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+           Bytes.to_string b) );
+      ( "oversized length",
+        fun () ->
+          (* A header declaring up to 2GiB with no body behind it: the
+             reader must refuse on the declared length alone — before
+             allocating a buffer for it. The allocation bound is the
+             fuzz oracle for that: parsing the header costs a few hundred
+             bytes, believing it costs hundreds of MB. *)
+          let declared =
+            P.max_frame + 1 + (next r mod (0x7FFFFFFF - P.max_frame - 1))
+          in
+          let header = Bytes.create 8 in
+          Bytes.blit_string "CLB1" 0 header 0 4;
+          Bytes.set_int32_le header 4 (Int32.of_int declared);
+          let before = Gc.allocated_bytes () in
+          let verdict =
+            expect_frame_error "oversized length" (Bytes.to_string header) ()
+          in
+          let allocated = Gc.allocated_bytes () -. before in
+          if verdict <> None then verdict
+          else if allocated > 1_000_000.0 then
+            Some
+              (Printf.sprintf
+                 "seed %d: refusing a %d-byte declared length allocated \
+                  %.0f bytes"
+                 seed declared allocated)
+          else None );
+      ( "garbage bytes",
+        (* Random bytes that cannot be a frame (first byte is forced off
+           'C' so the magic check must fire). *)
+        expect_frame_error "garbage"
+          (let g = bytes r (8 + (next r mod 64)) in
+           let b = Bytes.of_string g in
+           if Bytes.get b 0 = 'C' then Bytes.set b 0 'X';
+           Bytes.to_string b) );
+      ( "garbage payload decode",
+        fun () ->
+          (* Behind a well-formed frame, a garbage payload must decode to
+             Error, never raise — the reader thread turns it into a typed
+             Malformed answer. *)
+          match P.decode_request (bytes r (next r mod 512)) with
+          | Ok _ | Error _ -> None
+          | exception e ->
+            Some
+              (Printf.sprintf "seed %d: decode_request raised %s" seed
+                 (Printexc.to_string e)) ) ]
+
+  let run ?(seeds = 25) ?(base_seed = 0) ?(log = fun (_ : string) -> ()) () :
+      outcome =
+    let failures = ref [] and cases = ref 0 in
+    for i = 0 to seeds - 1 do
+      let seed = base_seed + i in
+      log (Printf.sprintf "proto seed %d" seed);
+      Obs.Counter.incr "fuzz.proto_seeds_run";
+      List.iter
+        (fun (_name, case) ->
+          incr cases;
+          match case () with
+          | None -> ()
+          | Some failure ->
+            Obs.Counter.incr "fuzz.proto_cases_failed";
+            log ("FAILED: " ^ failure);
+            failures := failure :: !failures)
+        (cases_of_seed seed)
+    done;
+    { pf_cases = !cases; pf_failures = List.rev !failures }
+end

@@ -10,14 +10,9 @@ let ignore_sigpipe =
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ())
 
-let connect path =
+let connect ep =
   Lazy.force ignore_sigpipe;
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> { fd }
-  | exception e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
+  { fd = Transport.connect ep }
 
 let send t rq = Protocol.write_frame t.fd (Protocol.encode_request rq)
 
@@ -29,8 +24,8 @@ let recv t =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let request ~socket rq =
-  match connect socket with
+let request ~endpoint rq =
+  match connect endpoint with
   | exception Unix.Unix_error (e, _, _) ->
     Error ("connect: " ^ Unix.error_message e)
   | t ->

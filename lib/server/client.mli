@@ -1,12 +1,15 @@
 (** Client side of the calibrod protocol: connect, send one request, read
-    one response. Used by [calibro_load], [bench serve] and the tests. *)
+    one response. Used by [calibro_load], [bench serve] and the tests.
+    Speaks to a daemon or to the {!Router} alike — the wire is identical,
+    over either {!Transport.endpoint} flavor. *)
 
 type t
 
-val connect : string -> t
-(** Connect to the daemon's Unix-domain socket. The first call ignores
-    [SIGPIPE] process-wide, so a daemon hanging up mid-request surfaces
-    as a per-request [EPIPE] error instead of killing the client.
+val connect : Transport.endpoint -> t
+(** Connect to the daemon's (or router's) endpoint. The first call
+    ignores [SIGPIPE] process-wide, so a daemon hanging up mid-request
+    surfaces as a per-request [EPIPE] error instead of killing the
+    client.
     @raise Unix.Unix_error (e.g. [ECONNREFUSED], [ENOENT]) if no daemon
     is listening there. *)
 
@@ -22,6 +25,6 @@ val recv : t -> (Protocol.response, string) result
 val close : t -> unit
 
 val request :
-  socket:string -> Protocol.build_request ->
+  endpoint:Transport.endpoint -> Protocol.build_request ->
   (Protocol.response, string) result
 (** One-shot convenience: connect, send, receive, close. *)

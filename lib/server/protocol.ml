@@ -251,6 +251,7 @@ type rejection =
   | Overloaded
   | Deadline_exceeded
   | Draining
+  | Unavailable
   | Internal of string
 
 let rejection_to_string = function
@@ -260,6 +261,7 @@ let rejection_to_string = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline exceeded"
   | Draining -> "draining"
+  | Unavailable -> "unavailable: no live shard"
   | Internal m -> "internal error: " ^ m
 
 type response =
@@ -278,6 +280,7 @@ let rejection_code = function
   | Deadline_exceeded -> 5
   | Draining -> 6
   | Internal _ -> 7
+  | Unavailable -> 8
 
 let encode_response (r : response) =
   let b =
@@ -299,7 +302,7 @@ let encode_response (r : response) =
      (match rej with
       | Malformed m | Parse_error m | Build_failed m | Internal m ->
         w_str b m
-      | Overloaded | Deadline_exceeded | Draining -> ()));
+      | Overloaded | Deadline_exceeded | Draining | Unavailable -> ()));
   Buffer.contents b
 
 let decode_response =
@@ -330,6 +333,7 @@ let decode_response =
          | 5 -> Deadline_exceeded
          | 6 -> Draining
          | 7 -> Internal (msg ~what:"internal-error message")
+         | 8 -> Unavailable
          | c ->
            raise (Decode_error (Printf.sprintf "unknown rejection code %d" c)))
     end
@@ -337,3 +341,33 @@ let decode_response =
   in
   finish c "response";
   r
+
+(* ---- Router views ---------------------------------------------------------
+
+   The router relays request and response payloads verbatim; these two
+   helpers are the only peeks it takes, and neither re-encodes anything. *)
+
+(* Digest of the request's application text — the fleet's shard-affinity
+   key: the same app routed to the same daemon keeps that daemon's cache
+   tier hot whatever the config or deadline says. The cursor skips the
+   leading config rather than decoding the request; damage anywhere
+   before the dexsim yields [None] (the router then hashes the raw
+   payload, keeping even malformed traffic deterministically placed). *)
+let request_app_digest payload =
+  match
+    let c = { src = payload; pos = 0 } in
+    let tag = r_u8 c ~what:"request tag" in
+    if tag <> tag_build then raise (Decode_error "not a build request");
+    let (_ : Config.t) = r_config c in
+    r_str c ~what:"dexsim"
+  with
+  | dexsim -> Some (Digest.string dexsim)
+  | exception Decode_error _ -> None
+
+(* A bare [Rejected Draining] payload, recognized from its two bytes. The
+   router treats it as "this shard is leaving the fleet" and re-routes to
+   a survivor instead of bouncing the client — the rolling-drain path. *)
+let response_is_draining payload =
+  String.length payload = 2
+  && Char.code payload.[0] = tag_rejected
+  && Char.code payload.[1] = rejection_code Draining

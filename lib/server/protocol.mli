@@ -85,6 +85,9 @@ type rejection =
   | Overloaded  (** admission queue full: back off and retry *)
   | Deadline_exceeded
   | Draining  (** daemon is shutting down and refuses new work *)
+  | Unavailable
+      (** the {!Router} found no live shard: every daemon in the fleet is
+          down or unreachable after retries *)
   | Internal of string  (** anything else; the daemon survived it *)
 
 val rejection_to_string : rejection -> string
@@ -96,3 +99,20 @@ type response =
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
+
+(** {2 Router views}
+
+    The {!Router} forwards request and response payloads byte-for-byte;
+    it never re-encodes a frame. These helpers are the only two peeks it
+    takes into a payload. *)
+
+val request_app_digest : string -> string option
+(** The shard-affinity key of an encoded request: the MD5 digest of its
+    [rq_dexsim] text, read by skipping (not decoding) the leading config.
+    [None] if the payload is not a well-formed build request up to that
+    field — the router then hashes the raw payload instead. *)
+
+val response_is_draining : string -> bool
+(** Whether an encoded response payload is exactly [Rejected Draining] —
+    the signal that a shard is leaving the fleet and the request should
+    be re-routed to a survivor. *)

@@ -5,7 +5,7 @@ module Obs = Calibro_obs.Obs
 module Clock = Calibro_obs.Clock
 
 type config = {
-  socket_path : string;
+  endpoint : Transport.endpoint;
   workers : int;
   queue_capacity : int;
   cache : Calibro_cache.Cache.t option;
@@ -13,8 +13,8 @@ type config = {
   default_deadline_ms : int option;
 }
 
-let default_config ~socket_path =
-  { socket_path;
+let default_config ~endpoint =
+  { endpoint;
     workers = 2;
     queue_capacity = 64;
     cache = None;
@@ -31,6 +31,7 @@ type totals = {
 
 type t = {
   cfg : config;
+  endpoint : Transport.endpoint;  (* resolved: a TCP port-0 bind filled in *)
   listen_fd : Unix.file_descr;
   queue : Worker.job Queue.t;
   pool : Worker.pool;
@@ -50,7 +51,7 @@ type t = {
   a_refused_draining : int Atomic.t;
 }
 
-let socket_path t = t.cfg.socket_path
+let endpoint t = t.endpoint
 let draining t = Atomic.get t.stop
 let request_drain t = Atomic.set t.stop true
 
@@ -147,27 +148,17 @@ let accept_loop t () =
 
 (* ---- Lifecycle ---------------------------------------------------------- *)
 
-let unlink_quietly path = try Unix.unlink path with Unix.Unix_error _ -> ()
-
-let create cfg =
+let create (cfg : config) =
   (* A vanished client must surface as EPIPE on write, not kill us. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match
-     unlink_quietly cfg.socket_path;
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd 64
-   with
-   | () -> ()
-   | exception e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
+  let listen_fd, endpoint = Transport.listen cfg.endpoint in
   let queue =
     Queue.create ~gauge:"server.queue_depth" ~capacity:cfg.queue_capacity ()
   in
   let pool = Worker.start ~workers:cfg.workers ~cache:cfg.cache ~queue in
   let t =
     { cfg;
+      endpoint;
       listen_fd;
       queue;
       pool;
@@ -203,8 +194,7 @@ let drain t =
     (* No new admissions; workers drain what was admitted, then exit. *)
     Queue.close t.queue;
     Worker.join t.pool;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    unlink_quietly t.cfg.socket_path;
+    Transport.close_listener t.endpoint t.listen_fd;
     (* Workers and readers are gone: safe to mirror the admission tallies
        into the (single-writer-per-domain) Obs counters. *)
     let tt = totals t in

@@ -1,5 +1,6 @@
-(** calibrod's connection and lifecycle layer: a Unix-domain accept loop
-    in front of the admission {!Queue} and the {!Worker} pool.
+(** calibrod's connection and lifecycle layer: an accept loop on a
+    {!Transport.endpoint} (Unix-domain socket or TCP) in front of the
+    admission {!Queue} and the {!Worker} pool.
 
     Threading model: the accept loop runs on a background thread of the
     creating domain; each accepted connection gets a short-lived reader
@@ -18,11 +19,13 @@
 
     Graceful drain ({!drain}, or SIGTERM via {!install_sigterm} +
     {!join}): stop accepting, answer nothing new, finish every admitted
-    job, join the workers, remove the socket — then return, so the caller
-    can exit 0. *)
+    job, join the workers, close the listener (removing a Unix socket
+    file) — then return, so the caller can exit 0. *)
 
 type config = {
-  socket_path : string;
+  endpoint : Transport.endpoint;
+      (** where to listen; [Tcp { port = 0; _ }] binds an ephemeral port,
+          resolved via {!endpoint} *)
   workers : int;
   queue_capacity : int;
   cache : Calibro_cache.Cache.t option;
@@ -34,17 +37,17 @@ type config = {
       (** applied to requests that carry no deadline of their own *)
 }
 
-val default_config : socket_path:string -> config
+val default_config : endpoint:Transport.endpoint -> config
 (** 2 workers, capacity 64, no cache, 10 s receive timeout, no default
     deadline. *)
 
 type t
 
 val create : config -> t
-(** Bind the socket (replacing a stale file), start the workers and the
-    accept loop. Also sets [SIGPIPE] to ignore — a vanished client must
-    surface as [EPIPE], not kill the daemon.
-    @raise Unix.Unix_error if the socket cannot be bound. *)
+(** Bind the endpoint (replacing a stale Unix-socket file), start the
+    workers and the accept loop. Also sets [SIGPIPE] to ignore — a
+    vanished client must surface as [EPIPE], not kill the daemon.
+    @raise Unix.Unix_error if the endpoint cannot be bound. *)
 
 val request_drain : t -> unit
 (** Flag the server to drain. Async-signal-safe (one atomic store); the
@@ -78,4 +81,6 @@ val totals : t -> totals
 (** Admission-path totals so far (atomics; safe to read live). After
     {!drain} these are also mirrored to [server.requests.*] counters. *)
 
-val socket_path : t -> string
+val endpoint : t -> Transport.endpoint
+(** The resolved listening endpoint — for a TCP port-0 bind, the
+    ephemeral port the kernel actually picked. *)

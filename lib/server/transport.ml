@@ -1,0 +1,96 @@
+(* Endpoint values and the listen/connect plumbing. See transport.mli. *)
+
+type endpoint =
+  | Unix_socket of { path : string }
+  | Tcp of { host : string; port : int }
+
+let to_string = function
+  | Unix_socket { path } -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let of_string s =
+  let s = String.trim s in
+  let tcp spec =
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "tcp endpoint %S has no :PORT" spec)
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 0xFFFF && host <> "" ->
+        Ok (Tcp { host; port = p })
+      | _ -> Error (Printf.sprintf "bad tcp endpoint %S (want HOST:PORT)" spec))
+  in
+  if s = "" then Error "empty endpoint"
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_socket { path = String.sub s 5 (String.length s - 5) })
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if String.contains s '/' then Ok (Unix_socket { path = s })
+  else
+    match tcp s with
+    | Ok _ as ok -> ok
+    | Error _ ->
+      Error
+        (Printf.sprintf
+           "cannot read endpoint %S (want unix:PATH, tcp:HOST:PORT, a \
+            socket path containing '/', or HOST:PORT)"
+           s)
+
+let inet_addr_of host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.getaddrinfo host "" [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+    | _ ->
+      raise
+        (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+
+let sockaddr_of = function
+  | Unix_socket { path } -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (inet_addr_of host, port)
+
+let domain_of = function
+  | Unix_socket _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let unlink_quietly path = try Unix.unlink path with Unix.Unix_error _ -> ()
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen ?(backlog = 64) ep =
+  let fd = Unix.socket (domain_of ep) Unix.SOCK_STREAM 0 in
+  match
+    (match ep with
+     | Unix_socket { path } -> unlink_quietly path
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+    Unix.bind fd (sockaddr_of ep);
+    Unix.listen fd backlog;
+    (* An ephemeral bind (port 0) is only useful if the caller learns the
+       port the kernel picked. *)
+    match (ep, Unix.getsockname fd) with
+    | Tcp { host; _ }, Unix.ADDR_INET (_, port) -> Tcp { host; port }
+    | _ -> ep
+  with
+  | resolved -> (fd, resolved)
+  | exception e ->
+    close_quietly fd;
+    raise e
+
+let connect ep =
+  let fd = Unix.socket (domain_of ep) Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (sockaddr_of ep);
+    match ep with
+    | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | Unix_socket _ -> ()
+  with
+  | () -> fd
+  | exception e ->
+    close_quietly fd;
+    raise e
+
+let close_listener ep fd =
+  close_quietly fd;
+  match ep with
+  | Unix_socket { path } -> unlink_quietly path
+  | Tcp _ -> ()

@@ -1,0 +1,43 @@
+(** Where a calibrod (or the router) listens, and how to reach it.
+
+    The wire protocol ({!Protocol.read_frame} / {!Protocol.write_frame})
+    is already transport-agnostic — it speaks to any stream fd. This
+    module is the missing piece: one [endpoint] value that names either a
+    Unix-domain socket (single-host, the PR-5 shape) or a TCP address
+    (the sharded-fleet shape), plus listen/connect that hide the
+    [Unix.sockaddr] differences — [SO_REUSEADDR] and ephemeral-port
+    resolution on the TCP side, bind-time unlink and drain-time removal
+    on the Unix side. *)
+
+type endpoint =
+  | Unix_socket of { path : string }
+  | Tcp of { host : string; port : int }
+      (** [host] is an IP literal or a resolvable name; [port] 0 asks the
+          kernel for an ephemeral port (see {!listen}). *)
+
+val to_string : endpoint -> string
+(** ["unix:PATH"] / ["tcp:HOST:PORT"] — the syntax {!of_string} reads. *)
+
+val of_string : string -> (endpoint, string) result
+(** Parse ["unix:PATH"], ["tcp:HOST:PORT"], or the two unprefixed
+    conveniences the CLIs accept: a string containing [/] is a socket
+    path, a [HOST:PORT] with a numeric port is TCP. *)
+
+val listen : ?backlog:int -> endpoint -> Unix.file_descr * endpoint
+(** Bind and listen. Returns the listening fd and the {e resolved}
+    endpoint: for [Tcp] with port 0 the actual port the kernel picked
+    (so tests and benches can listen ephemerally and hand the real
+    address to clients); otherwise the input endpoint. A Unix-socket
+    bind replaces a stale socket file; a TCP bind sets [SO_REUSEADDR] so
+    a restarted daemon does not trip over [TIME_WAIT].
+    @raise Unix.Unix_error if the address cannot be bound or resolved. *)
+
+val connect : endpoint -> Unix.file_descr
+(** Connect a stream socket. TCP connections set [TCP_NODELAY] — the
+    protocol is strictly request/response, so Nagle only adds latency.
+    @raise Unix.Unix_error ([ECONNREFUSED], [ENOENT], ...) if nobody is
+    listening there. *)
+
+val close_listener : endpoint -> Unix.file_descr -> unit
+(** Close a listening fd from {!listen} and, for a Unix socket, remove
+    the socket file. Quiet on errors: drain paths call this. *)

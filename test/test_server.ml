@@ -3,7 +3,16 @@
    server driven over real Unix-domain sockets — byte-identity of served
    builds against the in-process pipeline across the oracle matrix, typed
    Overloaded under a full queue, deadlines, abusive-client faults
-   (lib/check), and SIGTERM graceful drain. *)
+   (lib/check), and SIGTERM graceful drain.
+
+   The fleet layer on top: Transport endpoint strings and port-0 binds,
+   consistent-hash ring properties (uniform spread, minimal disruption),
+   router failover against the Fault.Server.Fixture mini-daemons (accept-
+   then-close, stall-mid-frame, die-after-k), health-check revival, and
+   end-to-end byte-identity of the same requests served over a Unix
+   socket, direct TCP, and the router across a forced failover. None of
+   the failover tests sleeps on a real clock: fixtures synchronize on
+   condition variables and the router's backoff sleep is injected. *)
 
 open Calibro_core
 open Calibro_workload
@@ -12,7 +21,10 @@ module Queue = Calibro_server.Queue
 module Worker = Calibro_server.Worker
 module Server = Calibro_server.Server
 module Client = Calibro_server.Client
+module Router = Calibro_server.Router
+module Transport = Calibro_server.Transport
 module Fault = Calibro_check.Fault
+module Fixture = Calibro_check.Fault.Server.Fixture
 
 let demo_app = lazy (Appgen.generate Apps.demo)
 
@@ -35,14 +47,19 @@ let fresh_socket () =
     (Filename.get_temp_dir_name ())
     (Unix.getpid ()) !sock_counter
 
+let fresh_endpoint () = Transport.Unix_socket { path = fresh_socket () }
+
 let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
-    ?cache f =
+    ?cache ?endpoint f =
   let cache =
     match cache with Some c -> c | None -> Calibro_cache.Cache.create ()
   in
+  let endpoint =
+    match endpoint with Some ep -> ep | None -> fresh_endpoint ()
+  in
   let t =
     Server.create
-      { Server.socket_path = fresh_socket ();
+      { Server.endpoint;
         workers;
         queue_capacity;
         cache = Some cache;
@@ -132,6 +149,7 @@ let codec_tests =
             Protocol.Overloaded;
             Protocol.Deadline_exceeded;
             Protocol.Draining;
+            Protocol.Unavailable;
             Protocol.Internal "Stack_overflow" ]);
     Alcotest.test_case "every truncation of a request is rejected" `Quick
       (fun () ->
@@ -203,9 +221,203 @@ let codec_tests =
               Protocol.write_frame w (String.make (Protocol.max_frame + 1) 'x')
             with
             | () -> Alcotest.fail "oversized frame sent"
-            | exception Protocol.Frame_error _ -> ())) ]
+            | exception Protocol.Frame_error _ -> ()));
+    Alcotest.test_case "frame fuzz: every corruption surfaces typed" `Quick
+      (fun () ->
+        (* The same corpus `calibro_fuzz --proto` runs in CI, a few seeds
+           of it: truncations, bad magic, oversized declared lengths and
+           garbage must all be typed Frame_errors with no over-allocation. *)
+        let o = Calibro_check.Fuzz.Proto.run ~seeds:5 () in
+        Alcotest.(check (list string))
+          "no frame-fuzz failures" [] o.Calibro_check.Fuzz.Proto.pf_failures);
+    Alcotest.test_case "router payload peeks see through the codec" `Quick
+      (fun () ->
+        (* request_app_digest must equal the digest of the dexsim text for
+           any well-formed request, whatever the config, and refuse
+           garbage; response_is_draining matches exactly Rejected
+           Draining. *)
+        let payload = Protocol.encode_request sample_request in
+        (match Protocol.request_app_digest payload with
+         | Some d ->
+           Alcotest.(check string) "digest of dexsim"
+             (Digest.string sample_request.Protocol.rq_dexsim) d
+         | None -> Alcotest.fail "well-formed request had no digest");
+        Alcotest.(check (option string)) "garbage has no digest" None
+          (Protocol.request_app_digest "garbage");
+        Alcotest.(check bool) "draining is draining" true
+          (Protocol.response_is_draining
+             (Protocol.encode_response (Protocol.Rejected Protocol.Draining)));
+        List.iter
+          (fun resp ->
+            Alcotest.(check bool) "not draining" false
+              (Protocol.response_is_draining (Protocol.encode_response resp)))
+          [ Protocol.Rejected Protocol.Overloaded;
+            Protocol.Rejected Protocol.Unavailable;
+            Protocol.Built { oat = "x"; stats = sample_stats } ]) ]
 
-(* ---- Admission queue ----------------------------------------------------- *)
+(* ---- Transport endpoints -------------------------------------------------- *)
+
+let endpoint_eq =
+  Alcotest.testable
+    (fun fmt ep -> Format.pp_print_string fmt (Transport.to_string ep))
+    ( = )
+
+let transport_tests =
+  [ Alcotest.test_case "endpoint strings parse, print and round-trip" `Quick
+      (fun () ->
+        let ok s ep =
+          match Transport.of_string s with
+          | Ok got -> Alcotest.check endpoint_eq s ep got
+          | Error e -> Alcotest.failf "%S refused: %s" s e
+        in
+        ok "unix:/tmp/x.sock" (Transport.Unix_socket { path = "/tmp/x.sock" });
+        ok "/tmp/x.sock" (Transport.Unix_socket { path = "/tmp/x.sock" });
+        ok "tcp:127.0.0.1:8080"
+          (Transport.Tcp { host = "127.0.0.1"; port = 8080 });
+        ok "127.0.0.1:8080" (Transport.Tcp { host = "127.0.0.1"; port = 8080 });
+        ok "localhost:0" (Transport.Tcp { host = "localhost"; port = 0 });
+        (* to_string output is itself parseable — config files and CLI
+           flags can echo endpoints verbatim. *)
+        List.iter
+          (fun ep ->
+            match Transport.of_string (Transport.to_string ep) with
+            | Ok ep' ->
+              Alcotest.check endpoint_eq (Transport.to_string ep) ep ep'
+            | Error e ->
+              Alcotest.failf "%s did not re-parse: %s"
+                (Transport.to_string ep) e)
+          [ Transport.Unix_socket { path = "/run/calibro.sock" };
+            Transport.Tcp { host = "10.0.0.7"; port = 9131 } ];
+        List.iter
+          (fun s ->
+            match Transport.of_string s with
+            | Error _ -> ()
+            | Ok ep ->
+              Alcotest.failf "%S parsed as %s" s (Transport.to_string ep))
+          [ ""; "tcp:127.0.0.1"; "tcp:host:99999"; "tcp::123"; "nohost" ]);
+    Alcotest.test_case "a TCP port-0 listen resolves a connectable port"
+      `Quick (fun () ->
+        let fd, resolved =
+          Transport.listen (Transport.Tcp { host = "127.0.0.1"; port = 0 })
+        in
+        Fun.protect
+          ~finally:(fun () -> Transport.close_listener resolved fd)
+          (fun () ->
+            (match resolved with
+             | Transport.Tcp { port; _ } ->
+               Alcotest.(check bool) "kernel picked a port" true (port > 0)
+             | ep ->
+               Alcotest.failf "resolved to %s" (Transport.to_string ep));
+            let c = Transport.connect resolved in
+            let s, _ = Unix.accept fd in
+            Unix.close s;
+            Unix.close c)) ]
+
+(* ---- The consistent-hash ring --------------------------------------------- *)
+
+(* 10k app digests, the keyspace the distribution properties quantify
+   over. Deterministic, so these are exact assertions, not flaky
+   statistics. *)
+let ring_keys =
+  lazy (Array.init 10_000 (fun i -> Digest.string (Printf.sprintf "app-%d" i)))
+
+let ring_tests =
+  [ Alcotest.test_case "keys spread uniformly across 3..16 shards" `Quick
+      (fun () ->
+        let keys = Lazy.force ring_keys in
+        for shards = 3 to 16 do
+          let ring = Router.Ring.make ~shards ~replicas:128 in
+          let counts = Array.make shards 0 in
+          Array.iter
+            (fun k ->
+              let o = Router.Ring.lookup ring k in
+              counts.(o) <- counts.(o) + 1)
+            keys;
+          let expected = float_of_int (Array.length keys) /. float_of_int shards in
+          (* Chi-square-style bound: with 128 virtual nodes per shard the
+             arc-share coefficient of variation is ~1/sqrt(128) ≈ 9%, so a
+             ±35% band per shard is a >3σ envelope — tight enough to catch
+             a broken mix (a linear point function clumps 10x), loose
+             enough to hold for every shard count. *)
+          let chi2 = ref 0.0 in
+          Array.iteri
+            (fun i c ->
+              let dev = (float_of_int c -. expected) /. expected in
+              chi2 := !chi2 +. (float_of_int c -. expected) ** 2.0 /. expected;
+              if Float.abs dev > 0.35 then
+                Alcotest.failf
+                  "%d shards: shard %d owns %d keys (expected %.0f, %.0f%% off)"
+                  shards i c expected (100.0 *. dev))
+            counts;
+          if !chi2 > 8.0 *. expected then
+            Alcotest.failf "%d shards: chi-square %.0f is out of family"
+              shards !chi2
+        done);
+    Alcotest.test_case "removing a shard remaps only its own keys" `Quick
+      (fun () ->
+        let keys = Lazy.force ring_keys in
+        List.iter
+          (fun shards ->
+            let ring = Router.Ring.make ~shards ~replicas:128 in
+            let removed = shards / 2 in
+            let ring' = Router.Ring.remove ring removed in
+            let remapped = ref 0 in
+            Array.iter
+              (fun k ->
+                let before = Router.Ring.lookup ring k in
+                let after = Router.Ring.lookup ring' k in
+                if before <> removed then
+                  (* The minimal-disruption law, exactly: a surviving
+                     shard's keys never move. *)
+                  (if before <> after then
+                     Alcotest.failf
+                       "%d shards: key moved %d -> %d though %d was removed"
+                       shards before after removed)
+                else begin
+                  incr remapped;
+                  if after = removed then
+                    Alcotest.failf "%d shards: key still on removed shard"
+                      shards
+                end)
+              keys;
+            let fraction =
+              float_of_int !remapped /. float_of_int (Array.length keys)
+            in
+            if fraction > 1.5 /. float_of_int shards then
+              Alcotest.failf
+                "%d shards: %.1f%% of keys remapped (bound %.1f%%)"
+                shards (100.0 *. fraction)
+                (100.0 *. 1.5 /. float_of_int shards))
+          [ 3; 5; 8; 16 ]);
+    Alcotest.test_case "failover order starts at the owner, covers all shards"
+      `Quick (fun () ->
+        let keys = Lazy.force ring_keys in
+        let ring = Router.Ring.make ~shards:5 ~replicas:64 in
+        Array.iter
+          (fun k ->
+            let order = Router.Ring.order ring k in
+            Alcotest.(check int) "head is the owner"
+              (Router.Ring.lookup ring k)
+              (List.hd order);
+            Alcotest.(check (list int)) "every shard exactly once"
+              [ 0; 1; 2; 3; 4 ]
+              (List.sort compare order))
+          (Array.sub keys 0 200));
+    Alcotest.test_case "the ring is deterministic across processes" `Quick
+      (fun () ->
+        (* Same shape, same ring: the routing table is pure structure, so
+           a restarted router (or a second one) agrees shard-for-shard —
+           pin a few lookups so an accidental reseed cannot slip by. *)
+        let ring = Router.Ring.make ~shards:4 ~replicas:128 in
+        let ring2 = Router.Ring.make ~shards:4 ~replicas:128 in
+        Array.iter
+          (fun k ->
+            Alcotest.(check int) "two rings agree"
+              (Router.Ring.lookup ring k)
+              (Router.Ring.lookup ring2 k))
+          (Array.sub (Lazy.force ring_keys) 0 500)) ]
+
+(* ---- Admission queue ------------------------------------------------------ *)
 
 let push_result =
   Alcotest.testable
@@ -294,7 +506,7 @@ let serve_tests =
           (fun (config : Config.t) ->
             let rq = demo_request ~config () in
             let expected = Worker.build_response ~cache:None rq in
-            match Client.request ~socket:(Server.socket_path t) rq with
+            match Client.request ~endpoint:(Server.endpoint t) rq with
             | Error m -> Alcotest.failf "%s: %s" config.Config.name m
             | Ok served ->
               Alcotest.check response config.Config.name expected served)
@@ -315,7 +527,7 @@ let serve_tests =
            Alcotest.failf "profiled build failed in-process: %s"
              (Protocol.rejection_to_string r));
         with_server @@ fun t ->
-        match Client.request ~socket:(Server.socket_path t) rq with
+        match Client.request ~endpoint:(Server.endpoint t) rq with
         | Error m -> Alcotest.fail m
         | Ok served -> Alcotest.check response "profiled build" expected served);
     Alcotest.test_case "a full queue answers typed Overloaded" `Quick
@@ -331,7 +543,7 @@ let serve_tests =
               Thread.create
                 (fun () ->
                   outcomes.(i) <-
-                    Client.request ~socket:(Server.socket_path t)
+                    Client.request ~endpoint:(Server.endpoint t)
                       (demo_request ~config:Config.cto ()))
                 ())
         in
@@ -359,7 +571,7 @@ let serve_tests =
       (fun () ->
         with_server @@ fun t ->
         match
-          Client.request ~socket:(Server.socket_path t)
+          Client.request ~endpoint:(Server.endpoint t)
             (demo_request ~deadline_ms:1 ~config:(Config.cto_ltbo_pl ~k:2 ()) ())
         with
         | Ok (Protocol.Rejected Protocol.Deadline_exceeded) -> ()
@@ -368,14 +580,29 @@ let serve_tests =
             (match r with
              | Protocol.Built _ -> "Built"
              | Protocol.Rejected rej -> Protocol.rejection_to_string rej)
-        | Error m -> Alcotest.fail m) ]
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "the daemon serves identically over TCP" `Quick
+      (fun () ->
+        (* The transport must be invisible to the payload: one request,
+           served over a loopback TCP port-0 bind, byte-identical to the
+           in-process build like its Unix-socket twin. *)
+        let rq = demo_request ~config:Config.cto () in
+        let expected = Worker.build_response ~cache:None rq in
+        with_server
+          ~endpoint:(Transport.Tcp { host = "127.0.0.1"; port = 0 })
+        @@ fun t ->
+        (match Server.endpoint t with
+         | Transport.Tcp { port; _ } ->
+           Alcotest.(check bool) "resolved port" true (port > 0)
+         | ep -> Alcotest.failf "resolved to %s" (Transport.to_string ep));
+        match Client.request ~endpoint:(Server.endpoint t) rq with
+        | Error m -> Alcotest.fail m
+        | Ok served -> Alcotest.check response "tcp-served build" expected served)
+  ]
 
 (* ---- Abusive clients (lib/check fault points) ----------------------------- *)
 
-let raw_connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX path);
-  fd
+let raw_connect t = Transport.connect (Server.endpoint t)
 
 let write_all fd s =
   ignore (Unix.write_substring fd s 0 (String.length s))
@@ -383,7 +610,7 @@ let write_all fd s =
 (* After the abuse, the server must still answer a well-formed request
    correctly — the fault cost one request, not the daemon. *)
 let assert_still_serving t =
-  match Client.request ~socket:(Server.socket_path t) (demo_request ()) with
+  match Client.request ~endpoint:(Server.endpoint t) (demo_request ()) with
   | Ok (Protocol.Built _) -> ()
   | Ok (Protocol.Rejected r) ->
     Alcotest.failf "server degraded after fault: %s"
@@ -397,7 +624,7 @@ let fault_tests =
         let frame =
           Protocol.to_frame (Protocol.encode_request (demo_request ()))
         in
-        let fd = raw_connect (Server.socket_path t) in
+        let fd = raw_connect t in
         write_all fd (Fault.Server.first_half frame);
         Unix.close fd;
         (* The reader sees EOF mid-frame and gives up on that connection. *)
@@ -409,7 +636,7 @@ let fault_tests =
         let frame =
           Protocol.to_frame (Protocol.encode_request (demo_request ()))
         in
-        let fd = raw_connect (Server.socket_path t) in
+        let fd = raw_connect t in
         write_all fd (Fault.Server.first_half frame);
         (* Hold the connection open, never sending the rest. *)
         Thread.delay 0.5;
@@ -425,7 +652,7 @@ let fault_tests =
         with_server @@ fun t ->
         Fault.Server.inject Fault.Server.Poison_job;
         (match
-           Client.request ~socket:(Server.socket_path t)
+           Client.request ~endpoint:(Server.endpoint t)
              (request Fault.Server.poison_dexsim)
          with
          | Ok (Protocol.Rejected (Protocol.Build_failed _)) -> ()
@@ -438,7 +665,7 @@ let fault_tests =
     Alcotest.test_case "garbage bytes get a typed Malformed answer" `Quick
       (fun () ->
         with_server @@ fun t ->
-        let fd = raw_connect (Server.socket_path t) in
+        let fd = raw_connect t in
         write_all fd "GET / HTTP/1.1\r\n\r\n";
         (match Protocol.read_frame fd with
          | payload -> (
@@ -453,6 +680,355 @@ let fault_tests =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         assert_still_serving t) ]
 
+(* ---- The router against misbehaving shards -------------------------------- *)
+
+(* A canned response payload a fixture can serve: decodable and
+   distinguishable by its message. *)
+let canned name = Protocol.encode_response (Protocol.Rejected (Protocol.Internal name))
+
+(* A garbage payload (deliberately NOT a decodable request, exercising the
+   router's raw-digest fallback) that the ring routes to shard [want]. *)
+let payload_routed_to ~replicas ~shards want =
+  let ring = Router.Ring.make ~shards ~replicas in
+  let rec go i =
+    if i > 100_000 then failwith "no payload routes to the wanted shard"
+    else
+      let p = Printf.sprintf "fixture-payload-%d" i in
+      if Router.Ring.lookup ring (Digest.string p) = want then p else go (i + 1)
+  in
+  go 0
+
+(* One raw request through an endpoint: frame out, frame in, decode. *)
+let raw_request endpoint payload =
+  let fd = Transport.connect endpoint in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Protocol.write_frame fd payload;
+      Protocol.decode_response (Protocol.read_frame fd))
+
+let rejection_answer =
+  Alcotest.testable
+    (fun fmt -> function
+      | Ok r ->
+        Format.pp_print_string fmt
+          (match r with
+           | Protocol.Built _ -> "Built"
+           | Protocol.Rejected rej -> Protocol.rejection_to_string rej)
+      | Error e -> Format.fprintf fmt "Error(%s)" e)
+    ( = )
+
+(* A router over [shards] with everything timing-dependent neutered: no
+   health thread (tests call check_health), no receive timeout (failures
+   are EOF- or reset-driven), and the backoff sleep recorded instead of
+   slept — the clock injection the failover tests rely on. *)
+let with_router ?(replicas = 32) ?max_attempts ~shards f =
+  let sleeps = ref [] in
+  let cfg =
+    { (Router.default_config
+         ~listen:(fresh_endpoint ())
+         ~shards:(Array.of_list shards))
+      with
+      Router.replicas;
+      health_period_s = 0.0;
+      recv_timeout_s = 0.0;
+      sleep = (fun d -> sleeps := d :: !sleeps) }
+  in
+  let cfg =
+    match max_attempts with
+    | None -> cfg
+    | Some m -> { cfg with Router.max_attempts = m }
+  in
+  let t = Router.create cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.request_drain t;
+      Router.drain t)
+    (fun () -> f t sleeps)
+
+(* A TCP endpoint nobody listens on: bound, resolved, closed. *)
+let dead_endpoint () =
+  let fd, ep = Transport.listen (Transport.Tcp { host = "127.0.0.1"; port = 0 }) in
+  Unix.close fd;
+  ep
+
+let router_tests =
+  [ Alcotest.test_case "a shard that accepts and hangs up is failed over"
+      `Quick (fun () ->
+        let bad = Fixture.start Fixture.Accept_close in
+        let good = Fixture.start (Fixture.Serve (fun _ -> canned "good")) in
+        Fun.protect
+          ~finally:(fun () -> Fixture.stop bad; Fixture.stop good)
+          (fun () ->
+            with_router
+              ~shards:[ Fixture.endpoint bad; Fixture.endpoint good ]
+              (fun t sleeps ->
+                let payload = payload_routed_to ~replicas:32 ~shards:2 0 in
+                Alcotest.check rejection_answer "served by the survivor"
+                  (Ok (Protocol.Rejected (Protocol.Internal "good")))
+                  (raw_request (Router.endpoint t) payload);
+                Alcotest.(check bool) "bad shard marked down" false
+                  (Router.shard_up t 0);
+                let tt = Router.totals t in
+                Alcotest.(check int) "bad shard charged the retry" 1
+                  tt.Router.t_shards.(0).Router.s_retries;
+                Alcotest.(check int) "bad shard charged the failover" 1
+                  tt.Router.t_shards.(0).Router.s_failovers;
+                Alcotest.(check int) "survivor forwarded it" 1
+                  tt.Router.t_shards.(1).Router.s_forwarded;
+                (* One backoff draw, within the attempt-1 ceiling; the
+                   sleep was injected, so the test never actually waited. *)
+                (match !sleeps with
+                 | [ d ] ->
+                   Alcotest.(check bool) "jitter in [0, base]" true
+                     (d >= 0.0 && d <= 0.01)
+                 | ds ->
+                   Alcotest.failf "expected 1 backoff, saw %d"
+                     (List.length ds)))));
+    Alcotest.test_case "a shard stalling mid-frame is failed over on release"
+      `Quick (fun () ->
+        let stall =
+          Fixture.start (Fixture.Stall_mid_frame { response = canned "stall" })
+        in
+        let good = Fixture.start (Fixture.Serve (fun _ -> canned "good")) in
+        Fun.protect
+          ~finally:(fun () -> Fixture.stop stall; Fixture.stop good)
+          (fun () ->
+            with_router
+              ~shards:[ Fixture.endpoint stall; Fixture.endpoint good ]
+              (fun t _sleeps ->
+                let payload = payload_routed_to ~replicas:32 ~shards:2 0 in
+                let answer = Atomic.make (Error "not run") in
+                let client =
+                  Thread.create
+                    (fun () ->
+                      Atomic.set answer
+                        (raw_request (Router.endpoint t) payload))
+                    ()
+                in
+                (* Wait for the shard to be wedged mid-response (condition
+                   variable, not a sleep), then cut it loose: the router
+                   sees EOF inside the frame and re-routes. *)
+                Fixture.await_stalled stall;
+                Fixture.release stall;
+                Thread.join client;
+                Alcotest.check rejection_answer "served by the survivor"
+                  (Ok (Protocol.Rejected (Protocol.Internal "good")))
+                  (Atomic.get answer);
+                let tt = Router.totals t in
+                Alcotest.(check int) "stalled shard charged the failover" 1
+                  tt.Router.t_shards.(0).Router.s_failovers)));
+    Alcotest.test_case "a shard dying after k responses loses only later work"
+      `Quick (fun () ->
+        let flaky =
+          Fixture.start
+            (Fixture.Die_after { responses = 1; serve = (fun _ -> canned "flaky") })
+        in
+        let good = Fixture.start (Fixture.Serve (fun _ -> canned "good")) in
+        Fun.protect
+          ~finally:(fun () -> Fixture.stop flaky; Fixture.stop good)
+          (fun () ->
+            with_router
+              ~shards:[ Fixture.endpoint flaky; Fixture.endpoint good ]
+              (fun t _sleeps ->
+                let payload = payload_routed_to ~replicas:32 ~shards:2 0 in
+                Alcotest.check rejection_answer "first request served in place"
+                  (Ok (Protocol.Rejected (Protocol.Internal "flaky")))
+                  (raw_request (Router.endpoint t) payload);
+                Alcotest.check rejection_answer
+                  "second request fails over to the survivor"
+                  (Ok (Protocol.Rejected (Protocol.Internal "good")))
+                  (raw_request (Router.endpoint t) payload);
+                Alcotest.(check int) "fixture died after exactly 1 response" 1
+                  (Fixture.served flaky);
+                let tt = Router.totals t in
+                Alcotest.(check int) "dead shard served the first" 1
+                  tt.Router.t_shards.(0).Router.s_forwarded;
+                Alcotest.(check int) "dead shard charged one failover" 1
+                  tt.Router.t_shards.(0).Router.s_failovers;
+                Alcotest.(check int) "survivor served the second" 1
+                  tt.Router.t_shards.(1).Router.s_forwarded)));
+    Alcotest.test_case "all shards down answers typed Unavailable" `Quick
+      (fun () ->
+        with_router ~max_attempts:3
+          ~shards:[ dead_endpoint (); dead_endpoint () ]
+          (fun t sleeps ->
+            Alcotest.check rejection_answer "typed, not a hang or a drop"
+              (Ok (Protocol.Rejected Protocol.Unavailable))
+              (raw_request (Router.endpoint t) "anything");
+            let tt = Router.totals t in
+            Alcotest.(check int) "counted unavailable" 1 tt.Router.t_unavailable;
+            Alcotest.(check int) "all attempts were retries" 3
+              (tt.Router.t_shards.(0).Router.s_retries
+               + tt.Router.t_shards.(1).Router.s_retries);
+            Alcotest.(check int) "nothing forwarded" 0 tt.Router.t_forwarded;
+            (* max_attempts - 1 backoffs, capped exponential: ceilings
+               base, 2*base — every draw within its ceiling. *)
+            let ds = List.rev !sleeps in
+            Alcotest.(check int) "backoffs between attempts" 2 (List.length ds);
+            List.iteri
+              (fun i d ->
+                let ceiling = Float.min 0.2 (0.01 *. float_of_int (1 lsl i)) in
+                Alcotest.(check bool)
+                  (Printf.sprintf "draw %d within ceiling %.3f" i ceiling)
+                  true
+                  (d >= 0.0 && d <= ceiling))
+              ds));
+    Alcotest.test_case "a health check revives a returned shard" `Quick
+      (fun () ->
+        (* One shard, not yet listening: requests get Unavailable and the
+           shard is marked down. Start the daemon on that very endpoint,
+           run one health probe — no restart, no timer — and the next
+           request is served. *)
+        let ep = fresh_endpoint () in
+        with_router ~max_attempts:2 ~shards:[ ep ] (fun t _sleeps ->
+            Alcotest.check rejection_answer "down: typed Unavailable"
+              (Ok (Protocol.Rejected Protocol.Unavailable))
+              (raw_request (Router.endpoint t) "anything");
+            Alcotest.(check bool) "marked down" false (Router.shard_up t 0);
+            let fx = Fixture.start ~endpoint:ep (Fixture.Serve (fun _ -> canned "back")) in
+            Fun.protect
+              ~finally:(fun () -> Fixture.stop fx)
+              (fun () ->
+                Router.check_health t;
+                Alcotest.(check bool) "revived by the probe" true
+                  (Router.shard_up t 0);
+                Alcotest.check rejection_answer "served again"
+                  (Ok (Protocol.Rejected (Protocol.Internal "back")))
+                  (raw_request (Router.endpoint t) "anything"))));
+    Alcotest.test_case "garbage to the router is answered Malformed" `Quick
+      (fun () ->
+        let good = Fixture.start (Fixture.Serve (fun _ -> canned "good")) in
+        Fun.protect
+          ~finally:(fun () -> Fixture.stop good)
+          (fun () ->
+            with_router ~shards:[ Fixture.endpoint good ] (fun t _sleeps ->
+                let fd = Transport.connect (Router.endpoint t) in
+                write_all fd "GET / HTTP/1.1\r\n\r\n";
+                (match Protocol.read_frame fd with
+                 | payload -> (
+                   match Protocol.decode_response payload with
+                   | Ok (Protocol.Rejected (Protocol.Malformed _)) -> ()
+                   | Ok _ -> Alcotest.fail "garbage not answered Malformed"
+                   | Error e -> Alcotest.failf "unreadable answer: %s" e)
+                 | exception Protocol.Frame_error _ -> ());
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                let tt = Router.totals t in
+                Alcotest.(check int) "counted malformed" 1 tt.Router.t_malformed)))
+  ]
+
+(* ---- End-to-end byte-identity across transports --------------------------- *)
+
+let e2e_tests =
+  [ Alcotest.test_case
+      "unix, tcp and routed-with-failover serve identical bytes" `Slow
+      (fun () ->
+        (* The same request matrix through all three front doors — and the
+           routed pass survives a forced mid-matrix shard drain. Every
+           answer must be byte-identical to the in-process build, and the
+           router's accounting must add up. *)
+        let configs =
+          [ Config.baseline; Config.cto; Config.cto_ltbo_pl ~k:2 () ]
+        in
+        let matrix = List.map (fun config -> demo_request ~config ()) configs in
+        let expected = List.map (Worker.build_response ~cache:None) matrix in
+        let check_pass name served =
+          List.iter2
+            (fun (e, (c : Config.t)) s ->
+              Alcotest.check response
+                (Printf.sprintf "%s: %s" name c.Config.name)
+                e s)
+            (List.combine expected configs)
+            served
+        in
+        let serve_all t =
+          List.map
+            (fun rq ->
+              match Client.request ~endpoint:(Server.endpoint t) rq with
+              | Ok resp -> resp
+              | Error m -> Alcotest.failf "transport: %s" m)
+            matrix
+        in
+        (* Front door 1: the Unix-domain socket. *)
+        with_server (fun t -> check_pass "unix" (serve_all t));
+        (* Front door 2: direct TCP. *)
+        with_server ~endpoint:(Transport.Tcp { host = "127.0.0.1"; port = 0 })
+          (fun t -> check_pass "tcp" (serve_all t));
+        (* Front door 3: two TCP shards behind the router. All requests
+           share one dexsim, so shard affinity routes them to a single
+           owner — drain exactly that shard and re-ask: the answer must
+           come back identical from the survivor, through a failover. *)
+        let mk_server () =
+          Server.create
+            { (Server.default_config
+                 ~endpoint:(Transport.Tcp { host = "127.0.0.1"; port = 0 }))
+              with
+              Server.cache = Some (Calibro_cache.Cache.create ()) }
+        in
+        let s0 = mk_server () and s1 = mk_server () in
+        let shards = [ Server.endpoint s0; Server.endpoint s1 ] in
+        let servers = [| s0; s1 |] in
+        let drained = Array.make 2 false in
+        let drain i =
+          if not drained.(i) then begin
+            Server.request_drain servers.(i);
+            Server.drain servers.(i);
+            drained.(i) <- true
+          end
+        in
+        Fun.protect
+          ~finally:(fun () -> drain 0; drain 1)
+          (fun () ->
+            with_router ~replicas:128 ~shards (fun t _sleeps ->
+                let routed =
+                  List.map
+                    (fun rq ->
+                      match
+                        Client.request ~endpoint:(Router.endpoint t) rq
+                      with
+                      | Ok resp -> resp
+                      | Error m -> Alcotest.failf "router transport: %s" m)
+                    matrix
+                in
+                check_pass "router" routed;
+                let owner =
+                  Router.Ring.lookup
+                    (Router.Ring.make ~shards:2 ~replicas:128)
+                    (Digest.string
+                       (List.hd matrix).Protocol.rq_dexsim)
+                in
+                let before = Router.totals t in
+                Alcotest.(check int)
+                  "shard affinity: one owner served the whole matrix"
+                  (List.length matrix)
+                  before.Router.t_shards.(owner).Router.s_forwarded;
+                (* The forced failover: take the owner down, re-ask. *)
+                drain owner;
+                (match
+                   Client.request ~endpoint:(Router.endpoint t)
+                     (List.hd matrix)
+                 with
+                 | Ok resp ->
+                   Alcotest.check response "post-failover bytes"
+                     (List.hd expected) resp
+                 | Error m -> Alcotest.failf "post-failover transport: %s" m);
+                let tt = Router.totals t in
+                Alcotest.(check bool) "owner charged a failover" true
+                  (tt.Router.t_shards.(owner).Router.s_failovers >= 1);
+                Alcotest.(check int) "survivor served the retry" 1
+                  tt.Router.t_shards.(1 - owner).Router.s_forwarded;
+                Alcotest.(check int) "every client frame accounted"
+                  tt.Router.t_requests
+                  (tt.Router.t_forwarded + tt.Router.t_unavailable
+                  + tt.Router.t_malformed);
+                Alcotest.(check int) "forwarded = per-shard sum"
+                  tt.Router.t_forwarded
+                  (Array.fold_left
+                     (fun acc (s : Router.shard_totals) ->
+                       acc + s.Router.s_forwarded)
+                     0 tt.Router.t_shards))))
+  ]
+
 (* ---- Graceful drain ------------------------------------------------------- *)
 
 let drain_tests =
@@ -460,9 +1036,10 @@ let drain_tests =
       (fun () ->
         let cache = Calibro_cache.Cache.create () in
         let socket = fresh_socket () in
+        let endpoint = Transport.Unix_socket { path = socket } in
         let t =
           Server.create
-            { Server.socket_path = socket;
+            { Server.endpoint;
               workers = 2;
               queue_capacity = 16;
               cache = Some cache;
@@ -481,7 +1058,7 @@ let drain_tests =
               Thread.create
                 (fun () ->
                   Atomic.set result
-                    (Client.request ~socket (demo_request ())))
+                    (Client.request ~endpoint (demo_request ())))
                 ()
             in
             Thread.delay 0.05;
@@ -502,11 +1079,56 @@ let drain_tests =
             Alcotest.(check bool) "socket removed" false
               (Sys.file_exists socket);
             (* A late client finds nobody listening — never a hang. *)
-            (match Client.request ~socket (demo_request ()) with
+            (match Client.request ~endpoint (demo_request ()) with
              | Error _ -> ()
              | Ok _ -> Alcotest.fail "request served after drain");
-            Alcotest.(check bool) "drain recorded" true (Server.draining t)))
-  ]
+            Alcotest.(check bool) "drain recorded" true (Server.draining t)));
+    Alcotest.test_case "rolling drain: shards leave one by one, service stays"
+      `Quick (fun () ->
+        (* The fleet upgrade path: three well-behaved fixture shards
+           behind the router; drain them one at a time (stop = the
+           fixture's SIGTERM) and keep asking. Every request must be
+           answered by some live shard until the last one is gone — then,
+           and only then, typed Unavailable. *)
+        let fixtures =
+          Array.init 3 (fun i ->
+              Fixture.start
+                (Fixture.Serve (fun _ -> canned (Printf.sprintf "shard%d" i))))
+        in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Fixture.stop fixtures)
+          (fun () ->
+            with_router
+              ~shards:(Array.to_list (Array.map Fixture.endpoint fixtures))
+              (fun t _sleeps ->
+                let payload = payload_routed_to ~replicas:32 ~shards:3 0 in
+                let ask () = raw_request (Router.endpoint t) payload in
+                let expect_served step =
+                  match ask () with
+                  | Ok (Protocol.Rejected (Protocol.Internal _)) -> ()
+                  | answer ->
+                    Alcotest.failf "%s: %s" step
+                      (match answer with
+                       | Ok (Protocol.Rejected r) ->
+                         Protocol.rejection_to_string r
+                       | Ok (Protocol.Built _) -> "Built"
+                       | Error e -> e)
+                in
+                expect_served "all three up";
+                Fixture.stop fixtures.(0);
+                expect_served "two up";
+                Fixture.stop fixtures.(1);
+                expect_served "one up";
+                Fixture.stop fixtures.(2);
+                (match ask () with
+                 | Ok (Protocol.Rejected Protocol.Unavailable) -> ()
+                 | _ -> Alcotest.fail "all drained: expected Unavailable");
+                let tt = Router.totals t in
+                Alcotest.(check int) "three served, one unavailable"
+                  3 tt.Router.t_forwarded;
+                Alcotest.(check int) "unavailable counted once" 1
+                  tt.Router.t_unavailable))) ]
 
 let suite =
-  codec_tests @ queue_tests @ serve_tests @ fault_tests @ drain_tests
+  codec_tests @ transport_tests @ ring_tests @ queue_tests @ serve_tests
+  @ fault_tests @ router_tests @ e2e_tests @ drain_tests
