@@ -590,7 +590,13 @@ let ablation_rounds () =
 
 (* One MD5 per (app, configuration) over the OAT text segment. The sizes in
    bench/baseline.json prove nothing about *content*; this is the
-   byte-for-byte witness used when refactoring the detection hot path. *)
+   byte-for-byte witness used when refactoring the detection hot path.
+
+   Pinned to the MD5 backend explicitly (not the CALIBRO_HASH dispatcher):
+   the committed bench/digests.txt snapshot must be the same bytes under
+   every hash backend, or the digest-parity CI job could not diff the two
+   runs against one snapshot. Produced OAT bytes never depend on hash
+   values, so any divergence here is a real miscompile. *)
 let digests () =
   print_endline "== OAT text digests: evaluation apps x oracle matrix ==";
   List.iter
@@ -605,8 +611,9 @@ let digests () =
           let b = Pipeline.build ~config:c apk in
           Printf.printf "  %-10s %-24s %s\n%!"
             apk.Calibro_dex.Dex_ir.apk_name c.Config.name
-            (Digest.to_hex
-               (Digest.bytes b.Pipeline.b_oat.Calibro_oat.Oat_file.text)))
+            (Calibro_chash.Chash.to_hex
+               (Calibro_chash.Chash.Md5.bytes
+                  b.Pipeline.b_oat.Calibro_oat.Oat_file.text)))
         (Config.baseline :: Config.matrix ~hot_methods:hot ()))
     Apps.all
 
@@ -746,7 +753,9 @@ let incr_measure () : incr_result =
         let warm_s = Clock.since_s t0 in
         let cold = Pipeline.build ~cache:None ~config apk' in
         let dg (b : Pipeline.build) =
-          Digest.bytes b.Pipeline.b_oat.Calibro_oat.Oat_file.text
+          (* Equality-only (never printed), so the dispatched backend —
+             the fast hash by default — is fine here. *)
+          Calibro_chash.Chash.bytes b.Pipeline.b_oat.Calibro_oat.Oat_file.text
         in
         { i_seed = seed;
           i_warm_s = warm_s;
@@ -1140,32 +1149,32 @@ let gate ~baseline_path : Json.t * string list =
         if serve.Serve.sv_p95_s > limit then
           add "served-build p95 latency %.3fs exceeds envelope %.3fs by >25%%"
             serve.Serve.sv_p95_s env);
-     (* The fleet scaling check: 3 shards behind the router must clear
-        twice the committed single-daemon floor, or sharding is not
-        buying throughput. *)
-     (match
-        Option.bind
-          (Option.bind (Json.member "serve" doc)
-             (Json.member "throughput_floor_builds_per_s"))
-          Json.get_float
-      with
-      | None -> ()  (* already reported above *)
-      | Some serve_floor ->
-        (* Same 25% measurement slack as every other floor comparison —
-           the committed relationship is "2x the single-daemon floor",
-           the gate trips at 0.75x of that. *)
-        let scale_floor = serve_floor *. 2.0 in
-        let scale_limit = scale_floor *. 0.75 in
-        Printf.printf
-          "  fleet throughput %.1f builds/s vs 2x single-daemon floor %.2f \
-           (limit %.2f)  %s\n"
-          fleet.Serve.fl_throughput scale_floor scale_limit
-          (if fleet.Serve.fl_throughput < scale_limit then "FAIL" else "ok");
-        if fleet.Serve.fl_throughput < scale_limit then
-          add
-            "fleet throughput %.1f builds/s fell >25%% below 2x the \
-             single-daemon floor %.2f"
-            fleet.Serve.fl_throughput scale_floor);
+     (* GC pressure on the serving path, per successful build. Not gated
+        (allocation totals shift with compiler versions), but printed and
+        exported so the arena work's effect is visible in every CI log. *)
+     Printf.printf "  serve gc alloc %.0f bytes/served build (informational)\n"
+       serve.Serve.sv_alloc_per_build;
+     (* The fleet scaling check: 3 shards behind the router (one drained
+        mid-run) must clear half of the *same-run* single-daemon
+        throughput, or sharding is not buying throughput. Anchoring on
+        this run's serve measurement rather than the committed floor
+        keeps the threshold meaningful as floors are raised: the
+        original form (2x floor at 0.75 slack, with floor = measured/3)
+        encoded exactly "half the serve measurement from when the
+        baseline was written" — this is the same bar, measured on the
+        same machine under the same load, so no cross-machine slack is
+        layered on top. *)
+     (let scale_limit = serve.Serve.sv_throughput /. 2.0 in
+      Printf.printf
+        "  fleet throughput %.1f builds/s vs half of same-run serve %.2f \
+         (limit %.2f)  %s\n"
+        fleet.Serve.fl_throughput serve.Serve.sv_throughput scale_limit
+        (if fleet.Serve.fl_throughput < scale_limit then "FAIL" else "ok");
+      if fleet.Serve.fl_throughput < scale_limit then
+        add
+          "fleet throughput %.1f builds/s fell below half the same-run \
+           single-daemon throughput %.2f"
+          fleet.Serve.fl_throughput serve.Serve.sv_throughput);
      (match
         Option.bind
           (Option.bind (Json.member "fleet" doc)

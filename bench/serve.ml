@@ -27,6 +27,8 @@ module Router = Calibro_server.Router
 module Transport = Calibro_server.Transport
 module Clock = Calibro_obs.Clock
 module Json = Calibro_obs.Json
+module Obs = Calibro_obs.Obs
+module Chash = Calibro_chash.Chash
 
 let clients = 4
 let requests_per_client = 8
@@ -40,6 +42,11 @@ type result = {
   sv_throughput : float;  (* built responses per second of loaded wall time *)
   sv_p95_s : float;
   sv_byte_ok : bool;
+  sv_alloc_per_build : float;
+      (* GC-visible bytes allocated per served build, summed over the
+         worker domains ("server.built.alloc_bytes" counter delta / built).
+         Informational — machine-independent enough to eyeball, too
+         allocation-model-dependent to gate on. *)
 }
 
 let percentile sorted q =
@@ -129,18 +136,22 @@ let measure () : result =
       { (Server.default_config ~endpoint) with
         Server.cache = Some (Calibro_cache.Cache.create ()) }
   in
+  let alloc0 = Obs.Counter.value "server.built.alloc_bytes" in
   let built, rejected, errors, mismatches, lats, wall_s =
     drive ~endpoint ~n_clients:clients ~slots ~expected ()
   in
   Server.request_drain server;
   Server.drain server;
+  let alloc = Obs.Counter.value "server.built.alloc_bytes" - alloc0 in
   { sv_requests = clients * requests_per_client;
     sv_built = built;
     sv_rejected = rejected;
     sv_errors = errors;
     sv_throughput = float_of_int built /. wall_s;
     sv_p95_s = percentile lats 0.95;
-    sv_byte_ok = mismatches = 0 && errors = 0 }
+    sv_byte_ok = mismatches = 0 && errors = 0;
+    sv_alloc_per_build =
+      (if built = 0 then 0.0 else float_of_int alloc /. float_of_int built) }
 
 let report r =
   Printf.printf
@@ -148,7 +159,8 @@ let report r =
     r.sv_requests clients r.sv_built r.sv_rejected r.sv_errors;
   Printf.printf "  throughput %.2f builds/s  p95 latency %.3fs  bytes %s\n%!"
     r.sv_throughput r.sv_p95_s
-    (if r.sv_byte_ok then "identical to in-process builds" else "DIFFER")
+    (if r.sv_byte_ok then "identical to in-process builds" else "DIFFER");
+  Printf.printf "  gc alloc %.0f bytes/served build\n%!" r.sv_alloc_per_build
 
 (* `bench serve`: print the measurement; false (-> exit 1 in main) unless
    every served OAT matched its in-process twin. *)
@@ -165,7 +177,8 @@ let section r =
       ("built", Json.Int r.sv_built);
       ("throughput_builds_per_s", Json.Float r.sv_throughput);
       ("p95_latency_s", Json.Float r.sv_p95_s);
-      ("byte_equal", Json.Bool r.sv_byte_ok) ]
+      ("byte_equal", Json.Bool r.sv_byte_ok);
+      ("alloc_bytes_per_build", Json.Float r.sv_alloc_per_build) ]
 
 (* ---- bench fleet: 3 daemons behind the consistent-hash router ----------- *)
 
@@ -220,7 +233,7 @@ let fleet_measure () : fleet_result =
   let victim =
     Router.Ring.lookup
       (Router.Ring.make ~shards:fleet_shards ~replicas:128)
-      (Digest.string slots.(0).Protocol.rq_dexsim)
+      (Chash.string slots.(0).Protocol.rq_dexsim)
   in
   let progress = Atomic.make 0 in
   let total = fleet_clients * requests_per_client in

@@ -16,21 +16,26 @@ open Calibro_codegen
 module Dex = Calibro_dex.Dex_ir
 module Obs = Calibro_obs.Obs
 module Json = Calibro_obs.Json
+module Chash = Calibro_chash.Chash
 
-let version = 1
+(* v2: content hashing moved from MD5 to the CALIBRO_HASH-selected Chash
+   backend. The version is part of every key's salt, so entries written
+   under one version (or hash backend) are simply unreachable under
+   another — no mixed-digest reads, no format sniffing. *)
+let version = 2
 let salt = Printf.sprintf "calibro-cache-v%d" version
 let schema = 1
 let method_ns = "method"
 
 let key parts =
-  let b = Buffer.create 64 in
+  let st = Chash.init () in
   List.iter
     (fun p ->
-      Buffer.add_string b (string_of_int (String.length p));
-      Buffer.add_char b ':';
-      Buffer.add_string b p)
+      (* length-prefixed so part boundaries can't alias *)
+      Chash.feed_int st (String.length p);
+      Chash.feed_string st p)
     parts;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+  Chash.to_hex (Chash.finalize st)
 
 let counter ns what = Obs.Counter.incr (Printf.sprintf "cache.%s.%s" ns what)
 
@@ -250,14 +255,24 @@ let disk_write t ~ns k payload =
   | Some path -> (
     try
       mkdir_p (Filename.dirname path);
+      (* Serialize the payload exactly once: the string is digested and
+         then spliced into the document between hand-written envelope
+         fields, instead of serializing the payload a second time inside
+         [Json.to_string doc]. The envelope values are schema-controlled
+         (int, namespace, hex key), so the splice cannot produce invalid
+         JSON; [disk_read] still parses the result as an ordinary
+         document. *)
       let payload_str = Json.to_string payload in
-      let doc =
-        Json.Obj
-          [ ("schema", Json.Int schema);
-            ("ns", Json.Str ns);
-            ("key", Json.Str k);
-            ("payload_digest", Json.Str (Digest.to_hex (Digest.string payload_str)));
-            ("payload", payload) ]
+      (* Byte-identical to [Json.to_string doc] for the five-field
+         document the old writer built. *)
+      let doc_str =
+        String.concat ""
+          [ Printf.sprintf "{\"schema\":%d," schema;
+            Printf.sprintf "\"ns\":%s," (Json.to_string (Json.Str ns));
+            Printf.sprintf "\"key\":%s," (Json.to_string (Json.Str k));
+            Printf.sprintf "\"payload_digest\":\"%s\","
+              (Chash.to_hex (Chash.string payload_str));
+            "\"payload\":"; payload_str; "}" ]
       in
       let tmp =
         Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
@@ -266,7 +281,7 @@ let disk_write t ~ns k payload =
       let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Json.to_string doc));
+        (fun () -> output_string oc doc_str);
       Sys.rename tmp path
     with Sys_error _ | Unix.Unix_error _ ->
       (* A full disk or permission problem degrades to memory-only. *)
@@ -306,7 +321,7 @@ let disk_read t ~ns k : Json.t option =
            with
            | Some s, Some n, Some k', Some d, Some payload
              when s = schema && n = ns && k' = k
-                  && Digest.to_hex (Digest.string (Json.to_string payload)) = d
+                  && Chash.to_hex (Chash.string (Json.to_string payload)) = d
              -> Some payload
            | _ -> corrupt ()))
     end

@@ -11,8 +11,8 @@
 
     Both tiers live in memory (FIFO eviction past [max_entries]) and,
     when [dir] is given, additionally on disk as one JSON file per entry
-    serialized with the lib/obs codec. Every disk entry embeds an MD5 of
-    its payload; a truncated, bit-flipped or otherwise unreadable entry is
+    serialized with the lib/obs codec. Every disk entry embeds a
+    {!Calibro_chash.Chash} digest of its payload; a truncated, bit-flipped or otherwise unreadable entry is
     detected on load, counted in [cache.<ns>.disk_corrupt] and treated as
     a miss — corruption can cost a recompile, never wrong code.
 
@@ -41,7 +41,8 @@ val salt : string
     entries (memory or disk) can never be returned. *)
 
 val key : string list -> string
-(** [key parts] is the MD5 hex digest of [parts] under an
+(** [key parts] is the {!Calibro_chash.Chash} hex digest of [parts]
+    (streamed, one pass) under an
     unambiguous length-prefixed framing (so [["ab";"c"]] and
     [["a";"bc"]] differ). Callers include {!salt} in [parts]. *)
 

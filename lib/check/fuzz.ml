@@ -168,6 +168,8 @@ let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink
 
 module Proto = struct
   module P = Calibro_server.Protocol
+  module Oat_file = Calibro_oat.Oat_file
+  module Arena = Calibro_oat.Arena
 
   type outcome = { pf_cases : int; pf_failures : string list }
 
@@ -297,7 +299,78 @@ module Proto = struct
           | exception e ->
             Some
               (Printf.sprintf "seed %d: decode_request raised %s" seed
-                 (Printexc.to_string e)) ) ]
+                 (Printexc.to_string e)) );
+      ( "zero-copy Built frame parses clean",
+        fun () ->
+          (* The arena writer is a second implementation of the Built
+             encoding; hold it to the Buffer path's reader. A frame
+             emitted by [emit_built] and drained by [write_arena] must
+             come back through [read_frame]/[decode_response] as exactly
+             the response the reference encoder describes. *)
+          let oat =
+            { Oat_file.apk_name = "fuzz-" ^ string_of_int seed;
+              text = Bytes.of_string (bytes r (4 * (1 + (next r mod 256))));
+              methods = [];
+              thunks = [];
+              outlined =
+                List.init (next r mod 4) (fun i ->
+                    { Oat_file.ol_offset = 4 * i; ol_size = 4 }) }
+          in
+          let stats =
+            { P.bs_text_size = Bytes.length oat.Oat_file.text;
+              bs_methods = next r mod 1000;
+              bs_thunks = next r mod 100;
+              bs_outlined = next r mod 100;
+              bs_build_s = float_of_int (next r mod 10_000) /. 1000.0 }
+          in
+          let reference =
+            P.Built
+              { oat = Bytes.to_string (Oat_file.to_bytes oat); stats }
+          in
+          let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          let writer =
+            Thread.create
+              (fun () ->
+                (try
+                   let arena = Arena.create () in
+                   P.emit_built arena ~oat ~stats;
+                   P.write_arena b arena
+                 with _ -> ());
+                try Unix.shutdown b Unix.SHUTDOWN_SEND
+                with Unix.Unix_error _ -> ())
+              ()
+          in
+          let verdict =
+            match P.read_frame a with
+            | payload -> (
+              match P.decode_response payload with
+              | Ok resp when resp = reference -> None
+              | Ok _ ->
+                Some
+                  (Printf.sprintf
+                     "seed %d: arena-written Built decoded to a different \
+                      response"
+                     seed)
+              | Error m ->
+                Some
+                  (Printf.sprintf
+                     "seed %d: arena-written Built refused by decoder: %s"
+                     seed m))
+            | exception P.Frame_error m ->
+              Some
+                (Printf.sprintf
+                   "seed %d: arena-written Built refused by read_frame: %s"
+                   seed m)
+            | exception e ->
+              Some
+                (Printf.sprintf "seed %d: arena-written Built raised %s" seed
+                   (Printexc.to_string e))
+          in
+          Thread.join writer;
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ a; b ];
+          verdict ) ]
 
   let run ?(seeds = 25) ?(base_seed = 0) ?(log = fun (_ : string) -> ()) () :
       outcome =

@@ -117,7 +117,12 @@ let detect_parallel ?max_domains ?cache ?digest_of ~options
     |> List.map (function Some r -> r | None -> assert false)
 
 (* Full PlOpti LTBO: partition into [k] groups, detect in parallel,
-   rewrite. *)
+   rewrite. The rewrite and the final link both run through the calling
+   domain's scratch arena ({!Calibro_oat.Arena.with_scratch}): inside a
+   calibrod worker domain one off-heap buffer is reused across every
+   build that domain serves, so PlOpti's per-build byte churn stays off
+   the minor heap (the [arena.*] counters account for reuse, contention
+   and trims). *)
 let run ?cache ?digest_of ?(options = Ltbo.default_options) ?(seed = 42) ~k
     (methods : Compiled_method.t list) : Ltbo.result =
   let marr = Array.of_list methods in

@@ -61,8 +61,10 @@ let method_key ~(config : Config.t) ~slot_of_method ~slot (m : Dex_ir.meth) =
   in
   Cache.key
     [ Cache.salt; "method";
-      Digest.string
-        (Marshal.to_string (m, slot, callee_slots) [ Marshal.No_sharing ]);
+      (* fed to the key hash directly — the old pre-digest here meant the
+         method bytes were hashed twice per lookup, once into this inner
+         digest and once more when Cache.key hashed the parts *)
+      Marshal.to_string (m, slot, callee_slots) [ Marshal.No_sharing ];
       Printf.sprintf "ir=%b;cto=%b" config.Config.optimize_ir
         config.Config.cto ]
 

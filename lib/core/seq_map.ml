@@ -98,17 +98,20 @@ let canonical ?eligible (cm : Compiled_method.t) : element list =
   List.map snd (map_method ?eligible cm (new_allocator ()))
 
 let digest (elements : element list) : string =
-  let b = Buffer.create 1024 in
+  (* Streamed into the hash — no intermediate text. The token framing is
+     still unambiguous: a tag byte per element, fixed-width ints for the
+     word value and offset (the old printed form separated them with
+     ':'/';' for the same reason). *)
+  let module Chash = Calibro_chash.Chash in
+  let st = Chash.init () in
   List.iter
     (function
       | Word (v, off) ->
-        Buffer.add_char b 'W';
-        Buffer.add_string b (string_of_int v);
-        Buffer.add_char b ':';
-        Buffer.add_string b (string_of_int off);
-        Buffer.add_char b ';'
-      | Separator -> Buffer.add_string b "S;")
+        Chash.feed_string st "W";
+        Chash.feed_int st v;
+        Chash.feed_int st off
+      | Separator -> Chash.feed_string st "S")
     elements;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+  Chash.to_hex (Chash.finalize st)
 
 let method_digest ?eligible cm = digest (canonical ?eligible cm)

@@ -45,7 +45,8 @@ val canonical : ?eligible:(int -> bool) -> Compiled_method.t -> element list
 (** [map_method] minus the concrete separator values, same order. *)
 
 val digest : element list -> string
-(** Injective-modulo-MD5 digest of a canonical token run. *)
+(** Injective-modulo-hash ({!Calibro_chash.Chash}) digest of a canonical
+    token run, streamed without materializing the token text. *)
 
 val method_digest : ?eligible:(int -> bool) -> Compiled_method.t -> string
 (** [digest (canonical ?eligible cm)]. *)

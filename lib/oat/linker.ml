@@ -64,8 +64,6 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
     Hashtbl.replace symtab sym off
   in
   let pos = ref 0 in
-  let thunk_entries, method_entries, extra_entries, text =
-    Obs.span ~cat:"link" "link.layout" @@ fun () ->
   let thunk_entries =
     List.map
       (fun th ->
@@ -94,39 +92,45 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
         (xf, off))
       extra
   in
-  let text = Bytes.create !pos in
-  List.iter
-    (fun (_, off, code) -> Bytes.blit code 0 text off (Bytes.length code))
-    thunk_entries;
-  List.iter
-    (fun ((m : Compiled_method.t), off) ->
-      Bytes.blit m.code 0 text off (Bytes.length m.code))
-    method_entries;
-  List.iter
-    (fun (xf, off) ->
-      Bytes.blit xf.xf_code 0 text off (Bytes.length xf.xf_code))
-    extra_entries;
-  (thunk_entries, method_entries, extra_entries, text)
-  in
-  (* ---- Relocate bl sites. *)
   let resolve sym =
     match Hashtbl.find_opt symtab sym with
     | Some off -> off
     | None -> raise (Link_error (Printf.sprintf "undefined symbol %d" sym))
   in
   let relocated = ref 0 in
-  Obs.span ~cat:"link" "link.relocate"
-    ~args:(fun () -> [ ("relocations", Json.Int !relocated) ])
-    (fun () ->
-      List.iter
-        (fun ((m : Compiled_method.t), off) ->
-          List.iter
-            (fun (site, sym) ->
-              let target = resolve sym in
-              incr relocated;
-              Patch.relocate_bl text ~off:(off + site) ~target)
-            m.relocs)
-        method_entries);
+  (* Layout and relocation run in the domain's off-heap scratch arena —
+     segment assembly and word patching touch no OCaml heap until the one
+     final [to_bytes], so a warm worker domain relinks without churning
+     the minor heap on intermediate segment buffers. The entries were
+     assigned contiguous offsets above, so appending in the same order
+     tiles the arena exactly. *)
+  let text =
+    Arena.with_scratch @@ fun arena ->
+    Obs.span ~cat:"link" "link.layout" (fun () ->
+        List.iter (fun (_, _, code) -> Arena.add_bytes arena code) thunk_entries;
+        List.iter
+          (fun ((m : Compiled_method.t), _) -> Arena.add_bytes arena m.code)
+          method_entries;
+        List.iter (fun (xf, _) -> Arena.add_bytes arena xf.xf_code) extra_entries;
+        assert (Arena.length arena = !pos));
+    (* ---- Relocate bl sites. *)
+    Obs.span ~cat:"link" "link.relocate"
+      ~args:(fun () -> [ ("relocations", Json.Int !relocated) ])
+      (fun () ->
+        List.iter
+          (fun ((m : Compiled_method.t), off) ->
+            List.iter
+              (fun (site, sym) ->
+                let target = resolve sym in
+                incr relocated;
+                let at = off + site in
+                let word = Arena.get_u32_le arena at in
+                Arena.set_u32_le arena at
+                  (Patch.patch_word word ~disp:(target - at)))
+              m.relocs)
+          method_entries);
+    Arena.to_bytes arena
+  in
   Obs.Counter.add "linker.relocations_patched" !relocated;
   Obs.Gauge.set "linker.last_text_size" (float_of_int (Bytes.length text));
   { Oat_file.apk_name;

@@ -120,10 +120,14 @@ exception Oat_error of string
 let magic = "CALIBOAT"
 let version = 2
 
-let to_bytes (t : t) : bytes =
-  let b = Buffer.create (Bytes.length t.text + 4096) in
-  Buffer.add_string b magic;
-  Buffer.add_int32_le b (Int32.of_int version);
+(* Append the serialized container to [a]. This is the only writer: the
+   serving path emits straight into the response-frame arena (no
+   intermediate [bytes] of the container at all), and [to_bytes] below is
+   a thin wrapper over a scratch arena — one serialization to keep
+   byte-compatible. *)
+let emit (t : t) (a : Arena.t) : unit =
+  Arena.add_string a magic;
+  Arena.add_i32_le a version;
   (* No_sharing: the default encoding writes back-references for
      physically shared blocks, so two structurally equal method tables
      can serialize to different bytes (e.g. a cache-warm build decodes
@@ -135,11 +139,15 @@ let to_bytes (t : t) : bytes =
       (t.apk_name, t.methods, t.thunks, t.outlined)
       [ Marshal.No_sharing ]
   in
-  Buffer.add_int32_le b (Int32.of_int (String.length payload));
-  Buffer.add_string b payload;
-  Buffer.add_int32_le b (Int32.of_int (Bytes.length t.text));
-  Buffer.add_bytes b t.text;
-  Buffer.to_bytes b
+  Arena.add_i32_le a (String.length payload);
+  Arena.add_string a payload;
+  Arena.add_i32_le a (Bytes.length t.text);
+  Arena.add_bytes a t.text
+
+let to_bytes (t : t) : bytes =
+  Arena.with_scratch @@ fun a ->
+  emit t a;
+  Arena.to_bytes a
 
 let of_bytes (buf : bytes) : (t, string) result =
   (* Every region is bounds-checked before it is read, so a file truncated

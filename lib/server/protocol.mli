@@ -100,6 +100,27 @@ type response =
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 
+(** {2 Zero-copy Built frames}
+
+    The serving hot path: a [Built] response assembled directly in an
+    off-heap {!Calibro_oat.Arena.t} — frame header, response tag, OAT
+    container ({!Calibro_oat.Oat_file.emit}), stats — and drained to the
+    socket with staged writes, instead of the
+    [to_bytes]/[encode_response]/[to_frame] chain that copies the
+    container several times. Byte-identical to
+    [write_frame fd (encode_response (Built ...))]. *)
+
+val emit_built :
+  Calibro_oat.Arena.t -> oat:Calibro_oat.Oat_file.t -> stats:build_stats ->
+  unit
+(** Append the complete frame (header included) for
+    [Built { oat = to_bytes oat; stats }] to the arena.
+    @raise Frame_error if the payload would exceed {!max_frame}. *)
+
+val write_arena : Unix.file_descr -> Calibro_oat.Arena.t -> unit
+(** Write the arena's contents fully; retries [EINTR] and short writes.
+    Unix errors (e.g. [EPIPE]) escape like {!write_frame}'s. *)
+
 (** {2 Router views}
 
     The {!Router} forwards request and response payloads byte-for-byte;
@@ -107,8 +128,9 @@ val decode_response : string -> (response, string) result
     takes into a payload. *)
 
 val request_app_digest : string -> string option
-(** The shard-affinity key of an encoded request: the MD5 digest of its
-    [rq_dexsim] text, read by skipping (not decoding) the leading config.
+(** The shard-affinity key of an encoded request: the
+    {!Calibro_chash.Chash} digest of its [rq_dexsim] text, read by
+    skipping (not decoding) the leading config.
     [None] if the payload is not a well-formed build request up to that
     field — the router then hashes the raw payload instead. *)
 

@@ -262,7 +262,7 @@ let route t client_fd payload =
   let key =
     match Protocol.request_app_digest payload with
     | Some d -> d
-    | None -> Digest.string payload
+    | None -> Calibro_chash.Chash.string payload
   in
   let order = Ring.order t.ring key in
   let pick ~last_failed =

@@ -51,11 +51,17 @@ let expired deadline_ns =
   | Some d -> Int64.compare (Clock.now_ns ()) d > 0
 
 (* Parse, build, summarize. Every failure mode a request can provoke maps
-   to a typed rejection; nothing escapes. *)
-let build_response ~cache (rq : Protocol.build_request) : Protocol.response =
+   to a typed rejection; nothing escapes. Returns the structured OAT so
+   the serving path can emit the response frame straight from it
+   ([Protocol.emit_built]) without materializing the container string;
+   [build_response] below re-wraps it for the in-process reference
+   consumers (tests, calibro_load --verify, bench). *)
+let build_oat ~cache (rq : Protocol.build_request) :
+    (Calibro_oat.Oat_file.t * Protocol.build_stats, Protocol.rejection) result
+    =
   match
     match Calibro_dex.Dex_text.parse rq.Protocol.rq_dexsim with
-    | Error e -> Protocol.Rejected (Protocol.Parse_error e)
+    | Error e -> Error (Protocol.Parse_error e)
     | Ok apk ->
       let profile_hot =
         match rq.Protocol.rq_profile with
@@ -66,7 +72,7 @@ let build_response ~cache (rq : Protocol.build_request) : Protocol.response =
           | Error e -> Error e)
       in
       (match profile_hot with
-       | Error e -> Protocol.Rejected (Protocol.Parse_error ("profile: " ^ e))
+       | Error e -> Error (Protocol.Parse_error ("profile: " ^ e))
        | Ok hot ->
          let config =
            let c = rq.Protocol.rq_config in
@@ -80,35 +86,54 @@ let build_response ~cache (rq : Protocol.build_request) : Protocol.response =
          let b = Pipeline.build ~cache ~config apk in
          let build_s = Clock.since_s t0 in
          let oat = b.Pipeline.b_oat in
-         Protocol.Built
-           { oat = Bytes.to_string (Calibro_oat.Oat_file.to_bytes oat);
-             stats =
-               { Protocol.bs_text_size = Calibro_oat.Oat_file.text_size oat;
-                 bs_methods = List.length oat.Calibro_oat.Oat_file.methods;
-                 bs_thunks = List.length oat.Calibro_oat.Oat_file.thunks;
-                 bs_outlined = List.length oat.Calibro_oat.Oat_file.outlined;
-                 bs_build_s = build_s } })
+         Ok
+           ( oat,
+             { Protocol.bs_text_size = Calibro_oat.Oat_file.text_size oat;
+               bs_methods = List.length oat.Calibro_oat.Oat_file.methods;
+               bs_thunks = List.length oat.Calibro_oat.Oat_file.thunks;
+               bs_outlined = List.length oat.Calibro_oat.Oat_file.outlined;
+               bs_build_s = build_s } ))
   with
   | r -> r
-  | exception Pipeline.Build_error m ->
-    Protocol.Rejected (Protocol.Build_failed m)
-  | exception Ltbo.Ltbo_error m ->
-    Protocol.Rejected (Protocol.Build_failed ("ltbo: " ^ m))
+  | exception Pipeline.Build_error m -> Error (Protocol.Build_failed m)
+  | exception Ltbo.Ltbo_error m -> Error (Protocol.Build_failed ("ltbo: " ^ m))
   | exception Calibro_hgraph.Passes.Pass_error m ->
-    Protocol.Rejected (Protocol.Build_failed ("ir passes: " ^ m))
+    Error (Protocol.Build_failed ("ir passes: " ^ m))
   | exception Calibro_dex.Dex_text.Parse_error { line; message } ->
-    Protocol.Rejected
-      (Protocol.Parse_error (Printf.sprintf "line %d: %s" line message))
-  | exception e -> Protocol.Rejected (Protocol.Internal (Printexc.to_string e))
+    Error (Protocol.Parse_error (Printf.sprintf "line %d: %s" line message))
+  | exception e -> Error (Protocol.Internal (Printexc.to_string e))
 
-let outcome_counter (resp : Protocol.response) =
-  match resp with
-  | Protocol.Built _ -> "ok"
-  | Protocol.Rejected (Protocol.Parse_error _) -> "parse_error"
-  | Protocol.Rejected (Protocol.Build_failed _) -> "build_error"
-  | Protocol.Rejected Protocol.Deadline_exceeded -> "deadline"
-  | Protocol.Rejected (Protocol.Internal _) -> "internal_error"
-  | Protocol.Rejected _ -> "rejected"
+let build_response ~cache (rq : Protocol.build_request) : Protocol.response =
+  match build_oat ~cache rq with
+  | Ok (oat, stats) ->
+    Protocol.Built
+      { oat = Bytes.to_string (Calibro_oat.Oat_file.to_bytes oat); stats }
+  | Error rej -> Protocol.Rejected rej
+
+(* Serve a successful build zero-copy: frame emitted into the domain's
+   scratch arena straight from the Oat_file, one staged drain to the
+   socket. Same delivery contract as [respond]. *)
+let respond_built fd ~oat ~stats =
+  let delivered =
+    match
+      Calibro_oat.Arena.with_scratch (fun a ->
+          Protocol.emit_built a ~oat ~stats;
+          Protocol.write_arena fd a)
+    with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+    | exception Protocol.Frame_error _ -> false
+  in
+  close_quietly fd;
+  delivered
+
+let outcome_counter = function
+  | Ok _ -> "ok"
+  | Error (Protocol.Parse_error _) -> "parse_error"
+  | Error (Protocol.Build_failed _) -> "build_error"
+  | Error Protocol.Deadline_exceeded -> "deadline"
+  | Error (Protocol.Internal _) -> "internal_error"
+  | Error _ -> "rejected"
 
 let handle ~cache (job : job) =
   Obs.span ~cat:"server" "server.job"
@@ -128,18 +153,31 @@ let handle ~cache (job : job) =
     ignore (respond job.j_fd (Protocol.Rejected Protocol.Deadline_exceeded))
   end
   else begin
-    let resp = build_response ~cache job.j_request in
+    (* GC accounting for the gate's allocated-bytes-per-served-build
+       line: everything from parse to the last frame byte, this domain
+       only. *)
+    let alloc0 = Gc.allocated_bytes () in
+    let result = build_oat ~cache job.j_request in
     (* A result the deadline already passed is useless to the caller:
        report it as exceeded, honestly, rather than as success. *)
-    let resp =
-      match resp with
-      | Protocol.Built _ when expired job.j_deadline_ns ->
-        Protocol.Rejected Protocol.Deadline_exceeded
+    let result =
+      match result with
+      | Ok _ when expired job.j_deadline_ns ->
+        Error Protocol.Deadline_exceeded
       | r -> r
     in
-    Obs.Counter.incr ("server.jobs." ^ outcome_counter resp);
-    if not (respond job.j_fd resp) then
-      Obs.Counter.incr "server.responses.lost";
+    Obs.Counter.incr ("server.jobs." ^ outcome_counter result);
+    let delivered =
+      match result with
+      | Ok (oat, stats) -> respond_built job.j_fd ~oat ~stats
+      | Error rej -> respond job.j_fd (Protocol.Rejected rej)
+    in
+    if not delivered then Obs.Counter.incr "server.responses.lost";
+    (match result with
+    | Ok _ ->
+      Obs.Counter.add "server.built.alloc_bytes"
+        (int_of_float (Gc.allocated_bytes () -. alloc0))
+    | Error _ -> ());
     Obs.Histogram.observe "server.latency_s"
       (Int64.to_float (Int64.sub (Clock.now_ns ()) job.j_accepted_ns) /. 1e9)
   end

@@ -20,4 +20,5 @@ let () =
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
+      ("chash", Test_chash.suite);
       ("server", Test_server.suite) ]

@@ -25,6 +25,7 @@ module Router = Calibro_server.Router
 module Transport = Calibro_server.Transport
 module Fault = Calibro_check.Fault
 module Fixture = Calibro_check.Fault.Server.Fixture
+module Chash = Calibro_chash.Chash
 
 let demo_app = lazy (Appgen.generate Apps.demo)
 
@@ -240,7 +241,7 @@ let codec_tests =
         (match Protocol.request_app_digest payload with
          | Some d ->
            Alcotest.(check string) "digest of dexsim"
-             (Digest.string sample_request.Protocol.rq_dexsim) d
+             (Chash.string sample_request.Protocol.rq_dexsim) d
          | None -> Alcotest.fail "well-formed request had no digest");
         Alcotest.(check (option string)) "garbage has no digest" None
           (Protocol.request_app_digest "garbage");
@@ -319,7 +320,7 @@ let transport_tests =
    over. Deterministic, so these are exact assertions, not flaky
    statistics. *)
 let ring_keys =
-  lazy (Array.init 10_000 (fun i -> Digest.string (Printf.sprintf "app-%d" i)))
+  lazy (Array.init 10_000 (fun i -> Chash.string (Printf.sprintf "app-%d" i)))
 
 let ring_tests =
   [ Alcotest.test_case "keys spread uniformly across 3..16 shards" `Quick
@@ -600,6 +601,152 @@ let serve_tests =
         | Ok served -> Alcotest.check response "tcp-served build" expected served)
   ]
 
+(* ---- Zero-copy Built frames ----------------------------------------------
+
+   [Protocol.emit_built] is a second, off-heap implementation of the Built
+   wire encoding, and [Worker.respond_built] is its delivery path. Both
+   are held byte-for-byte to the original Buffer chain
+   ([Oat_file.to_bytes] / [encode_response] / [to_frame]) — the contract
+   that lets the daemon switch paths without any client noticing. *)
+
+module Oat_file = Calibro_oat.Oat_file
+module Arena = Calibro_oat.Arena
+
+let built_fixtures () =
+  (* Real builds across configs (exercising thunks, outlined entries and
+     metadata) plus handmade edge containers (empty text, no methods). *)
+  let real =
+    List.filter_map
+      (fun (config : Config.t) ->
+        match Worker.build_oat ~cache:None (demo_request ~config ()) with
+        | Ok (oat, stats) -> Some (config.Config.name, oat, stats)
+        | Error r ->
+          Alcotest.failf "%s failed in-process: %s" config.Config.name
+            (Protocol.rejection_to_string r))
+      [ Config.baseline; Config.cto; Config.cto_ltbo_pl ~k:2 () ]
+  in
+  let stats0 =
+    { Protocol.bs_text_size = 0;
+      bs_methods = 0;
+      bs_thunks = 0;
+      bs_outlined = 0;
+      bs_build_s = 0.0 }
+  in
+  let empty =
+    ( "empty container",
+      { Oat_file.apk_name = "empty";
+        text = Bytes.create 0;
+        methods = [];
+        thunks = [];
+        outlined = [] },
+      stats0 )
+  in
+  let tiny =
+    ( "outlined-only container",
+      { Oat_file.apk_name = "tiny";
+        text = Bytes.make 16 '\x1f';
+        methods = [];
+        thunks = [];
+        outlined = [ { Oat_file.ol_offset = 0; ol_size = 16 } ] },
+      { stats0 with Protocol.bs_text_size = 16; bs_outlined = 1 } )
+  in
+  real @ [ empty; tiny ]
+
+let zero_copy_tests =
+  [ Alcotest.test_case "arena Built frame = Buffer-path frame, byte for byte"
+      `Quick
+      (fun () ->
+        List.iter
+          (fun (name, oat, stats) ->
+            let reference =
+              Protocol.to_frame
+                (Protocol.encode_response
+                   (Protocol.Built
+                      { oat = Bytes.to_string (Oat_file.to_bytes oat);
+                        stats }))
+            in
+            let a = Arena.create () in
+            Protocol.emit_built a ~oat ~stats;
+            Alcotest.(check string) name reference
+              (Bytes.to_string (Arena.to_bytes a)))
+          (built_fixtures ()));
+    Alcotest.test_case "emit_built refuses an oversized frame" `Quick
+      (fun () ->
+        (* A container whose text alone exceeds max_frame must be refused
+           by the writer (typed Frame_error), mirroring read_frame's bound
+           on the other side. *)
+        let oat =
+          { Oat_file.apk_name = "huge";
+            text = Bytes.create (Protocol.max_frame + 1);
+            methods = [];
+            thunks = [];
+            outlined = [] }
+        in
+        let stats =
+          { Protocol.bs_text_size = Bytes.length oat.Oat_file.text;
+            bs_methods = 0;
+            bs_thunks = 0;
+            bs_outlined = 0;
+            bs_build_s = 0.0 }
+        in
+        let a = Arena.create () in
+        match Protocol.emit_built a ~oat ~stats with
+        | () -> Alcotest.fail "oversized Built frame was emitted"
+        | exception Protocol.Frame_error _ -> ());
+    Alcotest.test_case "respond_built round-trips to build_response" `Quick
+      (fun () ->
+        (* The full delivery path — scratch arena, staged writes, close —
+           read back through the standard client-side decoder, against the
+           reference encoder's response for the same build. *)
+        let rq = demo_request ~config:Config.cto () in
+        let expected = Worker.build_response ~cache:None rq in
+        let oat, stats =
+          match Worker.build_oat ~cache:None rq with
+          | Ok v -> v
+          | Error r ->
+            Alcotest.failf "build failed in-process: %s"
+              (Protocol.rejection_to_string r)
+        in
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let delivered = ref false in
+        let writer =
+          Thread.create
+            (fun () -> delivered := Worker.respond_built b ~oat ~stats)
+            ()
+        in
+        let served =
+          match Protocol.decode_response (Protocol.read_frame a) with
+          | Ok resp -> resp
+          | Error m -> Alcotest.failf "undecodable response: %s" m
+        in
+        Thread.join writer;
+        Unix.close a;
+        Alcotest.(check bool) "delivered" true !delivered;
+        Alcotest.check response "respond_built = build_response" expected
+          served);
+    Alcotest.test_case "respond_built to a dead peer reports undelivered"
+      `Quick
+      (fun () ->
+        let oat, stats =
+          match
+            Worker.build_oat ~cache:None (demo_request ~config:Config.cto ())
+          with
+          | Ok v -> v
+          | Error r ->
+            Alcotest.failf "build failed in-process: %s"
+              (Protocol.rejection_to_string r)
+        in
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.close a;
+        (* EPIPE territory: must come back false, never raise, and the fd
+           must be closed (a second close raises EBADF). *)
+        Alcotest.(check bool) "undelivered" false
+          (Worker.respond_built b ~oat ~stats);
+        Alcotest.(check bool) "fd closed" true
+          (match Unix.close b with
+          | () -> false
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> true)) ]
+
 (* ---- Abusive clients (lib/check fault points) ----------------------------- *)
 
 let raw_connect t = Transport.connect (Server.endpoint t)
@@ -694,7 +841,7 @@ let payload_routed_to ~replicas ~shards want =
     if i > 100_000 then failwith "no payload routes to the wanted shard"
     else
       let p = Printf.sprintf "fixture-payload-%d" i in
-      if Router.Ring.lookup ring (Digest.string p) = want then p else go (i + 1)
+      if Router.Ring.lookup ring (Chash.string p) = want then p else go (i + 1)
   in
   go 0
 
@@ -994,7 +1141,7 @@ let e2e_tests =
                 let owner =
                   Router.Ring.lookup
                     (Router.Ring.make ~shards:2 ~replicas:128)
-                    (Digest.string
+                    (Chash.string
                        (List.hd matrix).Protocol.rq_dexsim)
                 in
                 let before = Router.totals t in
@@ -1131,4 +1278,4 @@ let drain_tests =
 
 let suite =
   codec_tests @ transport_tests @ ring_tests @ queue_tests @ serve_tests
-  @ fault_tests @ router_tests @ e2e_tests @ drain_tests
+  @ zero_copy_tests @ fault_tests @ router_tests @ e2e_tests @ drain_tests
