@@ -875,7 +875,7 @@ let gate_measure () : gate_app list * float =
   in
   (apps, Clock.since_s t0)
 
-let gate_section apps total_s detect_eps incr serve fleet =
+let gate_section apps total_s detect_eps incr serve fleet store =
   Json.Obj
     [ ( "apps",
         Json.Obj
@@ -895,7 +895,8 @@ let gate_section apps total_s detect_eps incr serve fleet =
             ("warm_speedup", Json.Float (incr_min_speedup incr));
             ("byte_equal", Json.Bool (incr_byte_equal incr)) ] );
       ("serve", Serve.section serve);
-      ("fleet", Serve.fleet_section fleet) ]
+      ("fleet", Serve.fleet_section fleet);
+      ("store", Store.section store) ]
 
 (* The envelope committed in bench/baseline.json is a *budget*, not a
    measurement: 3x the build time observed when the baseline was written
@@ -940,6 +941,13 @@ let write_baseline path =
   let fleet_p95_env =
     Float.round (fleet.Serve.fl_p95_s *. envelope_slack *. 1000.) /. 1000.
   in
+  Printf.eprintf "[gate] measuring store-wide dictionary savings...\n%!";
+  let store = Store.measure () in
+  if not (Store.vm_ok store) then
+    failwith "store: a dict-bound app diverged from its baseline in the VM";
+  if store.Store.so_saved <= 0 then
+    failwith "store: the shared dictionary saves no bytes over per-app \
+              outlining";
   let doc =
     Json.Obj
       [ ("schema", Json.Int 1);
@@ -969,18 +977,23 @@ let write_baseline path =
         ( "fleet",
           Json.Obj
             [ ("throughput_floor_builds_per_s", Json.Float fleet_floor);
-              ("p95_latency_envelope_s", Json.Float fleet_p95_env) ] ) ]
+              ("p95_latency_envelope_s", Json.Float fleet_p95_env) ] );
+        (* Deterministic like the per-app sizes, so the saved-byte count
+           is committed exactly — any shrink at all fails the gate. *)
+        ( "store",
+          Json.Obj [ ("saved_bytes_floor", Json.Int store.Store.so_saved) ] )
+      ]
   in
   Obs.write_file path doc;
   Printf.printf
     "wrote %s (%d apps, measured %.2fs, envelope %.2fs, detect %.0f el/s, \
      floor %.0f, incr %.1fx, floor %.2fx, serve %.1f builds/s, floor %.2f, \
-     fleet %.1f builds/s, floor %.2f, %d failovers)\n"
+     fleet %.1f builds/s, floor %.2f, %d failovers, store %d bytes saved)\n"
     path (List.length apps) total_s
     (total_s *. envelope_slack)
     eps eps_floor incr_speedup incr_floor serve.Serve.sv_throughput
     serve_floor fleet.Serve.fl_throughput fleet_floor
-    fleet.Serve.fl_failovers
+    fleet.Serve.fl_failovers store.Store.so_saved
 
 (* Reduction may not regress below the committed value by more than this
    (absolute, in reduction points). Sizes are deterministic, so any drift
@@ -1001,7 +1014,9 @@ let gate ~baseline_path : Json.t * string list =
   let serve = Serve.measure () in
   Printf.eprintf "[gate] measuring fleet throughput (3 shards + router)...\n%!";
   let fleet = Serve.fleet_measure () in
-  let section = gate_section apps total_s eps incr serve fleet in
+  Printf.eprintf "[gate] measuring store-wide dictionary savings...\n%!";
+  let store = Store.measure () in
+  let section = gate_section apps total_s eps incr serve fleet store in
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
   (* Byte equality is a correctness property, not a perf budget: it fails
@@ -1021,6 +1036,16 @@ let gate ~baseline_path : Json.t * string list =
          (under a mid-run shard drain)";
   if fleet.Serve.fl_failovers = 0 then
     add "fleet: mid-run shard drain exercised no failover";
+  List.iter
+    (fun (a : Store.app_row) ->
+      if not a.Store.sa_vm_ok then
+        add "store: dict-bound %s diverged from its baseline in the VM"
+          a.Store.sa_name)
+    store.Store.so_apps;
+  if store.Store.so_saved <= 0 then
+    add "store: the shared dictionary saves no bytes over per-app outlining \
+         (%d)"
+      store.Store.so_saved;
   (match
      let contents =
        let ic = open_in baseline_path in
@@ -1197,19 +1222,41 @@ let gate ~baseline_path : Json.t * string list =
         if fleet.Serve.fl_throughput < limit then
           add "fleet throughput %.1f builds/s fell >25%% below floor %.2f"
             fleet.Serve.fl_throughput floor);
+     (match
+        Option.bind
+          (Option.bind (Json.member "fleet" doc)
+             (Json.member "p95_latency_envelope_s"))
+          Json.get_float
+      with
+      | None -> add "baseline has no \"fleet\".\"p95_latency_envelope_s\""
+      | Some env ->
+        let limit = env *. 1.25 in
+        Printf.printf "  fleet p95 latency %.3fs (envelope %.3fs, limit %.3fs)  %s\n"
+          fleet.Serve.fl_p95_s env limit
+          (if fleet.Serve.fl_p95_s > limit then "FAIL" else "ok");
+        if fleet.Serve.fl_p95_s > limit then
+          add "fleet p95 latency %.3fs exceeds envelope %.3fs by >25%%"
+            fleet.Serve.fl_p95_s env);
+     (* The store floor is exact, like the per-app reductions: shared-dict
+        savings are deterministic byte counts, so any drop below the
+        committed value is a real sharing regression, not machine noise. *)
      match
        Option.bind
-         (Option.bind (Json.member "fleet" doc)
-            (Json.member "p95_latency_envelope_s"))
-         Json.get_float
+         (Option.bind (Json.member "store" doc)
+            (Json.member "saved_bytes_floor"))
+         Json.get_int
      with
-     | None -> add "baseline has no \"fleet\".\"p95_latency_envelope_s\""
-     | Some env ->
-       let limit = env *. 1.25 in
-       Printf.printf "  fleet p95 latency %.3fs (envelope %.3fs, limit %.3fs)  %s\n"
-         fleet.Serve.fl_p95_s env limit
-         (if fleet.Serve.fl_p95_s > limit then "FAIL" else "ok");
-       if fleet.Serve.fl_p95_s > limit then
-         add "fleet p95 latency %.3fs exceeds envelope %.3fs by >25%%"
-           fleet.Serve.fl_p95_s env);
+     | None -> add "baseline has no \"store\".\"saved_bytes_floor\""
+     | Some floor ->
+       Printf.printf
+         "  store saved %d bytes (%d bodies, %d dict bytes), vm %s (floor \
+          %d)  %s\n"
+         store.Store.so_saved store.Store.so_bodies store.Store.so_dict_bytes
+         (if Store.vm_ok store then "faithful" else "DIVERGES")
+         floor
+         (if store.Store.so_saved < floor || not (Store.ok store) then "FAIL"
+          else "ok");
+       if store.Store.so_saved < floor then
+         add "store saved bytes regressed %d -> %d" floor
+           store.Store.so_saved);
   (section, List.rev !fail)

@@ -33,6 +33,11 @@ let usage () =
     \                   the consistent-hash router, with one shard drained\n\
     \                   mid-run; exit 1 on byte divergence or if the drain\n\
     \                   exercised no failover\n\
+    \  store            fleet-wide bytes saved by the shared outline\n\
+    \                   dictionary vs per-app outlining over the six apps;\n\
+    \                   exit 1 unless sharing saves bytes net of the\n\
+    \                   dictionary image and every dict-bound app runs\n\
+    \                   byte-faithfully in the VM\n\
     \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
@@ -92,6 +97,7 @@ let () =
    | "incr" -> if not (Harness.incr_bench ()) then exit_code := 1
    | "serve" -> if not (Serve.bench ()) then exit_code := 1
    | "fleet" -> if not (Serve.fleet_bench ()) then exit_code := 1
+   | "store" -> if not (Store.bench ()) then exit_code := 1
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()

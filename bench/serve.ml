@@ -70,7 +70,8 @@ let workload () =
         { Protocol.rq_config = config;
           rq_dexsim = Calibro_dex.Dex_text.to_string apk;
           rq_profile = None;
-          rq_deadline_ms = None })
+          rq_deadline_ms = None;
+          rq_dict = None })
   in
   let expected =
     Array.map
@@ -79,7 +80,9 @@ let workload () =
         | Protocol.Built { oat; _ } -> oat
         | Protocol.Rejected rej ->
           failwith ("serve bench workload does not build: "
-                    ^ Protocol.rejection_to_string rej))
+                    ^ Protocol.rejection_to_string rej)
+        | Protocol.Dict_info _ ->
+          failwith "serve bench workload answered Dict_info")
       slots
   in
   (slots, expected)
@@ -108,6 +111,7 @@ let drive ~endpoint ~n_clients ~slots ~expected ?progress () =
          Atomic.incr built;
          if not (String.equal oat expected.(slot)) then Atomic.incr mismatches
        | Ok (Protocol.Rejected _) -> Atomic.incr rejected
+       | Ok (Protocol.Dict_info _) -> Atomic.incr errors
        | Error _ -> Atomic.incr errors);
       Option.iter Atomic.incr progress
     done

@@ -36,7 +36,7 @@ let percentile sorted p =
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let run endpoint clients requests app_name seeds config_name deadline_ms
-    verify allow_errors =
+    verify allow_errors dict_path =
   let profile =
     if String.lowercase_ascii app_name = "demo" then Some Apps.demo
     else Apps.by_name app_name
@@ -51,6 +51,16 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
     | Ok c -> c
     | Error e -> Printf.eprintf "%s\n" e; exit 2
   in
+  let dict =
+    match dict_path with
+    | None -> None
+    | Some path -> (
+      match Calibro_dict.Dict.load path with
+      | Ok d -> Some d
+      | Error e ->
+        Printf.eprintf "calibro_load: --dict %s: %s\n" path e;
+        exit 2)
+  in
   let seeds = max 1 seeds in
   let total = clients * requests in
   (* One request per (seed pool slot); the pool cycles so concurrent
@@ -61,7 +71,8 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
     { Protocol.rq_config = config;
       rq_dexsim = Calibro_dex.Dex_text.to_string apk;
       rq_profile = None;
-      rq_deadline_ms = deadline_ms }
+      rq_deadline_ms = deadline_ms;
+      rq_dict = Option.map Calibro_dict.Dict.digest dict }
   in
   let requests_by_slot =
     (* distinct wire requests, computed once: seeds cycle, so there are
@@ -83,6 +94,8 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
                oat;
                req_ix = ix mod Array.length requests_by_slot }
          | Ok (Protocol.Rejected rej) -> O_rejected rej
+         | Ok (Protocol.Dict_info _) ->
+           O_transport "unexpected Dict_info reply to a build request"
          | Error m -> O_transport m)
     done
   in
@@ -130,11 +143,17 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
       let expected =
         Array.map
           (fun rq ->
-            match Worker.build_response ~cache:None rq with
+            match
+              Worker.build_response ~cache:None
+                ?dict:(Option.map Calibro_dict.Dict.linker_dict dict) rq
+            with
             | Protocol.Built { oat; _ } -> oat
             | Protocol.Rejected rej ->
               Printf.eprintf "local build failed: %s\n"
                 (Protocol.rejection_to_string rej);
+              exit 2
+            | Protocol.Dict_info _ ->
+              Printf.eprintf "local build answered Dict_info\n";
               exit 2)
           requests_by_slot
       in
@@ -204,13 +223,21 @@ let cmd =
            ~doc:"Tolerate rejected or dropped requests (for driving a \
                  draining daemon).")
   in
+  let dict_path =
+    Arg.(value & opt (some string) None & info [ "dict" ] ~docv:"PATH"
+           ~doc:"Shared-dictionary container: every request asks for a \
+                 dictionary-relative build against its digest, and \
+                 $(b,--verify) compares against in-process builds linked \
+                 against the same dictionary. A daemon serving a \
+                 different dictionary answers Dict_mismatch.")
+  in
   Cmd.v
     (Cmd.info "calibro_load"
        ~doc:"Concurrent load generator and verifier for calibrod.")
     Term.(
       const
         (fun socket tcp clients requests app seeds config deadline_ms verify
-             allow_errors ->
+             allow_errors dict_path ->
           let endpoint =
             match (socket, tcp) with
             | Some path, None -> Transport.Unix_socket { path }
@@ -227,8 +254,8 @@ let cmd =
           in
           Stdlib.exit
             (run endpoint clients requests app seeds config deadline_ms
-               verify allow_errors))
+               verify allow_errors dict_path))
       $ socket $ tcp $ clients $ requests $ app_arg $ seeds $ config
-      $ deadline_ms $ verify $ allow_errors)
+      $ deadline_ms $ verify $ allow_errors $ dict_path)
 
 let () = exit (Cmd.eval cmd)

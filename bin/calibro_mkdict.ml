@@ -1,0 +1,95 @@
+(* calibro_mkdict — mine and inspect the store-wide shared dictionary.
+
+   `calibro_mkdict build -o store.dict --app taobao --app wechat ...`
+   builds every named app (synthetic store profiles; default: all six),
+   mines the outlined bodies at least two apps share, and saves the
+   ranked dictionary as an OAT container. `calibro_mkdict show
+   store.dict` prints its digest and entry table — the digest is what a
+   calibrod serves in its Hello answer and what clients put in rq_dict.
+
+   CI's store-smoke job uses `build` to produce the dictionary calibrod
+   serves, and `build` with a different app set to produce the rotated
+   one. *)
+
+open Cmdliner
+open Calibro_workload
+module Dict = Calibro_dict.Dict
+
+let apps_of names =
+  let names =
+    match names with
+    | [] -> List.map (fun p -> p.Appgen.p_name) Apps.all
+    | ns -> ns
+  in
+  List.map
+    (fun name ->
+      match
+        if String.lowercase_ascii name = "demo" then Some Apps.demo
+        else Apps.by_name name
+      with
+      | Some p -> (Appgen.generate p).Appgen.app
+      | None ->
+        Printf.eprintf "calibro_mkdict: unknown app %s\n" name;
+        exit 2)
+    names
+
+let build_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"PATH" ~doc:"Where to save the dictionary container.")
+  in
+  let apps =
+    Arg.(value & opt_all string [] & info [ "app" ] ~docv:"APP"
+           ~doc:"App to mine (repeatable): toutiao taobao fanqie meituan \
+                 kuaishou wechat demo. Default: the six store profiles.")
+  in
+  let config =
+    Arg.(value & opt string "pl8" & info [ "config" ] ~docv:"CONFIG"
+           ~doc:"Build configuration the apps are compiled under before \
+                 mining (must enable LTBO to produce outlined bodies).")
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Mine a shared dictionary from app builds.")
+    Term.(
+      const (fun out names config_name ->
+          let config =
+            match Calibro_core.Config.of_string config_name with
+            | Ok c -> c
+            | Error e ->
+              Printf.eprintf "calibro_mkdict: %s\n" e;
+              Stdlib.exit 2
+          in
+          let d = Dict.mine ~config (apps_of names) in
+          Dict.save d out;
+          Printf.printf "%s: %d bodies, %d bytes, digest %s\n" out
+            (Dict.n_bodies d) (Dict.size d) (Dict.digest d);
+          0)
+      $ out $ apps $ config)
+
+let show_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+           ~doc:"Dictionary container to inspect.")
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a dictionary's digest and entries.")
+    Term.(
+      const (fun path ->
+          match Dict.load path with
+          | Error e -> Printf.eprintf "calibro_mkdict: %s: %s\n" path e; 1
+          | Ok d ->
+            Printf.printf "digest %s\nbodies %d\nimage  %d bytes\n"
+              (Dict.digest d) (Dict.n_bodies d) (Dict.size d);
+            List.iter
+              (fun (e : Dict.entry) ->
+                Printf.printf "  +0x%06x %4d bytes\n" e.Dict.e_offset
+                  e.Dict.e_size)
+              (Dict.entries d);
+            0)
+      $ path)
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "calibro_mkdict"
+             ~doc:"Build and inspect store-wide shared outline dictionaries.")
+          [ build_cmd; show_cmd ]))

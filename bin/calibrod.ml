@@ -18,8 +18,18 @@ module Server = Calibro_server.Server
 module Transport = Calibro_server.Transport
 module Obs = Calibro_obs.Obs
 
+(* The shared dictionary lives behind an Atomic so SIGHUP can rotate it
+   (reload the file) while worker domains and reader threads keep pulling
+   the current value per job / per hello. *)
+let load_dict path =
+  match Calibro_dict.Dict.load path with
+  | Ok d -> d
+  | Error e ->
+    Printf.eprintf "calibrod: --dict %s: %s\n" path e;
+    exit 2
+
 let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
-    metrics trace =
+    dict_path metrics trace =
   let endpoint =
     match (socket, tcp) with
     | Some path, None -> Transport.Unix_socket { path }
@@ -38,13 +48,35 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
     | Some dir -> Some (Calibro_cache.Cache.create ~dir ())
     | None -> Lazy.force Calibro_core.Pipeline.env_cache
   in
+  let dict = Atomic.make (Option.map load_dict dict_path) in
+  (match dict_path with
+   | None -> ()
+   | Some path ->
+     (* SIGHUP = rotate: re-read the file. A rotation that fails to load
+        keeps the old dictionary — never serve a half-read image. *)
+     Sys.set_signal Sys.sighup
+       (Sys.Signal_handle
+          (fun _ ->
+            match Calibro_dict.Dict.load path with
+            | Ok d ->
+              Atomic.set dict (Some d);
+              Printf.eprintf "calibrod: rotated dictionary to %s\n%!"
+                (Calibro_dict.Dict.digest d)
+            | Error e ->
+              Printf.eprintf
+                "calibrod: dictionary rotation failed (%s); keeping the \
+                 current one\n%!"
+                e)));
   let cfg =
     { (Server.default_config ~endpoint) with
       Server.workers;
       queue_capacity;
       cache;
       recv_timeout_s = recv_timeout;
-      default_deadline_ms = deadline_ms }
+      default_deadline_ms = deadline_ms;
+      dict =
+        (fun () ->
+          Option.map Calibro_dict.Dict.linker_dict (Atomic.get dict)) }
   in
   let t =
     try Server.create cfg
@@ -65,6 +97,12 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
         | Some d -> d
         | None -> "memory")
      | None -> "off");
+  (match Atomic.get dict with
+   | Some d ->
+     Printf.eprintf "calibrod: serving shared dictionary %s (%d bodies)\n%!"
+       (Calibro_dict.Dict.digest d)
+       (Calibro_dict.Dict.n_bodies d)
+   | None -> ());
   Server.join t;
   let tt = Server.totals t in
   Printf.eprintf
@@ -113,6 +151,14 @@ let cmd =
            ~docv:"MS"
            ~doc:"Deadline applied to requests that carry none.")
   in
+  let dict_path =
+    Arg.(value & opt (some string) None & info [ "dict" ] ~docv:"PATH"
+           ~doc:"Store-wide shared dictionary container (calibro_mkdict \
+                 build) to link dictionary-relative builds against; its \
+                 digest is advertised to Hello handshakes. SIGHUP re-reads \
+                 the file (rotation): stale rq_dict requests then get \
+                 typed Dict_mismatch answers.")
+  in
   let metrics =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write the flat metrics JSON (request counters by outcome, \
@@ -129,6 +175,6 @@ let cmd =
              Unix-domain socket or TCP with admission control, deadlines \
              and graceful drain.")
     Term.(const serve $ socket $ tcp $ workers $ queue_capacity $ cache_dir
-          $ recv_timeout $ deadline_ms $ metrics $ trace)
+          $ recv_timeout $ deadline_ms $ dict_path $ metrics $ trace)
 
 let () = exit (Cmd.eval cmd)

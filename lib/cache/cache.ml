@@ -58,7 +58,38 @@ type t = {
   json : Json.t tier;  (* keys are "<ns>:<key>" *)
 }
 
+(* Orphan "*.json.tmp.<pid>.<domain>" files are the residue of a writer
+   that died between [open_out_bin] and [Sys.rename] (kill -9, power
+   loss — the in-process failure path unlinks its own tmp). Nothing ever
+   reads them and their writers are gone, so sweep them when the store
+   opens; a pid/domain suffix never collides with a live writer because
+   live writers belong to *this* process, which has not written yet. *)
+let has_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let sweep_tmp root =
+  match Sys.readdir root with
+  | exception Sys_error _ -> ()
+  | namespaces ->
+    Array.iter
+      (fun ns ->
+        let d = Filename.concat root ns in
+        match Sys.readdir d with
+        | exception Sys_error _ -> ()
+        | files ->
+          Array.iter
+            (fun f ->
+              if has_substring ~sub:".json.tmp." f then
+                match Sys.remove (Filename.concat d f) with
+                | () -> counter ns "tmp_swept"
+                | exception Sys_error _ -> ())
+            files)
+      namespaces
+
 let create ?dir ?(max_entries = 65536) () =
+  Option.iter sweep_tmp dir;
   { dir;
     max_entries = max 1 max_entries;
     lock = Mutex.create ();
@@ -278,11 +309,19 @@ let disk_write t ~ns k payload =
         Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
           (Domain.self () :> int)
       in
-      let oc = open_out_bin tmp in
+      (* The tmp file must not outlive this call: if anything between
+         [open_out_bin] and [Sys.rename] fails (disk full, destination
+         unwritable), unlink it instead of leaking an orphan per failed
+         store. After a successful rename the path no longer exists and
+         the remove is a no-op. *)
       Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc doc_str);
-      Sys.rename tmp path
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc doc_str);
+          Sys.rename tmp path)
     with Sys_error _ | Unix.Unix_error _ ->
       (* A full disk or permission problem degrades to memory-only. *)
       counter ns "disk_write_errors")

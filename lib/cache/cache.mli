@@ -22,8 +22,8 @@
     a temp file and an atomic rename).
 
     Observability: per-namespace counters [cache.<ns>.hits] (memory),
-    [.disk_hits], [.misses], [.stores], [.evictions], [.disk_corrupt]
-    are exported through {!Calibro_obs.Obs.Counter}. *)
+    [.disk_hits], [.misses], [.stores], [.evictions], [.disk_corrupt],
+    [.tmp_swept] are exported through {!Calibro_obs.Obs.Counter}. *)
 
 type t
 
@@ -31,7 +31,9 @@ val create : ?dir:string -> ?max_entries:int -> unit -> t
 (** [create ()] is a memory-only cache. [~dir] adds the on-disk tier
     rooted there (created on first store). [~max_entries] caps each
     in-memory tier, oldest-first eviction (default 65536); the disk tier
-    is unbounded. *)
+    is unbounded. Opening a disk tier sweeps orphan [*.tmp.*] files left
+    by writers that died mid-store (counted per namespace in
+    [cache.<ns>.tmp_swept]). *)
 
 val dir : t -> string option
 

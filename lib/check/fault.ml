@@ -138,6 +138,37 @@ module Cache = struct
     Calibro_obs.Obs.Counter.incr "fault.injected.cache-bitflip"
 end
 
+(* ---- Shared-dictionary faults -------------------------------------------
+
+   A saved dictionary (lib/dict) promises load-time detection of every
+   on-disk corruption: truncation fails the container bounds check, a
+   damaged method table fails decoding, a flipped image byte fails the
+   digest check against the self-naming header. These helpers manufacture
+   those corruptions on the saved artifact by path, mirroring the cache
+   fault pair above; a consumer that survives them must fall back to
+   per-app outlining, never run wrong code. *)
+
+module Dict = struct
+  (* Keep the first half: the container is cut inside the marshalled
+     method table or the image, so [Oat_file.of_bytes] must refuse on its
+     bounds checks alone. *)
+  let truncate path =
+    let s = Cache.read_file path in
+    Cache.write_file path (String.sub s 0 (String.length s / 2));
+    Calibro_obs.Obs.Counter.incr "fault.injected.dict-truncate"
+
+  (* Flip one bit at byte [at] (default: the last byte, which is inside
+     the text image for any non-empty dictionary — the digest-mismatch
+     path; aim [at] into the marshalled table to exercise the
+     decode-failure path instead). *)
+  let bitflip ?at path =
+    let s = Bytes.of_string (Cache.read_file path) in
+    let i = match at with Some i -> i | None -> Bytes.length s - 1 in
+    Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0x10));
+    Cache.write_file path (Bytes.to_string s);
+    Calibro_obs.Obs.Counter.incr "fault.injected.dict-bitflip"
+end
+
 (* ---- Compilation-service faults -----------------------------------------
 
    The calibrod daemon promises that no client behaviour can take it down:

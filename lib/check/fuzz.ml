@@ -14,6 +14,8 @@ open Calibro_dex.Dex_ir
 module Appgen = Calibro_workload.Appgen
 module Apps = Calibro_workload.Apps
 module Dex_text = Calibro_dex.Dex_text
+module Pipeline = Calibro_core.Pipeline
+module Dict = Calibro_dict.Dict
 module Obs = Calibro_obs.Obs
 module Json = Calibro_obs.Json
 
@@ -66,10 +68,23 @@ let report_details = function
   | Ok (r : Oracle.report) ->
     List.map Oracle.divergence_to_string r.Oracle.r_divergences
 
-let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true) seed :
-    failure option =
+(* The shared-dict fuzz configuration: a dictionary carrying every body
+   the seed's PlOpti build outlines (the build counted as two apps, so
+   each body clears the >= 2-apps mining bar). Linking then binds all of
+   them — the maximal dictionary coverage one generated app can exercise,
+   and the oracle must still see baseline-identical execution. *)
+let dict_of apk =
+  match
+    Pipeline.build ~config:(Calibro_core.Config.cto_ltbo_pl ~k:8 ()) apk
+  with
+  | exception Pipeline.Build_error _ -> None
+  | b -> Some (Dict.of_oats [ b.Pipeline.b_oat; b.Pipeline.b_oat ])
+
+let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true)
+    ?(dict = true) seed : failure option =
   let apk = apk_of_seed seed in
-  match Oracle.run ?configs ~mutate apk with
+  let dict_for a = if dict then dict_of a else None in
+  match Oracle.run ?configs ~mutate ?dict:(dict_for apk) apk with
   | Ok r when Oracle.ok r -> None
   | report ->
     let shrunk, stats =
@@ -86,7 +101,9 @@ let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true) seed :
           | Ok r ->
             let bad =
               List.sort_uniq compare
-                (List.map (fun d -> d.Oracle.dv_config) r.Oracle.r_divergences)
+                (List.map
+                   (fun d -> Oracle.plain_config_name d.Oracle.dv_config)
+                   r.Oracle.r_divergences)
             in
             let configs =
               match
@@ -100,8 +117,11 @@ let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true) seed :
             in
             (configs, Some ((4 * r.Oracle.r_baseline_retired) + 250_000))
         in
+        (* Re-mine the dictionary per candidate: a shrunk app's bodies
+           differ, and a stale dictionary would bind nothing, silently
+           turning the dict variant into the plain one. *)
         let still_failing a =
-          Oracle.fails ?baseline_fuel ?configs ~mutate a
+          Oracle.fails ?baseline_fuel ?configs ~mutate ?dict:(dict_for a) a
         in
         let a, st = Shrink.shrink ~still_failing apk in
         (Some a, Some st)
@@ -116,7 +136,7 @@ let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true) seed :
 
 (* [log] receives one line per event (seed started, failure found);
    the CLI wires it to stderr, tests leave it silent. *)
-let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink
+let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink ?dict
     ?(log = fun (_ : string) -> ()) () : outcome =
   let failures = ref [] in
   for i = 0 to seeds - 1 do
@@ -132,7 +152,7 @@ let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink
     match
       Obs.span ~cat:"check" "fuzz.seed"
         ~args:(fun () -> [ ("seed", Json.Int seed) ])
-        (fun () -> run_seed ?configs ?mutate ?shrink seed)
+        (fun () -> run_seed ?configs ?mutate ?shrink ?dict seed)
     with
     | None -> ()
     | Some f ->
@@ -314,7 +334,10 @@ module Proto = struct
               thunks = [];
               outlined =
                 List.init (next r mod 4) (fun i ->
-                    { Oat_file.ol_offset = 4 * i; ol_size = 4 }) }
+                    { Oat_file.ol_offset = 4 * i; ol_size = 4 });
+              dict_digest =
+                (if next r mod 2 = 0 then None
+                 else Some (Digest.to_hex (Digest.string (bytes r 8)))) }
           in
           let stats =
             { P.bs_text_size = Bytes.length oat.Oat_file.text;

@@ -93,9 +93,18 @@ let check_stackmaps (oat : Oat.t) : violation list =
     oat.Oat.methods
 
 (* Branch closure. Embedded data ranges (known from the LTBO.1 metadata)
-   are skipped: they are not instructions and may decode as anything. *)
-let check_branches (oat : Oat.t) : violation list =
+   are skipped: they are not instructions and may decode as anything.
+   [dict] lists the (offset, size) extents of the shared-dictionary
+   bodies the image may be linked against: a [bl] may additionally land
+   on a body start, expressed in the text-relative address space as
+   [Abi.dict_base - Abi.text_base + offset] (how the linker binds it). *)
+let check_branches ?(dict = []) (oat : Oat.t) : violation list =
   let starts = Oat.region_starts oat in
+  let dict_starts = Hashtbl.create (List.length dict) in
+  List.iter
+    (fun (off, _size) ->
+      Hashtbl.replace dict_starts (Abi.dict_base - Abi.text_base + off) ())
+    dict;
   let vs = ref [] in
   let bad ~where fmt =
     Fmt.kstr
@@ -114,7 +123,10 @@ let check_branches (oat : Oat.t) : violation list =
           bad ~where "unrelocated bl (sym %d) at +%#x" s off
         | Isa.Bl { target = Isa.Rel disp } ->
           let target = offset + off + disp in
-          if not (Hashtbl.mem starts target) then
+          if
+            not
+              (Hashtbl.mem starts target || Hashtbl.mem dict_starts target)
+          then
             bad ~where "bl at +%#x targets %#x, not a region start" off
               target
         | ( Isa.B _ | Isa.B_cond _ | Isa.Cbz _ | Isa.Cbnz _ | Isa.Tbz _
@@ -141,33 +153,34 @@ let check_branches (oat : Oat.t) : violation list =
     oat.Oat.methods;
   List.rev !vs
 
-let check_outlined (oat : Oat.t) : violation list =
+(* Outlined-body well-formedness over any code image: shared by the local
+   text segment's outlined entries and the dictionary image (whose bodies
+   are the same artifacts, just hoisted store-wide). *)
+let check_bodies ~check_name ~text (entries : (int * int) list) :
+    violation list =
   let vs = ref [] in
   let bad ~where fmt =
     Fmt.kstr
       (fun d ->
-        vs := { v_check = "outlined"; v_where = where; v_detail = d } :: !vs)
+        vs := { v_check = check_name; v_where = where; v_detail = d } :: !vs)
       fmt
   in
   List.iter
-    (fun (ol : Oat.outlined_entry) ->
-      let where = Printf.sprintf "outlined@%#x" ol.Oat.ol_offset in
-      if ol.Oat.ol_size < 8 then
+    (fun (ol_offset, ol_size) ->
+      let where = Printf.sprintf "%s@%#x" check_name ol_offset in
+      if ol_size < 8 then
         bad ~where "body of %d bytes cannot hold a sequence plus br x30"
-          ol.Oat.ol_size
+          ol_size
       else begin
-        let last =
-          Encode.word_of_bytes oat.Oat.text
-            (ol.Oat.ol_offset + ol.Oat.ol_size - 4)
-        in
+        let last = Encode.word_of_bytes text (ol_offset + ol_size - 4) in
         (match Decode.decode last with
          | Isa.Br r when r = Isa.lr -> ()
          | i -> bad ~where "body ends in %s, not br x30" (Disasm.to_string i));
         (* The body proper must be straight-line: calls, terminators and
            LR-touching instructions are sequence separators and can never
            be harvested into an outlined function. *)
-        for w = 0 to (ol.Oat.ol_size / 4) - 2 do
-          let word = Encode.word_of_bytes oat.Oat.text (ol.Oat.ol_offset + (w * 4)) in
+        for w = 0 to (ol_size / 4) - 2 do
+          let word = Encode.word_of_bytes text (ol_offset + (w * 4)) in
           let i = Decode.decode word in
           if Isa.is_terminator i || Isa.is_call i || Isa.reads_lr i
              || Isa.writes_lr i
@@ -176,14 +189,50 @@ let check_outlined (oat : Oat.t) : violation list =
               (Disasm.to_string i) (w * 4)
         done
       end)
-    oat.Oat.outlined;
+    entries;
   List.rev !vs
+
+let check_outlined (oat : Oat.t) : violation list =
+  check_bodies ~check_name:"outlined" ~text:oat.Oat.text
+    (List.map
+       (fun (ol : Oat.outlined_entry) -> (ol.Oat.ol_offset, ol.Oat.ol_size))
+       oat.Oat.outlined)
+
+(* The shared-dictionary image holds nothing but outlined bodies; validate
+   them under the same rules, plus exact tiling (the linker binds body
+   starts as absolute call targets — a gap or overlap would mean a [bl]
+   into the middle of something). *)
+let check_dict_image ~image (entries : (int * int) list) : violation list =
+  let tiling =
+    let pos = ref 0 and vs = ref [] in
+    List.iter
+      (fun (off, size) ->
+        if off <> !pos then
+          vs :=
+            { v_check = "dict";
+              v_where = Printf.sprintf "dict@%#x" off;
+              v_detail =
+                Printf.sprintf "body at %#x does not tile (expected %#x)" off
+                  !pos }
+            :: !vs;
+        pos := off + size)
+      entries;
+    if !pos <> Bytes.length image then
+      vs :=
+        { v_check = "dict"; v_where = "dict";
+          v_detail =
+            Printf.sprintf "bodies cover %d bytes of a %d-byte image" !pos
+              (Bytes.length image) }
+        :: !vs;
+    List.rev !vs
+  in
+  tiling @ check_bodies ~check_name:"dict" ~text:image entries
 
 (* ---- Entry point -------------------------------------------------------- *)
 
-let all_checks =
-  [ check_roundtrip; check_layout; check_stackmaps; check_branches;
-    check_outlined ]
-
-let check (oat : Oat.t) : violation list =
-  List.concat_map (fun f -> f oat) all_checks
+let check ?dict (oat : Oat.t) : violation list =
+  check_roundtrip oat
+  @ check_layout oat
+  @ check_stackmaps oat
+  @ check_branches ?dict oat
+  @ check_outlined oat

@@ -16,6 +16,7 @@ open Calibro_core
 open Calibro_dex.Dex_ir
 module Interp = Calibro_vm.Interp
 module Oat = Calibro_oat.Oat_file
+module Dict = Calibro_dict.Dict
 module Obs = Calibro_obs.Obs
 module Json = Calibro_obs.Json
 
@@ -81,8 +82,8 @@ let outcome_to_string = function
    (outcome, log slice). One interpreter instance serves all calls, like a
    real app session: heap state carries across calls identically in both
    builds, so it cancels out of the comparison. *)
-let run_calls ~fuel (oat : Oat.t) (calls : call list) =
-  let t = Interp.load ~fuel oat in
+let run_calls ?dict ~fuel (oat : Oat.t) (calls : call list) =
+  let t = Interp.load ?dict ~fuel oat in
   (t, List.map (fun c -> Interp.call_traced t c.c_method c.c_args) calls)
 
 let default_baseline_fuel = 100_000_000
@@ -121,14 +122,30 @@ let compare_runs ~config_name ~calls base_results results : divergence list =
 
 (* ---- The oracle ----------------------------------------------------------- *)
 
+(* The shared-dict variant of config [name] is reported as
+   [name ^ dict_suffix]; [plain_config_name] recovers the underlying
+   configuration name (the shrinker narrows its config set with it). *)
+let dict_suffix = "+dict"
+
+let plain_config_name name =
+  let n = String.length name and s = String.length dict_suffix in
+  if n > s && String.sub name (n - s) s = dict_suffix then
+    String.sub name 0 (n - s)
+  else name
+
 (* Check [apk] under [configs] (default: the {!Config.matrix} with a
    hot set profiled from the baseline run, i.e. the full Figure 6 loop).
    [mutate] is the test-only fault hook: it sees every transformed build
    (config name first) before checking and may return a corrupted image.
    [calls] defaults to all entry methods under the standard argument
-   shapes. *)
+   shapes. [dict] adds a shared-dictionary variant of every outlining
+   configuration: the build links against the dictionary, the simulator
+   maps it at {!Calibro_codegen.Abi.dict_base}, and the run must still be
+   indistinguishable from the baseline — byte-faithful execution against
+   the store-wide image. *)
 let run ?(baseline_fuel = default_baseline_fuel) ?configs
-    ?(mutate = fun _ oat -> oat) ?calls (apk : apk) : (report, string) result =
+    ?(mutate = fun _ oat -> oat) ?calls ?dict (apk : apk) :
+    (report, string) result =
   Obs.span ~cat:"check" "oracle.run"
     ~args:(fun () -> [ ("apk", Json.Str apk.apk_name) ])
   @@ fun () ->
@@ -170,11 +187,42 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
         in
         Config.matrix ~hot_methods ()
     in
-    Obs.Counter.add "oracle.configs_checked" (List.length configs);
+    (* Each unit of work: a config, run plain or against the shared
+       dictionary. Dictionary variants only make sense where outlining
+       runs — a non-LTBO build has no bodies to bind. *)
+    let variants =
+      List.concat_map
+        (fun (config : Config.t) ->
+          let plain = (config.Config.name, config, None) in
+          match dict with
+          | Some d when config.Config.ltbo ->
+            [ plain; (config.Config.name ^ dict_suffix, config, Some d) ]
+          | _ -> [ plain ])
+        configs
+    in
+    (* The dictionary image itself must be a well-formed collection of
+       outlined bodies before anything executes against it. *)
+    (match dict with
+     | None -> ()
+     | Some d ->
+       List.iter
+         (fun v ->
+           divergences :=
+             { dv_config = "dict"; dv_call = None;
+               dv_detail = Invariants.violation_to_string v }
+             :: !divergences)
+         (Invariants.check_dict_image ~image:(Dict.image d)
+            (List.map
+               (fun (e : Dict.entry) -> (e.Dict.e_offset, e.Dict.e_size))
+               (Dict.entries d))));
+    Obs.Counter.add "oracle.configs_checked" (List.length variants);
     List.iter
-      (fun (config : Config.t) ->
-        let name = config.Config.name in
-        match Pipeline.build ~config apk with
+      (fun (name, (config : Config.t), dict) ->
+        match
+          Pipeline.build ~config
+            ?dict:(Option.map Dict.linker_dict dict)
+            apk
+        with
         | exception Pipeline.Build_error e ->
           divergences :=
             { dv_config = name; dv_call = None;
@@ -182,7 +230,15 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
             :: !divergences
         | b ->
           let oat = mutate name b.Pipeline.b_oat in
-          let invs = Invariants.check oat in
+          let dict_extents =
+            Option.map
+              (fun d ->
+                List.map
+                  (fun (e : Dict.entry) -> (e.Dict.e_offset, e.Dict.e_size))
+                  (Dict.entries d))
+              dict
+          in
+          let invs = Invariants.check ?dict:dict_extents oat in
           List.iter
             (fun v ->
               divergences :=
@@ -190,13 +246,21 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
                   dv_detail = Invariants.violation_to_string v }
                 :: !divergences)
             invs;
-          let _, results = run_calls ~fuel oat calls in
-          divergences :=
-            List.rev_append
-              (List.rev (compare_runs ~config_name:name ~calls base_results
-                           results))
-              !divergences)
-      configs;
+          match
+            run_calls ?dict:(Option.map Dict.vm_image dict) ~fuel oat calls
+          with
+          | exception Interp.Dict_mismatch _ ->
+            divergences :=
+              { dv_config = name; dv_call = None;
+                dv_detail = "simulator refused the dictionary digest" }
+              :: !divergences
+          | _, results ->
+            divergences :=
+              List.rev_append
+                (List.rev (compare_runs ~config_name:name ~calls base_results
+                             results))
+                !divergences)
+      variants;
     Obs.Counter.add "oracle.divergences" (List.length !divergences);
     Ok
       { r_apk = apk.apk_name;
@@ -211,8 +275,9 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
    fails, or the baseline run faults (instruction deletion routinely
    manufactures infinite loops that exhaust fuel in every build alike) —
    is rejected: it no longer witnesses a transformation bug. *)
-let fails ?baseline_fuel ?configs ?(mutate = fun _ oat -> oat) ?calls apk =
-  match run ?baseline_fuel ?configs ~mutate ?calls apk with
+let fails ?baseline_fuel ?configs ?(mutate = fun _ oat -> oat) ?calls ?dict
+    apk =
+  match run ?baseline_fuel ?configs ~mutate ?calls ?dict apk with
   | Error _ -> false
   | Ok r ->
     let baseline_bad =

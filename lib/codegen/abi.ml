@@ -23,6 +23,12 @@ let max_java_args = 7
 (* ---- Memory map (the simulator adopts these) -------------------------- *)
 
 let text_base = 0x100000          (* OAT text segment load address *)
+let dict_base = 0x4000000
+(* Load address of the store-wide shared outline dictionary (prelink-style:
+   every app maps the same image at the same address, so dictionary-bound
+   [bl] sites relocate to a fixed absolute target). dict_base - text_base
+   = 0x3F00000 bytes, well inside the ±128MB reach of a [bl] imm26, so an
+   app's text can always call into the dictionary directly. *)
 let method_table_base = 0x8000000 (* ArtMethod structs, 32 bytes each *)
 let runtime_table_base = 0x9000000
 let native_entry_base = 0xA000000 (* fake entry points of native methods *)

@@ -242,7 +242,14 @@ let detect_uncached ~options (methods : Compiled_method.t array)
 
 let detect_ns = "detect"
 
-let group_key ~options ~digest_of (methods : Compiled_method.t array)
+(* Dictionary-relative builds memoize under their own namespace, and the
+   dictionary digest is folded into every key as a salt: rotating the
+   store dictionary must miss cleanly (stale results keyed under the old
+   digest are never returned), and must not evict or alias the
+   self-contained results under [detect_ns]. *)
+let detect_dict_ns = "detectdict"
+
+let group_key ?salt ~options ~digest_of (methods : Compiled_method.t array)
     (group : int list) : string =
   let digest_for mi =
     let cm = methods.(mi) in
@@ -260,10 +267,11 @@ let group_key ~options ~digest_of (methods : Compiled_method.t array)
       Seq_map.method_digest ~eligible cm
   in
   Cache.key
-    (Cache.salt :: detect_ns
-     :: string_of_int options.min_length
-     :: string_of_int options.max_length
-     :: List.concat_map (fun mi -> [ string_of_int mi; digest_for mi ]) group)
+    ((Cache.salt :: detect_ns
+      :: string_of_int options.min_length
+      :: string_of_int options.max_length
+      :: (match salt with None -> [] | Some s -> [ "dict"; s ]))
+    @ List.concat_map (fun mi -> [ string_of_int mi; digest_for mi ]) group)
 
 let detect_result_to_json ((decisions, st) : decision list * stats) : Json.t =
   Json.Obj
@@ -332,7 +340,7 @@ let detect_result_of_json (j : Json.t) : (decision list * stats) option =
           s_occurrences_replaced = f; s_instructions_saved = g } )
   | _ -> None
 
-let detect ?cache ?digest_of ~options (methods : Compiled_method.t array)
+let detect ?cache ?digest_of ?salt ~options (methods : Compiled_method.t array)
     (group : int list) : decision list * stats =
   Obs.span ~cat:"ltbo" "ltbo.detect"
     ~args:(fun () -> [ ("group_methods", Json.Int (List.length group)) ])
@@ -340,14 +348,13 @@ let detect ?cache ?digest_of ~options (methods : Compiled_method.t array)
   match cache with
   | None -> detect_uncached ~options methods group
   | Some c -> (
-    let key = group_key ~options ~digest_of methods group in
-    match Option.bind (Cache.find_json c ~ns:detect_ns key)
-            detect_result_of_json
-    with
+    let ns = match salt with None -> detect_ns | Some _ -> detect_dict_ns in
+    let key = group_key ?salt ~options ~digest_of methods group in
+    match Option.bind (Cache.find_json c ~ns key) detect_result_of_json with
     | Some r -> r
     | None ->
       let r = detect_uncached ~options methods group in
-      Cache.add_json c ~ns:detect_ns key (detect_result_to_json r);
+      Cache.add_json c ~ns key (detect_result_to_json r);
       r)
 
 (* ---- Steps 3 & 4: rewriting, patching ---------------------------------- *)
@@ -541,7 +548,7 @@ let run_with ?(sym_base = outlined_sym_base)
   { methods = methods'; outlined = List.rev !outlined; stats }
 
 (* Single global suffix tree (the non-PlOpti configuration). *)
-let run ?cache ?digest_of ?(options = default_options) ?sym_base
+let run ?cache ?digest_of ?salt ?(options = default_options) ?sym_base
     (methods : Compiled_method.t list) : result =
   let marr = Array.of_list methods in
   let candidates =
@@ -551,7 +558,9 @@ let run ?cache ?digest_of ?(options = default_options) ?sym_base
     |> List.filter_map (fun (i, cm) ->
            if Meta.outlinable cm.Compiled_method.meta then Some i else None)
   in
-  let detect_results = [ detect ?cache ?digest_of ~options marr candidates ] in
+  let detect_results =
+    [ detect ?cache ?digest_of ?salt ~options marr candidates ]
+  in
   run_with ?sym_base ~detect_results methods
 
 (* ---- Multi-round outlining ------------------------------------------------
@@ -562,7 +571,7 @@ let run ?cache ?digest_of ?(options = default_options) ?sym_base
    for iOS and the paper cites as related work. Outlined functions
    themselves are never re-outlined (they are not methods and carry no
    metadata), so rounds converge quickly. *)
-let run_rounds ?cache ?digest_of ?(options = default_options) ~rounds
+let run_rounds ?cache ?digest_of ?salt ?(options = default_options) ~rounds
     (methods : Compiled_method.t list) : result =
   (* The compile-time digests describe the *input* methods: they are only
      valid for the first round. Later rounds run over rewritten code, so
@@ -571,7 +580,7 @@ let run_rounds ?cache ?digest_of ?(options = default_options) ~rounds
     if n = 0 then
       { methods; outlined = List.rev acc_outlined; stats = acc_stats }
     else begin
-      let r = run ?cache ?digest_of ~options ~sym_base methods in
+      let r = run ?cache ?digest_of ?salt ~options ~sym_base methods in
       if r.stats.s_outlined_functions = 0 then
         { methods; outlined = List.rev acc_outlined; stats = acc_stats }
       else

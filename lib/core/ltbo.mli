@@ -49,6 +49,7 @@ val merge_stats : stats -> stats -> stats
 val detect :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
+  ?salt:string ->
   options:options ->
   Compiled_method.t array ->
   int list ->
@@ -64,7 +65,12 @@ val detect :
     construction and selection entirely. [?digest_of] supplies digests
     already computed at compile time (global method index -> digest under
     the default eligibility policy); hot methods are always re-digested
-    with their actual eligibility. *)
+    with their actual eligibility.
+
+    [?salt] marks a dictionary-relative build: results move to the
+    ["detectdict"] namespace and the salt (the dictionary digest) is
+    folded into every key, so rotating the store dictionary misses
+    cleanly instead of replaying results memoized under the old one. *)
 
 val detect_result_to_json : decision list * stats -> Calibro_obs.Json.t
 val detect_result_of_json :
@@ -96,16 +102,18 @@ val run_with :
 val run :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
+  ?salt:string ->
   ?options:options ->
   ?sym_base:int ->
   Compiled_method.t list ->
   result
 (** Single global suffix tree (the paper's non-PlOpti configuration).
-    [?cache]/[?digest_of] as in {!detect}. *)
+    [?cache]/[?digest_of]/[?salt] as in {!detect}. *)
 
 val run_rounds :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
+  ?salt:string ->
   ?options:options ->
   rounds:int ->
   Compiled_method.t list ->

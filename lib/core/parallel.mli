@@ -14,6 +14,7 @@ val detect_parallel :
   ?max_domains:int ->
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
+  ?salt:string ->
   options:Ltbo.options ->
   Compiled_method.t array ->
   int list list ->
@@ -23,13 +24,14 @@ val detect_parallel :
     worker that finishes a cheap group immediately claims the next). The
     pool size defaults to [Domain.recommended_domain_count () - 1] (min 1;
     sequential on a single-core host); [?max_domains] overrides it, mainly
-    for tests. Results are in input group order. [?cache]/[?digest_of]
-    memoize per-group detection as in {!Ltbo.detect}; the cache is safe to
-    share across worker domains. *)
+    for tests. Results are in input group order. [?cache]/[?digest_of]/
+    [?salt] memoize per-group detection as in {!Ltbo.detect}; the cache is
+    safe to share across worker domains. *)
 
 val run :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
+  ?salt:string ->
   ?options:Ltbo.options ->
   ?seed:int ->
   k:int ->

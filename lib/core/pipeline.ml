@@ -77,7 +77,7 @@ let env_cache : Cache.t option Lazy.t =
      | Some dir when String.trim dir <> "" -> Some (Cache.create ~dir ())
      | _ -> None)
 
-let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline)
+let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline) ?dict
     (apk : Dex_ir.apk) : build =
   Obs.span ~cat:"pipeline" "pipeline.build"
     ~args:(fun () ->
@@ -138,7 +138,14 @@ let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline)
                 cm)
             methods)
   in
-  (* LTBO.2 *)
+  (* LTBO.2. A dictionary-relative build memoizes detection under the
+     dictionary digest ([?salt]): the detection results themselves are
+     the same, but the namespace split keeps rotation semantics honest —
+     a rotated dictionary can never replay entries keyed to the old one
+     (see Ltbo.detect_dict_ns). *)
+  let dict_salt =
+    Option.map (fun (d : Linker.dict) -> d.Linker.dct_digest) dict
+  in
   let compiled, outlined, ltbo_stats =
     if not config.Config.ltbo then (compiled, [], None)
     else
@@ -151,21 +158,23 @@ let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline)
           in
           let result =
             if config.Config.parallel_trees > 1 then
-              Parallel.run ?cache ?digest_of ~options
+              Parallel.run ?cache ?digest_of ?salt:dict_salt ~options
                 ~k:config.Config.parallel_trees compiled
             else if config.Config.ltbo_rounds > 1 then
-              Ltbo.run_rounds ?cache ?digest_of ~options
+              Ltbo.run_rounds ?cache ?digest_of ?salt:dict_salt ~options
                 ~rounds:config.Config.ltbo_rounds compiled
-            else Ltbo.run ?cache ?digest_of ~options compiled
+            else Ltbo.run ?cache ?digest_of ?salt:dict_salt ~options compiled
           in
           (result.Ltbo.methods, result.Ltbo.outlined, Some result.Ltbo.stats))
   in
-  (* Final link: bind symbols, relocate calls (section 3.2). *)
+  (* Final link: bind symbols, relocate calls (section 3.2); with a
+     dictionary, bodies the store already carries bind to their shared
+     slots instead of being placed locally. *)
   let oat =
     timed phases "link" (fun () ->
         Linker.link ~apk_name:apk.Dex_ir.apk_name
           ~thunks:(if config.Config.cto then Abi.all_thunks else [])
-          ~extra:outlined compiled)
+          ~extra:outlined ?dict compiled)
   in
   let cto_hits =
     List.fold_left

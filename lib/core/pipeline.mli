@@ -25,7 +25,10 @@ val env_cache : Calibro_cache.Cache.t option Lazy.t
     process; [None] otherwise. *)
 
 val build :
-  ?cache:Calibro_cache.Cache.t option -> ?config:Config.t -> Dex_ir.apk ->
+  ?cache:Calibro_cache.Cache.t option ->
+  ?config:Config.t ->
+  ?dict:Calibro_oat.Linker.dict ->
+  Dex_ir.apk ->
   build
 (** Compile an application under the given evaluation configuration
     (default: {!Config.baseline}).
@@ -37,7 +40,15 @@ val build :
     HGraph/IR/codegen, and LTBO detection groups whose members' token
     digests are unchanged reuse their memoized decisions — the warm output
     is byte-identical to a cold build because both layers memoize pure
-    functions of content-addressed inputs. *)
+    functions of content-addressed inputs.
+
+    [?dict] links against a store-wide shared outline dictionary: every
+    outlined body the dictionary carries binds to its shared slot at
+    {!Calibro_codegen.Abi.dict_base} instead of being placed in the local
+    text segment, and the output records the dictionary digest
+    ({!Calibro_oat.Oat_file.t.dict_digest}) when anything bound. LTBO
+    detection results are then memoized under a dictionary-salted
+    namespace, so rotating the dictionary misses cleanly. *)
 
 val method_key :
   config:Config.t ->

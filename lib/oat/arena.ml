@@ -122,7 +122,9 @@ let to_bytes a =
 
 let chunk_size = 64 * 1024
 
-let write_fd a fd =
+exception Write_error of string
+
+let write_fd ?(write = Unix.write) a fd =
   if Bytes.length a.chunk = 0 then a.chunk <- Bytes.create chunk_size;
   let pos = ref 0 in
   while !pos < a.len do
@@ -130,7 +132,16 @@ let write_fd a fd =
     blit_to_bytes a ~src_off:!pos a.chunk ~dst_off:0 ~len:n;
     let sent = ref 0 in
     while !sent < n do
-      match Unix.write fd a.chunk !sent (n - !sent) with
+      match write fd a.chunk !sent (n - !sent) with
+      | 0 ->
+        (* A blocking-socket write never legitimately returns 0 for a
+           nonempty buffer; retrying would spin this thread forever.
+           Surface it as a typed error, like the Unix_errors we already
+           propagate. *)
+        raise
+          (Write_error
+             (Printf.sprintf "zero-length write (%d of %d bytes unsent)"
+                (a.len - !pos - !sent) a.len))
       | written -> sent := !sent + written
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done;

@@ -67,10 +67,17 @@ val blit_to_bytes : t -> src_off:int -> bytes -> dst_off:int -> len:int -> unit
 val to_bytes : t -> bytes
 (** Copy of the valid window [0, length). *)
 
-val write_fd : t -> Unix.file_descr -> unit
+exception Write_error of string
+(** A write syscall returned 0 for a nonempty buffer — a descriptor this
+    writer cannot make progress on (retrying would spin forever). *)
+
+val write_fd : ?write:(Unix.file_descr -> bytes -> int -> int -> int) ->
+  t -> Unix.file_descr -> unit
 (** Write the valid window to [fd], staging through a reused chunk;
     retries short writes and [EINTR]. Raises [Unix.Unix_error] on real
-    write failures (e.g. [EPIPE] on client disconnect). *)
+    write failures (e.g. [EPIPE] on client disconnect) and {!Write_error}
+    on a zero-length write. [?write] substitutes the write syscall
+    (tests). *)
 
 (** {2 Per-domain scratch} *)
 

@@ -18,6 +18,21 @@ type extra_function = {
   xf_code : bytes;    (** position-independent body *)
 }
 
+(* The prelink contract for store-wide sharing: a dictionary is an image
+   of outlined bodies every app maps at the same absolute address
+   ([dct_base], normally [Abi.dict_base]). An extra function whose body
+   bytes appear in [dct_slots] is NOT placed in the local text segment;
+   its symbol binds to the dictionary slot instead, and the ordinary
+   [target - at] relocation arithmetic reaches it because symbol values
+   here are text-relative ([dct_base - Abi.text_base + slot_offset] is
+   just a target beyond the end of the local segment). *)
+type dict = {
+  dct_digest : string;  (** content digest of the dictionary image *)
+  dct_base : int;       (** absolute load address of the image *)
+  dct_slots : (string, int) Hashtbl.t;
+      (** body bytes -> byte offset of that body inside the image *)
+}
+
 exception Link_error of string
 
 (* Thunk bodies are fixed specifications ([Abi.thunk_body]); under an
@@ -40,7 +55,7 @@ let encode_thunk th =
         Hashtbl.replace thunk_code th code;
         code)
 
-let link ~apk_name ?(thunks = []) ?(extra = [])
+let link ~apk_name ?(thunks = []) ?(extra = []) ?dict
     (methods : Compiled_method.t list) : Oat_file.t =
   Obs.span ~cat:"link" "link.run"
     ~args:(fun () -> [ ("apk", Json.Str apk_name) ])
@@ -83,15 +98,31 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
         (m, off))
       methods
   in
+  (* Extra (outlined) functions: with a dictionary, a body the store
+     already carries binds to its shared slot and costs zero local bytes;
+     everything else is placed locally as before. *)
+  let dict_bound = ref 0 in
   let extra_entries =
-    List.map
+    List.filter_map
       (fun xf ->
-        let off = !pos in
-        define xf.xf_sym off;
-        pos := !pos + Bytes.length xf.xf_code;
-        (xf, off))
+        let local () =
+          let off = !pos in
+          define xf.xf_sym off;
+          pos := !pos + Bytes.length xf.xf_code;
+          Some (xf, off)
+        in
+        match dict with
+        | None -> local ()
+        | Some d -> (
+          match Hashtbl.find_opt d.dct_slots (Bytes.to_string xf.xf_code) with
+          | None -> local ()
+          | Some slot_off ->
+            define xf.xf_sym (d.dct_base - Abi.text_base + slot_off);
+            incr dict_bound;
+            None))
       extra
   in
+  Obs.Counter.add "linker.dict_bound" !dict_bound;
   let resolve sym =
     match Hashtbl.find_opt symtab sym with
     | Some off -> off
@@ -156,4 +187,10 @@ let link ~apk_name ?(thunks = []) ?(extra = [])
       List.map
         (fun (xf, off) ->
           { Oat_file.ol_offset = off; ol_size = Bytes.length xf.xf_code })
-        extra_entries }
+        extra_entries;
+    (* Only a text segment that actually references the dictionary pins
+       its digest: a build where nothing bound (or an empty dictionary)
+       stays self-contained, byte-for-byte identical to a no-dict link. *)
+    dict_digest =
+      (if !dict_bound > 0 then Option.map (fun d -> d.dct_digest) dict
+       else None) }

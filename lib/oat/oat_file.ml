@@ -30,6 +30,11 @@ type t = {
   methods : method_entry list;  (** in slot order *)
   thunks : thunk_entry list;
   outlined : outlined_entry list;  (** LTBO outlined functions *)
+  dict_digest : string option;
+      (** When set, [text] contains [bl] sites relocated against the
+          store-wide shared dictionary with this digest, mapped at
+          {!Calibro_codegen.Abi.dict_base}; executing this OAT requires
+          that exact dictionary image. [None] = self-contained. *)
 }
 
 let text_size t = Bytes.length t.text
@@ -118,7 +123,7 @@ exception Oat_error of string
    library surfaces [Invalid_argument] for a bad input file. *)
 
 let magic = "CALIBOAT"
-let version = 2
+let version = 3 (* v3: the method table gained [dict_digest] *)
 
 (* Append the serialized container to [a]. This is the only writer: the
    serving path emits straight into the response-frame arena (no
@@ -136,7 +141,7 @@ let emit (t : t) (a : Arena.t) : unit =
      and makes saved OAT files deterministic. *)
   let payload =
     Marshal.to_string
-      (t.apk_name, t.methods, t.thunks, t.outlined)
+      (t.apk_name, t.dict_digest, t.methods, t.thunks, t.outlined)
       [ Marshal.No_sharing ]
   in
   Arena.add_i32_le a (String.length payload);
@@ -186,14 +191,15 @@ let of_bytes (buf : bytes) : (t, string) result =
         need "method table" !pos payload_len;
         let payload = Bytes.sub_string buf !pos payload_len in
         pos := !pos + payload_len;
-        let apk_name, methods, thunks, outlined =
+        let apk_name, dict_digest, methods, thunks, outlined =
           (Marshal.from_string payload 0
-            : string * method_entry list * thunk_entry list * outlined_entry list)
+            : string * string option * method_entry list * thunk_entry list
+              * outlined_entry list)
         in
         let text_len = read_i32 "text length" in
         need "text segment" !pos text_len;
         let text = Bytes.sub buf !pos text_len in
-        Ok { apk_name; text; methods; thunks; outlined }
+        Ok { apk_name; text; methods; thunks; outlined; dict_digest }
       end
     end
   with

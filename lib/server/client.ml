@@ -36,3 +36,22 @@ let request ~endpoint rq =
         | () -> recv t
         | exception Unix.Unix_error (e, _, _) ->
           Error ("send: " ^ Unix.error_message e))
+
+let hello ~endpoint =
+  match connect endpoint with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("connect: " ^ Unix.error_message e)
+  | t ->
+    Fun.protect
+      ~finally:(fun () -> close t)
+      (fun () ->
+        match Protocol.write_frame t.fd (Protocol.encode_hello ()) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("send: " ^ Unix.error_message e)
+        | () -> (
+          match recv t with
+          | Ok (Protocol.Dict_info { di_digest }) -> Ok di_digest
+          | Ok (Protocol.Rejected rej) ->
+            Error (Protocol.rejection_to_string rej)
+          | Ok (Protocol.Built _) -> Error "unexpected Built reply to hello"
+          | Error _ as e -> e))

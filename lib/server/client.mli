@@ -28,3 +28,9 @@ val request :
   endpoint:Transport.endpoint -> Protocol.build_request ->
   (Protocol.response, string) result
 (** One-shot convenience: connect, send, receive, close. *)
+
+val hello : endpoint:Transport.endpoint -> (string option, string) result
+(** The dictionary handshake: ask the daemon which shared dictionary it
+    serves. [Ok (Some digest)] is what to put in [rq_dict] for a
+    dictionary-relative build; [Ok None] means the daemon serves only
+    self-contained builds. Answered even while the daemon drains. *)

@@ -209,9 +209,13 @@ type build_request = {
   rq_dexsim : string;
   rq_profile : string option;
   rq_deadline_ms : int option;
+  rq_dict : string option;
 }
 
+type request = Build of build_request | Hello
+
 let tag_build = 1
+let tag_hello = 2
 
 let encode_request (r : build_request) =
   let b = Buffer.create (String.length r.rq_dexsim + 256) in
@@ -220,19 +224,29 @@ let encode_request (r : build_request) =
   w_str b r.rq_dexsim;
   w_opt w_str b r.rq_profile;
   w_opt w_u32 b r.rq_deadline_ms;
+  w_opt w_str b r.rq_dict;
   Buffer.contents b
+
+let encode_hello () = String.make 1 (Char.chr tag_hello)
 
 let decode_request =
   decoding @@ fun c ->
   let tag = r_u8 c ~what:"request tag" in
-  if tag <> tag_build then
-    raise (Decode_error (Printf.sprintf "unknown request tag %d" tag));
-  let rq_config = r_config c in
-  let rq_dexsim = r_str c ~what:"dexsim" in
-  let rq_profile = r_opt r_str c ~what:"profile" in
-  let rq_deadline_ms = r_opt r_u32 c ~what:"deadline_ms" in
-  finish c "build request";
-  { rq_config; rq_dexsim; rq_profile; rq_deadline_ms }
+  if tag = tag_hello then begin
+    finish c "hello request";
+    Hello
+  end
+  else begin
+    if tag <> tag_build then
+      raise (Decode_error (Printf.sprintf "unknown request tag %d" tag));
+    let rq_config = r_config c in
+    let rq_dexsim = r_str c ~what:"dexsim" in
+    let rq_profile = r_opt r_str c ~what:"profile" in
+    let rq_deadline_ms = r_opt r_u32 c ~what:"deadline_ms" in
+    let rq_dict = r_opt r_str c ~what:"dict" in
+    finish c "build request";
+    Build { rq_config; rq_dexsim; rq_profile; rq_deadline_ms; rq_dict }
+  end
 
 (* ---- Responses ----------------------------------------------------------- *)
 
@@ -253,6 +267,9 @@ type rejection =
   | Draining
   | Unavailable
   | Internal of string
+  | Dict_mismatch of { dm_want : string option; dm_have : string option }
+
+let opt_digest = function None -> "none" | Some d -> d
 
 let rejection_to_string = function
   | Malformed m -> "malformed request: " ^ m
@@ -263,15 +280,21 @@ let rejection_to_string = function
   | Draining -> "draining"
   | Unavailable -> "unavailable: no live shard"
   | Internal m -> "internal error: " ^ m
+  | Dict_mismatch { dm_want; dm_have } ->
+    Printf.sprintf "dictionary mismatch: request wants %s, daemon serves %s"
+      (opt_digest dm_want) (opt_digest dm_have)
 
 type response =
   | Built of { oat : string; stats : build_stats }
   | Rejected of rejection
+  | Dict_info of { di_digest : string option }
 
 let tag_built = 1
 let tag_rejected = 2
+let tag_dict_info = 3
 
-(* Rejection codes on the wire; codes with a message carry one string. *)
+(* Rejection codes on the wire; codes with a message carry one string
+   (Dict_mismatch carries its two optional digests). *)
 let rejection_code = function
   | Malformed _ -> 1
   | Parse_error _ -> 2
@@ -281,6 +304,7 @@ let rejection_code = function
   | Draining -> 6
   | Internal _ -> 7
   | Unavailable -> 8
+  | Dict_mismatch _ -> 9
 
 let encode_response (r : response) =
   let b =
@@ -302,7 +326,13 @@ let encode_response (r : response) =
      (match rej with
       | Malformed m | Parse_error m | Build_failed m | Internal m ->
         w_str b m
-      | Overloaded | Deadline_exceeded | Draining | Unavailable -> ()));
+      | Dict_mismatch { dm_want; dm_have } ->
+        w_opt w_str b dm_want;
+        w_opt w_str b dm_have
+      | Overloaded | Deadline_exceeded | Draining | Unavailable -> ())
+   | Dict_info { di_digest } ->
+     w_u8 b tag_dict_info;
+     w_opt w_str b di_digest);
   Buffer.contents b
 
 let decode_response =
@@ -334,9 +364,15 @@ let decode_response =
          | 6 -> Draining
          | 7 -> Internal (msg ~what:"internal-error message")
          | 8 -> Unavailable
+         | 9 ->
+           let dm_want = r_opt r_str c ~what:"dict-mismatch want" in
+           let dm_have = r_opt r_str c ~what:"dict-mismatch have" in
+           Dict_mismatch { dm_want; dm_have }
          | c ->
            raise (Decode_error (Printf.sprintf "unknown rejection code %d" c)))
     end
+    else if tag = tag_dict_info then
+      Dict_info { di_digest = r_opt r_str c ~what:"dict-info digest" }
     else raise (Decode_error (Printf.sprintf "unknown response tag %d" tag))
   in
   finish c "response";

@@ -57,11 +57,28 @@ type build_request = {
   rq_deadline_ms : int option;
       (** per-job deadline, relative to admission; a job that cannot be
           dispatched (or finished) in time is answered [`Deadline_exceeded] *)
+  rq_dict : string option;
+      (** digest of the store-wide shared dictionary the build must link
+          against ({!Calibro_dict.Dict.digest}); the daemon answers
+          [Dict_mismatch] unless it serves exactly that dictionary.
+          [None] requests a self-contained build (the daemon's ambient
+          dictionary, if any, is not used). *)
 }
 
+(** What a client can ask: a build, or the dictionary handshake —
+    [Hello] answers with {!response.Dict_info} carrying the digest of the
+    shared dictionary the daemon currently links against, so a client
+    can learn what to put in [rq_dict] (and when a rotation happened). *)
+type request = Build of build_request | Hello
+
 val encode_request : build_request -> string
-val decode_request : string -> (build_request, string) result
-(** Payload codec; [decode_request (encode_request r) = Ok r]. *)
+(** Encodes [Build r]. *)
+
+val encode_hello : unit -> string
+
+val decode_request : string -> (request, string) result
+(** Payload codec; [decode_request (encode_request r) = Ok (Build r)] and
+    [decode_request (encode_hello ()) = Ok Hello]. *)
 
 (** {2 Responses} *)
 
@@ -89,6 +106,10 @@ type rejection =
       (** the {!Router} found no live shard: every daemon in the fleet is
           down or unreachable after retries *)
   | Internal of string  (** anything else; the daemon survived it *)
+  | Dict_mismatch of { dm_want : string option; dm_have : string option }
+      (** the request's [rq_dict] names a dictionary this daemon does not
+          serve (e.g. it rotated since the client's [Hello]); the client
+          should re-handshake and retry *)
 
 val rejection_to_string : rejection -> string
 
@@ -96,6 +117,10 @@ type response =
   | Built of { oat : string;  (** [Calibro_oat.Oat_file.to_bytes] image *)
                stats : build_stats }
   | Rejected of rejection
+  | Dict_info of { di_digest : string option }
+      (** answer to [Hello]: the digest of the shared dictionary the
+          daemon links dictionary-relative builds against ([None] = it
+          serves only self-contained builds) *)
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result

@@ -164,6 +164,7 @@ type totals = {
   t_forwarded : int;
   t_unavailable : int;
   t_malformed : int;
+  t_conn_errors : int;
   t_shards : shard_totals array;
 }
 
@@ -183,6 +184,7 @@ type t = {
   a_requests : int Atomic.t;
   a_unavailable : int Atomic.t;
   a_malformed : int Atomic.t;
+  a_conn_errors : int Atomic.t;
 }
 
 let endpoint t = t.listen_ep
@@ -198,6 +200,7 @@ let totals t =
         0 t.shards;
     t_unavailable = Atomic.get t.a_unavailable;
     t_malformed = Atomic.get t.a_malformed;
+    t_conn_errors = Atomic.get t.a_conn_errors;
     t_shards =
       Array.map
         (fun s ->
@@ -352,6 +355,19 @@ let health_loop t () =
 
 (* ---- Lifecycle ----------------------------------------------------------- *)
 
+(* A reader thread dying must not kill its connection silently for *any*
+   exception: only the I/O and protocol failures a hostile or dying peer
+   can cause are expected here, and those are dropped (counted in
+   [router.conn_errors]). Everything else — [Out_of_memory],
+   [Stack_overflow], [Assert_failure], any programming error — re-raises
+   and terminates the reader thread loudly, because swallowing an
+   asynchronous exception leaves the process wedged in a state no counter
+   explains. *)
+let count_as_conn_error = function
+  | Unix.Unix_error _ | Protocol.Frame_error _ | Sys_error _ | End_of_file ->
+    true
+  | _ -> false
+
 let accept_loop t () =
   let rec loop () =
     match Unix.accept t.listen_fd with
@@ -371,7 +387,9 @@ let accept_loop t () =
                    Fun.protect
                      ~finally:(fun () -> close_quietly fd)
                      (fun () ->
-                       try handle_connection t fd with _ -> ())))
+                       try handle_connection t fd
+                       with e when count_as_conn_error e ->
+                         Atomic.incr t.a_conn_errors)))
              ())
       end;
       loop ()
@@ -406,7 +424,8 @@ let create (cfg : config) =
       jitter = Atomic.make 0;
       a_requests = Atomic.make 0;
       a_unavailable = Atomic.make 0;
-      a_malformed = Atomic.make 0 }
+      a_malformed = Atomic.make 0;
+      a_conn_errors = Atomic.make 0 }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   if cfg.health_period_s > 0.0 then
@@ -433,6 +452,7 @@ let drain t =
     Obs.Counter.add "router.requests.forwarded" tt.t_forwarded;
     Obs.Counter.add "router.requests.unavailable" tt.t_unavailable;
     Obs.Counter.add "router.requests.malformed" tt.t_malformed;
+    Obs.Counter.add "router.conn_errors" tt.t_conn_errors;
     Array.iteri
       (fun i s ->
         let name field = Printf.sprintf "router.shard%d.%s" i field in

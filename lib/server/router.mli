@@ -119,9 +119,22 @@ type totals = {
   t_forwarded : int;  (** responses relayed (sum of shard forwarded) *)
   t_unavailable : int;  (** answered [Rejected Unavailable] *)
   t_malformed : int;  (** client frames that were not frames *)
+  t_conn_errors : int;
+      (** connections dropped by an expected I/O or protocol exception
+          escaping the reader (see {!count_as_conn_error}) *)
   t_shards : shard_totals array;
 }
 
 val totals : t -> totals
 (** Live tallies (atomics). After {!drain} they are also mirrored to
-    [router.requests.*] and [router.shard<i>.*] counters. *)
+    [router.requests.*], [router.conn_errors] and [router.shard<i>.*]
+    counters. *)
+
+val count_as_conn_error : exn -> bool
+(** The reader-thread drop policy: [true] for the I/O and protocol
+    exceptions a peer can cause ([Unix.Unix_error],
+    [Protocol.Frame_error], [Sys_error], [End_of_file]) — those drop the
+    connection and tick [router.conn_errors]. [false] for everything
+    else ([Out_of_memory], [Stack_overflow], [Assert_failure], any
+    programming error): those re-raise out of the reader thread instead
+    of being silently swallowed. *)

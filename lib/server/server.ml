@@ -11,6 +11,7 @@ type config = {
   cache : Calibro_cache.Cache.t option;
   recv_timeout_s : float;
   default_deadline_ms : int option;
+  dict : unit -> Calibro_oat.Linker.dict option;
 }
 
 let default_config ~endpoint =
@@ -19,7 +20,8 @@ let default_config ~endpoint =
     queue_capacity = 64;
     cache = None;
     recv_timeout_s = 10.0;
-    default_deadline_ms = None }
+    default_deadline_ms = None;
+    dict = (fun () -> None) }
 
 type totals = {
   t_accepted : int;
@@ -27,6 +29,7 @@ type totals = {
   t_malformed : int;
   t_stalled : int;
   t_refused_draining : int;
+  t_hello : int;
 }
 
 type t = {
@@ -49,6 +52,7 @@ type t = {
   a_malformed : int Atomic.t;
   a_stalled : int Atomic.t;
   a_refused_draining : int Atomic.t;
+  a_hello : int Atomic.t;
 }
 
 let endpoint t = t.endpoint
@@ -60,7 +64,8 @@ let totals t =
     t_overloaded = Atomic.get t.a_overloaded;
     t_malformed = Atomic.get t.a_malformed;
     t_stalled = Atomic.get t.a_stalled;
-    t_refused_draining = Atomic.get t.a_refused_draining }
+    t_refused_draining = Atomic.get t.a_refused_draining;
+    t_hello = Atomic.get t.a_hello }
 
 (* ---- Connection handling ------------------------------------------------ *)
 
@@ -89,7 +94,20 @@ let handle_connection t fd =
   | payload -> (
     match Protocol.decode_request payload with
     | Error m -> reject t.a_malformed (Protocol.Malformed m)
-    | Ok rq ->
+    | Ok Protocol.Hello ->
+      (* The dictionary handshake is answered inline: no compile, no
+         queue slot, and it works even while draining (a client must be
+         able to learn the digest to decide where to retry). *)
+      Atomic.incr t.a_hello;
+      ignore
+        (Worker.respond fd
+           (Protocol.Dict_info
+              { di_digest =
+                  Option.map
+                    (fun (d : Calibro_oat.Linker.dict) ->
+                      d.Calibro_oat.Linker.dct_digest)
+                    (t.cfg.dict ()) }))
+    | Ok (Protocol.Build rq) ->
       if Atomic.get t.stop then reject t.a_refused_draining Protocol.Draining
       else begin
         let deadline_ms =
@@ -155,7 +173,10 @@ let create (cfg : config) =
   let queue =
     Queue.create ~gauge:"server.queue_depth" ~capacity:cfg.queue_capacity ()
   in
-  let pool = Worker.start ~workers:cfg.workers ~cache:cfg.cache ~queue in
+  let pool =
+    Worker.start ~workers:cfg.workers ~cache:cfg.cache ~dict:cfg.dict ~queue
+      ()
+  in
   let t =
     { cfg;
       endpoint;
@@ -172,7 +193,8 @@ let create (cfg : config) =
       a_overloaded = Atomic.make 0;
       a_malformed = Atomic.make 0;
       a_stalled = Atomic.make 0;
-      a_refused_draining = Atomic.make 0 }
+      a_refused_draining = Atomic.make 0;
+      a_hello = Atomic.make 0 }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
@@ -203,6 +225,7 @@ let drain t =
     Obs.Counter.add "server.requests.malformed" tt.t_malformed;
     Obs.Counter.add "server.requests.stalled" tt.t_stalled;
     Obs.Counter.add "server.requests.refused_draining" tt.t_refused_draining;
+    Obs.Counter.add "server.requests.hello" tt.t_hello;
     Obs.Gauge.set "server.queue_depth" 0.0;
     Atomic.set t.drained true
   end

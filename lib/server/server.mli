@@ -35,11 +35,17 @@ type config = {
           dropped; [0.] = wait forever *)
   default_deadline_ms : int option;
       (** applied to requests that carry no deadline of their own *)
+  dict : unit -> Calibro_oat.Linker.dict option;
+      (** the store-wide shared dictionary this daemon links
+          dictionary-relative builds against. Read per [Hello] and per
+          dispatched job, so swapping what the closure returns rotates
+          the dictionary live: subsequent [Hello]s see the new digest and
+          stale [rq_dict] requests get typed [Dict_mismatch] answers. *)
 }
 
 val default_config : endpoint:Transport.endpoint -> config
 (** 2 workers, capacity 64, no cache, 10 s receive timeout, no default
-    deadline. *)
+    deadline, no dictionary. *)
 
 type t
 
@@ -75,6 +81,7 @@ type totals = {
   t_malformed : int;  (** rejected: frame or request did not decode *)
   t_stalled : int;  (** connections dropped mid-frame or on timeout *)
   t_refused_draining : int;  (** rejected: arrived during drain *)
+  t_hello : int;  (** dictionary handshakes answered inline *)
 }
 
 val totals : t -> totals

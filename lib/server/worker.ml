@@ -56,10 +56,37 @@ let expired deadline_ns =
    ([Protocol.emit_built]) without materializing the container string;
    [build_response] below re-wraps it for the in-process reference
    consumers (tests, calibro_load --verify, bench). *)
-let build_oat ~cache (rq : Protocol.build_request) :
+let build_oat ~cache ?dict (rq : Protocol.build_request) :
     (Calibro_oat.Oat_file.t * Protocol.build_stats, Protocol.rejection) result
     =
+  (* Resolve the dictionary the request asked for against the one this
+     daemon serves. [rq_dict = None] is a self-contained build whatever
+     the daemon holds; [Some want] must match the served digest exactly —
+     a client that raced a rotation gets a typed mismatch and can
+     re-handshake, never silently a build against the wrong image. *)
+  let resolve_dict () :
+      (Calibro_oat.Linker.dict option, Protocol.rejection) result =
+    match rq.Protocol.rq_dict with
+    | None -> Ok None
+    | Some want -> (
+      match dict with
+      | Some (d : Calibro_oat.Linker.dict)
+        when d.Calibro_oat.Linker.dct_digest = want ->
+        Ok (Some d)
+      | have ->
+        Error
+          (Protocol.Dict_mismatch
+             { dm_want = Some want;
+               dm_have =
+                 Option.map
+                   (fun (d : Calibro_oat.Linker.dict) ->
+                     d.Calibro_oat.Linker.dct_digest)
+                   have }))
+  in
   match
+    match resolve_dict () with
+    | Error rej -> Error rej
+    | Ok dict -> (
     match Calibro_dex.Dex_text.parse rq.Protocol.rq_dexsim with
     | Error e -> Error (Protocol.Parse_error e)
     | Ok apk ->
@@ -83,7 +110,7 @@ let build_oat ~cache (rq : Protocol.build_request) :
                  List.sort_uniq compare (c.Config.hot_methods @ hot) }
          in
          let t0 = Clock.now_ns () in
-         let b = Pipeline.build ~cache ~config apk in
+         let b = Pipeline.build ~cache ~config ?dict apk in
          let build_s = Clock.since_s t0 in
          let oat = b.Pipeline.b_oat in
          Ok
@@ -92,7 +119,7 @@ let build_oat ~cache (rq : Protocol.build_request) :
                bs_methods = List.length oat.Calibro_oat.Oat_file.methods;
                bs_thunks = List.length oat.Calibro_oat.Oat_file.thunks;
                bs_outlined = List.length oat.Calibro_oat.Oat_file.outlined;
-               bs_build_s = build_s } ))
+               bs_build_s = build_s } )))
   with
   | r -> r
   | exception Pipeline.Build_error m -> Error (Protocol.Build_failed m)
@@ -103,8 +130,9 @@ let build_oat ~cache (rq : Protocol.build_request) :
     Error (Protocol.Parse_error (Printf.sprintf "line %d: %s" line message))
   | exception e -> Error (Protocol.Internal (Printexc.to_string e))
 
-let build_response ~cache (rq : Protocol.build_request) : Protocol.response =
-  match build_oat ~cache rq with
+let build_response ~cache ?dict (rq : Protocol.build_request) :
+    Protocol.response =
+  match build_oat ~cache ?dict rq with
   | Ok (oat, stats) ->
     Protocol.Built
       { oat = Bytes.to_string (Calibro_oat.Oat_file.to_bytes oat); stats }
@@ -132,10 +160,11 @@ let outcome_counter = function
   | Error (Protocol.Parse_error _) -> "parse_error"
   | Error (Protocol.Build_failed _) -> "build_error"
   | Error Protocol.Deadline_exceeded -> "deadline"
+  | Error (Protocol.Dict_mismatch _) -> "dict_mismatch"
   | Error (Protocol.Internal _) -> "internal_error"
   | Error _ -> "rejected"
 
-let handle ~cache (job : job) =
+let handle ~cache ~dict (job : job) =
   Obs.span ~cat:"server" "server.job"
     ~args:(fun () ->
       [ ("id", Json.Int job.j_id);
@@ -157,7 +186,10 @@ let handle ~cache (job : job) =
        line: everything from parse to the last frame byte, this domain
        only. *)
     let alloc0 = Gc.allocated_bytes () in
-    let result = build_oat ~cache job.j_request in
+    (* The dictionary is read at dispatch time: a job admitted before a
+       rotation builds against the dictionary of the moment it runs, and
+       the digest check inside [build_oat] keeps the answer honest. *)
+    let result = build_oat ~cache ?dict:(dict ()) job.j_request in
     (* A result the deadline already passed is useless to the caller:
        report it as exceeded, honestly, rather than as success. *)
     let result =
@@ -184,7 +216,7 @@ let handle ~cache (job : job) =
 
 (* ---- The pool ----------------------------------------------------------- *)
 
-let worker_loop ~cache queue () =
+let worker_loop ~cache ~dict queue () =
   Obs.span ~cat:"server" "server.worker" @@ fun () ->
   let rec loop () =
     match Queue.pop queue with
@@ -193,7 +225,7 @@ let worker_loop ~cache queue () =
       (* [handle] maps every job failure to a response; this last-resort
          catch covers bugs in the handler itself (e.g. a pathological fd):
          the worker logs and lives on. *)
-      (match handle ~cache job with
+      (match handle ~cache ~dict job with
        | () -> ()
        | exception _ ->
          Obs.Counter.incr "server.jobs.handler_error";
@@ -202,10 +234,11 @@ let worker_loop ~cache queue () =
   in
   loop ()
 
-let start ~workers ~cache ~queue =
+let start ~workers ~cache ?(dict = fun () -> None) ~queue () =
   let workers = max 1 workers in
   Obs.Gauge.set "server.workers" (float_of_int workers);
   { domains =
-      List.init workers (fun _ -> Domain.spawn (worker_loop ~cache queue)) }
+      List.init workers (fun _ ->
+          Domain.spawn (worker_loop ~cache ~dict queue)) }
 
 let join pool = List.iter Domain.join pool.domains

@@ -31,10 +31,15 @@ type job = {
 type pool
 
 val start :
-  workers:int -> cache:Calibro_cache.Cache.t option -> queue:job Queue.t ->
-  pool
+  workers:int -> cache:Calibro_cache.Cache.t option ->
+  ?dict:(unit -> Calibro_oat.Linker.dict option) -> queue:job Queue.t ->
+  unit -> pool
 (** Spawn [max 1 workers] domains looping on [queue]. [cache] is shared
-    by every job ([None] = every build cold). *)
+    by every job ([None] = every build cold). [dict] is re-read at each
+    dispatch, so a rotation (the daemon swapping its shared dictionary)
+    takes effect on the next job without restarting the pool; the default
+    serves no dictionary (every [rq_dict = Some _] request is answered
+    [Dict_mismatch]). *)
 
 val join : pool -> unit
 (** Wait for every worker to exit; returns only after the queue is closed
@@ -50,16 +55,22 @@ val client_gone : Unix.file_descr -> bool
     queued jobs whose client disconnected. *)
 
 val build_oat :
-  cache:Calibro_cache.Cache.t option -> Protocol.build_request ->
+  cache:Calibro_cache.Cache.t option -> ?dict:Calibro_oat.Linker.dict ->
+  Protocol.build_request ->
   (Calibro_oat.Oat_file.t * Protocol.build_stats, Protocol.rejection) result
 (** The job body without the socket: parse, build, summarize. The serving
     path feeds the [Ok] case to {!Protocol.emit_built} so the response
     frame is written from the structured OAT without ever materializing
-    the container string. *)
+    the container string.
+
+    [dict] is the dictionary this daemon serves. A request with
+    [rq_dict = None] builds self-contained regardless; [Some want] must
+    equal [dict]'s digest exactly or the answer is a typed
+    [Dict_mismatch] carrying both digests. *)
 
 val build_response :
-  cache:Calibro_cache.Cache.t option -> Protocol.build_request ->
-  Protocol.response
+  cache:Calibro_cache.Cache.t option -> ?dict:Calibro_oat.Linker.dict ->
+  Protocol.build_request -> Protocol.response
 (** {!build_oat} re-wrapped as the wire-level response (the [Built] oat
     field is the serialized container) — exposed so tests and the load
     generator can produce the exact expected response for a request

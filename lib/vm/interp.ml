@@ -26,7 +26,27 @@ type outcome =
 exception Throw of runtime_fn
 exception Fault_exn of string
 
-type region = R_method of int | R_thunk of int | R_outlined of int
+type region =
+  | R_method of int
+  | R_thunk of int
+  | R_outlined of int
+  | R_dict of int  (** body index inside the shared dictionary image *)
+
+(* The execution view of a store-wide shared dictionary: the image every
+   device maps at [Abi.dict_base], its content digest, and the body
+   extents (for region-granular residency accounting). Kept structural —
+   (digest, image, extents) — so the VM does not depend on the mining
+   library; callers pass [Dict.(digest d, image d, ...)]. *)
+type dict_image = {
+  di_digest : string;
+  di_image : bytes;
+  di_entries : (int * int) list;  (** (offset, size) per body, in order *)
+}
+
+exception Dict_mismatch of { expected : string option; got : string option }
+(* A dictionary-relative OAT loaded without its exact dictionary (or a
+   self-contained OAT loaded with one pinned as required) would execute
+   wild branches into unmapped or wrong bytes — refuse at load time. *)
 
 type t = {
   oat : Calibro_oat.Oat_file.t;
@@ -34,6 +54,9 @@ type t = {
   decoded : Isa.t array;        (** pre-decoded text *)
   region_of : int array;        (** word index -> region table index *)
   regions : region array;
+  dict_decoded : Isa.t array;   (** pre-decoded dictionary image *)
+  dict_region_of : int array;   (** dict word index -> region table index *)
+  dict_len : int;               (** bytes of mapped dictionary image *)
   cost : Cost.t;
   native_impls : (method_ref, M.t -> unit) Hashtbl.t;
   mutable fuel : int;
@@ -46,11 +69,25 @@ let text_end oat = Abi.text_base + Calibro_oat.Oat_file.text_size oat
 
 (* ---- Loading ----------------------------------------------------------- *)
 
-let load ?(cost_params = Cost.default) ?(fuel = 500_000_000)
+let load ?(cost_params = Cost.default) ?(fuel = 500_000_000) ?dict
     (oat : Calibro_oat.Oat_file.t) : t =
+  (* Byte-faithful execution demands the exact image the linker bound
+     against: digest equality, both ways. *)
+  (match oat.dict_digest, dict with
+   | None, _ -> ()  (* self-contained; an ambient dictionary is harmless *)
+   | Some want, Some d when d.di_digest = want -> ()
+   | Some want, (Some _ | None) ->
+     raise
+       (Dict_mismatch
+          { expected = Some want;
+            got = Option.map (fun d -> d.di_digest) dict }));
   let m = M.create () in
   (* Map the text segment. *)
   M.write_bytes m Abi.text_base oat.text;
+  (* Map the shared dictionary image, exactly as prelink would. *)
+  (match dict with
+   | None -> ()
+   | Some d -> M.write_bytes m Abi.dict_base d.di_image);
   (* Forget the pages touched while loading: residency tracking starts
      clean; execution re-touches what it uses. The text pages stay mapped
      (the data is there), we only reset the *executed* set, and data-page
@@ -78,13 +115,15 @@ let load ?(cost_params = Cost.default) ?(fuel = 500_000_000)
     Array.init n_words (fun i ->
         Decode.decode (Encode.word_of_bytes oat.text (i * 4)))
   in
+  let dict_entries = match dict with None -> [] | Some d -> d.di_entries in
   let regions =
     Array.of_list
       (List.mapi (fun i (me : Calibro_oat.Oat_file.method_entry) ->
            ignore me; R_method i)
          oat.methods
       @ List.mapi (fun i _ -> R_thunk i) oat.thunks
-      @ List.mapi (fun i _ -> R_outlined i) oat.outlined)
+      @ List.mapi (fun i _ -> R_outlined i) oat.outlined
+      @ List.mapi (fun i _ -> R_dict i) dict_entries)
   in
   let region_of = Array.make n_words (-1) in
   let fill off size rid =
@@ -108,6 +147,24 @@ let load ?(cost_params = Cost.default) ?(fuel = 500_000_000)
       fill ol.ol_offset ol.ol_size !rid;
       incr rid)
     oat.outlined;
+  (* Pre-decode the dictionary image; its regions continue the table so
+     the per-region cost and residency arrays cover it uniformly. *)
+  let dict_image =
+    match dict with None -> Bytes.create 0 | Some d -> d.di_image
+  in
+  let dict_decoded =
+    Array.init
+      (Bytes.length dict_image / 4)
+      (fun i -> Decode.decode (Encode.word_of_bytes dict_image (i * 4)))
+  in
+  let dict_region_of = Array.make (Array.length dict_decoded) (-1) in
+  List.iter
+    (fun (off, size) ->
+      for w = off / 4 to (off + size) / 4 - 1 do
+        dict_region_of.(w) <- !rid
+      done;
+      incr rid)
+    dict_entries;
   let region_sizes =
     Array.of_list
       (List.map (fun (me : Calibro_oat.Oat_file.method_entry) -> me.me_size)
@@ -115,9 +172,11 @@ let load ?(cost_params = Cost.default) ?(fuel = 500_000_000)
       @ List.map (fun (th : Calibro_oat.Oat_file.thunk_entry) -> th.th_size)
           oat.thunks
       @ List.map (fun (ol : Calibro_oat.Oat_file.outlined_entry) -> ol.ol_size)
-          oat.outlined)
+          oat.outlined
+      @ List.map snd dict_entries)
   in
   { oat; machine = m; decoded; region_of; regions;
+    dict_decoded; dict_region_of; dict_len = Bytes.length dict_image;
     cost = Cost.create ~params:cost_params ~n_regions:(Array.length regions) ();
     native_impls = Hashtbl.create 8; fuel; last_region = -1;
     regions_touched = Array.make (Array.length regions) false;
@@ -329,6 +388,21 @@ let run t =
         let w = (pc - Abi.text_base) / 4 in
         let instr = t.decoded.(w) in
         let region = t.region_of.(w) in
+        if region >= 0 && not t.regions_touched.(region) then
+          t.regions_touched.(region) <- true;
+        t.last_region <- region;
+        M.touch_exec m pc;
+        let taken = exec t instr in
+        Cost.on_fetch t.cost ~region ~pc instr ~taken
+      end
+      else if pc >= Abi.dict_base && pc < Abi.dict_base + t.dict_len then begin
+        (* Shared-dictionary bodies execute exactly like local text: same
+           decode, same cost model, same residency tracking — just a
+           different mapping. *)
+        t.fuel <- t.fuel - 1;
+        let w = (pc - Abi.dict_base) / 4 in
+        let instr = t.dict_decoded.(w) in
+        let region = t.dict_region_of.(w) in
         if region >= 0 && not t.regions_touched.(region) then
           t.regions_touched.(region) <- true;
         t.last_region <- region;

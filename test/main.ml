@@ -20,5 +20,6 @@ let () =
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
+      ("dict", Test_dict.suite);
       ("chash", Test_chash.suite);
       ("server", Test_server.suite) ]

@@ -189,7 +189,63 @@ let disk_tests =
         (* a cache that evicts everything is still a correct cache *)
         let b2 = Pipeline.build ~cache:(Some cache) ~config:pl8 apk in
         Alcotest.(check string) "bytes identical under thrashing"
-          (text_digest b1) (text_digest b2)) ]
+          (text_digest b1) (text_digest b2));
+    Alcotest.test_case "stale tmp files are swept on store open" `Quick
+      (fun () ->
+        with_tmpdir (fun dir ->
+            let apk = demo () in
+            let c1 = Cache.create ~dir () in
+            ignore (Pipeline.build ~cache:(Some c1) ~config:pl8 apk);
+            (* The residue of a writer killed between open_out_bin and
+               rename: an orphan <entry>.json.tmp.<pid>.<domain> nothing
+               will ever read. *)
+            let entry = List.hd (Cache.entry_files c1) in
+            let stale = entry ^ ".tmp.999999.0" in
+            let oc = open_out_bin stale in
+            output_string oc "half a write";
+            close_out oc;
+            let swept ns = counter ("cache." ^ ns ^ ".tmp_swept") in
+            let s0 = swept "method" + swept "detect" in
+            ignore (Cache.create ~dir ());
+            Alcotest.(check bool) "stale tmp removed" false
+              (Sys.file_exists stale);
+            Alcotest.(check bool) "live entry untouched" true
+              (Sys.file_exists entry);
+            Alcotest.(check int) "sweep counted" 1
+              (swept "method" + swept "detect" - s0)));
+    Alcotest.test_case "a failed disk store leaves no tmp debris" `Quick
+      (fun () ->
+        with_tmpdir (fun dir ->
+            let module Json = Calibro_obs.Json in
+            let c = Cache.create ~dir () in
+            Cache.add_json c ~ns:"detect" "k1" (Json.Str "v1");
+            let path = List.hd (Cache.entry_files c) in
+            (* Make the atomic rename fail: replace the destination with
+               a directory. The write must degrade to memory-only AND
+               unlink its own tmp file — pre-fix it leaked one per
+               failure. *)
+            Sys.remove path;
+            Unix.mkdir path 0o755;
+            let e0 = counter "cache.detect.disk_write_errors" in
+            Cache.add_json c ~ns:"detect" "k1" (Json.Str "v2");
+            Alcotest.(check int) "write error counted" 1
+              (counter "cache.detect.disk_write_errors" - e0);
+            let ns_dir = Filename.dirname path in
+            let debris =
+              Sys.readdir ns_dir |> Array.to_list
+              |> List.filter (fun f ->
+                     let rec has i =
+                       i + 5 <= String.length f
+                       && (String.sub f i 5 = ".tmp." || has (i + 1))
+                     in
+                     has 0)
+            in
+            Alcotest.(check (list string)) "no tmp debris" [] debris;
+            (match Cache.find_json c ~ns:"detect" "k1" with
+            | Some (Json.Str "v2") -> ()
+            | _ -> Alcotest.fail "memory tier lost the entry");
+            (* leave the tree removable for with_tmpdir *)
+            Unix.rmdir path)) ]
 
 let codec_tests =
   [ Alcotest.test_case "method-entry codec roundtrips every demo method"

@@ -29,14 +29,15 @@ module Chash = Calibro_chash.Chash
 
 let demo_app = lazy (Appgen.generate Apps.demo)
 
-let request ?profile ?deadline_ms ?(config = Config.baseline) dexsim =
+let request ?profile ?deadline_ms ?dict ?(config = Config.baseline) dexsim =
   { Protocol.rq_config = config;
     rq_dexsim = dexsim;
     rq_profile = profile;
-    rq_deadline_ms = deadline_ms }
+    rq_deadline_ms = deadline_ms;
+    rq_dict = dict }
 
-let demo_request ?profile ?deadline_ms ?config () =
-  request ?profile ?deadline_ms ?config
+let demo_request ?profile ?deadline_ms ?dict ?config () =
+  request ?profile ?deadline_ms ?dict ?config
     (Calibro_dex.Dex_text.to_string (Lazy.force demo_app).Appgen.app)
 
 let sock_counter = ref 0
@@ -51,7 +52,7 @@ let fresh_socket () =
 let fresh_endpoint () = Transport.Unix_socket { path = fresh_socket () }
 
 let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
-    ?cache ?endpoint f =
+    ?(dict = fun () -> None) ?cache ?endpoint f =
   let cache =
     match cache with Some c -> c | None -> Calibro_cache.Cache.create ()
   in
@@ -65,7 +66,8 @@ let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
         queue_capacity;
         cache = Some cache;
         recv_timeout_s;
-        default_deadline_ms = None }
+        default_deadline_ms = None;
+        dict }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -80,7 +82,10 @@ let response =
         Format.fprintf fmt "Built(%d bytes, %d methods)" (String.length oat)
           stats.Protocol.bs_methods
       | Protocol.Rejected r ->
-        Format.fprintf fmt "Rejected(%s)" (Protocol.rejection_to_string r))
+        Format.fprintf fmt "Rejected(%s)" (Protocol.rejection_to_string r)
+      | Protocol.Dict_info { di_digest } ->
+        Format.fprintf fmt "Dict_info(%s)"
+          (Option.value ~default:"-" di_digest))
     (fun a b ->
       match (a, b) with
       | Protocol.Built a, Protocol.Built b ->
@@ -92,6 +97,8 @@ let response =
         && a.stats.Protocol.bs_thunks = b.stats.Protocol.bs_thunks
         && a.stats.Protocol.bs_outlined = b.stats.Protocol.bs_outlined
       | Protocol.Rejected a, Protocol.Rejected b -> a = b
+      | Protocol.Dict_info { di_digest = a }, Protocol.Dict_info { di_digest = b }
+        -> a = b
       | _ -> false)
 
 (* ---- Wire codec ---------------------------------------------------------- *)
@@ -107,7 +114,8 @@ let sample_request =
   { Protocol.rq_config = sample_config;
     rq_dexsim = ".apk x\n.dex d\n";
     rq_profile = Some "com.a.B run 500\n";
-    rq_deadline_ms = Some 1500 }
+    rq_deadline_ms = Some 1500;
+    rq_dict = Some (String.make 32 'd') }
 
 let sample_stats =
   { Protocol.bs_text_size = 40960;
@@ -120,7 +128,8 @@ let check_request_roundtrip name rq =
   match Protocol.decode_request (Protocol.encode_request rq) with
   | Error e -> Alcotest.failf "%s did not decode: %s" name e
   | Ok rq' ->
-    Alcotest.(check bool) (name ^ " round-trips") true (rq = rq')
+    Alcotest.(check bool) (name ^ " round-trips") true
+      (Protocol.Build rq = rq')
 
 let check_response_roundtrip name resp =
   match Protocol.decode_response (Protocol.encode_response resp) with
@@ -134,7 +143,13 @@ let codec_tests =
           { Protocol.rq_config = Config.baseline;
             rq_dexsim = "";
             rq_profile = None;
-            rq_deadline_ms = None });
+            rq_deadline_ms = None;
+            rq_dict = None };
+        (* The dictionary handshake is its own one-byte request. *)
+        match Protocol.decode_request (Protocol.encode_hello ()) with
+        | Ok Protocol.Hello -> ()
+        | Ok _ -> Alcotest.fail "hello decoded as a build request"
+        | Error e -> Alcotest.failf "hello did not decode: %s" e);
     Alcotest.test_case "every response round-trips exactly" `Quick (fun () ->
         check_response_roundtrip "built"
           (Protocol.Built { oat = "\x00\x01binary\xffpayload";
@@ -151,7 +166,15 @@ let codec_tests =
             Protocol.Deadline_exceeded;
             Protocol.Draining;
             Protocol.Unavailable;
-            Protocol.Internal "Stack_overflow" ]);
+            Protocol.Internal "Stack_overflow";
+            Protocol.Dict_mismatch
+              { dm_want = Some "aaaa"; dm_have = Some "bbbb" };
+            Protocol.Dict_mismatch { dm_want = Some "aaaa"; dm_have = None };
+            Protocol.Dict_mismatch { dm_want = None; dm_have = None } ];
+        check_response_roundtrip "dict_info some"
+          (Protocol.Dict_info { di_digest = Some (String.make 32 'e') });
+        check_response_roundtrip "dict_info none"
+          (Protocol.Dict_info { di_digest = None }));
     Alcotest.test_case "every truncation of a request is rejected" `Quick
       (fun () ->
         (* Cutting the payload anywhere must produce a typed decode error
@@ -526,7 +549,9 @@ let serve_tests =
          | Protocol.Built _ -> ()
          | Protocol.Rejected r ->
            Alcotest.failf "profiled build failed in-process: %s"
-             (Protocol.rejection_to_string r));
+             (Protocol.rejection_to_string r)
+         | Protocol.Dict_info _ ->
+           Alcotest.fail "profiled build answered Dict_info");
         with_server @@ fun t ->
         match Client.request ~endpoint:(Server.endpoint t) rq with
         | Error m -> Alcotest.fail m
@@ -557,6 +582,8 @@ let serve_tests =
             | Ok (Protocol.Rejected r) ->
               Alcotest.failf "unexpected rejection: %s"
                 (Protocol.rejection_to_string r)
+            | Ok (Protocol.Dict_info _) ->
+              Alcotest.fail "unexpected Dict_info"
             | Error m -> Alcotest.failf "transport error: %s" m)
           outcomes;
         Alcotest.(check int) "every request answered" n (!built + !overloaded);
@@ -580,7 +607,8 @@ let serve_tests =
           Alcotest.failf "expected Deadline_exceeded, got %s"
             (match r with
              | Protocol.Built _ -> "Built"
-             | Protocol.Rejected rej -> Protocol.rejection_to_string rej)
+             | Protocol.Rejected rej -> Protocol.rejection_to_string rej
+             | Protocol.Dict_info _ -> "Dict_info")
         | Error m -> Alcotest.fail m);
     Alcotest.test_case "the daemon serves identically over TCP" `Quick
       (fun () ->
@@ -638,7 +666,8 @@ let built_fixtures () =
         text = Bytes.create 0;
         methods = [];
         thunks = [];
-        outlined = [] },
+        outlined = [];
+        dict_digest = None },
       stats0 )
   in
   let tiny =
@@ -647,7 +676,8 @@ let built_fixtures () =
         text = Bytes.make 16 '\x1f';
         methods = [];
         thunks = [];
-        outlined = [ { Oat_file.ol_offset = 0; ol_size = 16 } ] },
+        outlined = [ { Oat_file.ol_offset = 0; ol_size = 16 } ];
+        dict_digest = Some (String.make 32 'a') },
       { stats0 with Protocol.bs_text_size = 16; bs_outlined = 1 } )
   in
   real @ [ empty; tiny ]
@@ -680,7 +710,8 @@ let zero_copy_tests =
             text = Bytes.create (Protocol.max_frame + 1);
             methods = [];
             thunks = [];
-            outlined = [] }
+            outlined = [];
+            dict_digest = None }
         in
         let stats =
           { Protocol.bs_text_size = Bytes.length oat.Oat_file.text;
@@ -745,7 +776,39 @@ let zero_copy_tests =
         Alcotest.(check bool) "fd closed" true
           (match Unix.close b with
           | () -> false
-          | exception Unix.Unix_error (Unix.EBADF, _, _) -> true)) ]
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> true));
+    Alcotest.test_case "write_fd raises Write_error on a zero-length write"
+      `Quick
+      (fun () ->
+        (* Regression: a [write] returning 0 for a nonempty buffer used to
+           spin the writer thread forever. Inject one and demand the typed
+           error instead. *)
+        let a = Arena.create () in
+        Arena.add_string a "undeliverable payload";
+        let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close null)
+          (fun () ->
+            match Arena.write_fd ~write:(fun _ _ _ _ -> 0) a null with
+            | () -> Alcotest.fail "zero-length write was not an error"
+            | exception Arena.Write_error _ -> ()));
+    Alcotest.test_case "write_fd propagates EPIPE from a dead peer" `Quick
+      (fun () ->
+        (* The raw arena layer under respond_built: writing to a peer that
+           hung up must surface the broken pipe as Unix_error, not hide it
+           — respond_built's undelivered=false depends on seeing it. *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.close a;
+        let arena = Arena.create () in
+        Arena.add_string arena (String.make 65536 'x');
+        Fun.protect
+          ~finally:(fun () -> Unix.close b)
+          (fun () ->
+            match Arena.write_fd arena b with
+            | () -> Alcotest.fail "write to a dead peer succeeded"
+            | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+              -> ())) ]
 
 (* ---- Abusive clients (lib/check fault points) ----------------------------- *)
 
@@ -762,6 +825,8 @@ let assert_still_serving t =
   | Ok (Protocol.Rejected r) ->
     Alcotest.failf "server degraded after fault: %s"
       (Protocol.rejection_to_string r)
+  | Ok (Protocol.Dict_info _) ->
+    Alcotest.fail "server answered Dict_info after fault"
   | Error m -> Alcotest.failf "server dead after fault: %s" m
 
 let fault_tests =
@@ -807,6 +872,7 @@ let fault_tests =
          | Ok (Protocol.Rejected r) ->
            Alcotest.failf "expected Build_failed, got %s"
              (Protocol.rejection_to_string r)
+         | Ok (Protocol.Dict_info _) -> Alcotest.fail "unexpected Dict_info"
          | Error m -> Alcotest.fail m);
         assert_still_serving t);
     Alcotest.test_case "garbage bytes get a typed Malformed answer" `Quick
@@ -861,7 +927,8 @@ let rejection_answer =
         Format.pp_print_string fmt
           (match r with
            | Protocol.Built _ -> "Built"
-           | Protocol.Rejected rej -> Protocol.rejection_to_string rej)
+           | Protocol.Rejected rej -> Protocol.rejection_to_string rej
+           | Protocol.Dict_info _ -> "Dict_info")
       | Error e -> Format.fprintf fmt "Error(%s)" e)
     ( = )
 
@@ -1061,7 +1128,66 @@ let router_tests =
                  | exception Protocol.Frame_error _ -> ());
                 (try Unix.close fd with Unix.Unix_error _ -> ());
                 let tt = Router.totals t in
-                Alcotest.(check int) "counted malformed" 1 tt.Router.t_malformed)))
+                Alcotest.(check int) "counted malformed" 1 tt.Router.t_malformed)));
+    Alcotest.test_case "count_as_conn_error separates peer I/O from bugs"
+      `Quick (fun () ->
+        (* The reader-thread drop policy, pinned: peer-inducible I/O and
+           protocol failures drop the connection; programming errors and
+           asynchronous exceptions must re-raise, never be swallowed. *)
+        List.iter
+          (fun e ->
+            Alcotest.(check bool) (Printexc.to_string e) true
+              (Router.count_as_conn_error e))
+          [ Unix.Unix_error (Unix.ECONNRESET, "read", "");
+            Unix.Unix_error (Unix.EPIPE, "write", "");
+            Protocol.Frame_error "short frame";
+            Sys_error "I/O error";
+            End_of_file ];
+        List.iter
+          (fun e ->
+            Alcotest.(check bool) (Printexc.to_string e) false
+              (Router.count_as_conn_error e))
+          [ Out_of_memory;
+            Stack_overflow;
+            Assert_failure ("router.ml", 1, 1);
+            Not_found;
+            Invalid_argument "bug";
+            Failure "bug" ]);
+    Alcotest.test_case "an I/O escape from the reader is dropped and counted"
+      `Quick (fun () ->
+        (* Regression: the reader used to swallow *every* exception with
+           [try ... with _ -> ()]. Provoke an expected-class escape — the
+           injected backoff sleep raises Unix_error once the lone dead
+           shard forces a retry — and demand the dropped connection shows
+           up in [t_conn_errors] and, after drain, in the
+           [router.conn_errors] counter. *)
+        let cfg =
+          { (Router.default_config
+               ~listen:(fresh_endpoint ())
+               ~shards:[| dead_endpoint () |])
+            with
+            Router.replicas = 32;
+            health_period_s = 0.0;
+            recv_timeout_s = 0.0;
+            sleep = (fun _ -> raise (Unix.Unix_error (Unix.EIO, "sleep", "")))
+          }
+        in
+        let t = Router.create cfg in
+        let c0 = Calibro_obs.Obs.Counter.value "router.conn_errors" in
+        Fun.protect
+          ~finally:(fun () ->
+            Router.request_drain t;
+            Router.drain t)
+          (fun () ->
+            (match raw_request (Router.endpoint t) "anything" with
+            | Ok _ | Error _ ->
+              Alcotest.fail "connection was answered, not dropped"
+            | exception Protocol.Frame_error _ -> ());
+            let tt = Router.totals t in
+            Alcotest.(check int) "drop counted" 1 tt.Router.t_conn_errors;
+            Alcotest.(check int) "nothing forwarded" 0 tt.Router.t_forwarded);
+        Alcotest.(check int) "mirrored to router.conn_errors at drain" 1
+          (Calibro_obs.Obs.Counter.value "router.conn_errors" - c0))
   ]
 
 (* ---- End-to-end byte-identity across transports --------------------------- *)
@@ -1176,6 +1302,122 @@ let e2e_tests =
                      0 tt.Router.t_shards))))
   ]
 
+(* ---- The shared-dictionary service path ----------------------------------- *)
+
+module Dict = Calibro_dict.Dict
+
+(* A dictionary every demo body lands in: mine the demo build against
+   itself, so each outlined body clears the >= 2 apps bar. *)
+let demo_dict () =
+  let b =
+    Pipeline.build ~cache:None
+      ~config:(Config.cto_ltbo_pl ~k:8 ())
+      (Lazy.force demo_app).Appgen.app
+  in
+  Dict.of_oats [ b.Pipeline.b_oat; b.Pipeline.b_oat ]
+
+let dict_service_tests =
+  [ Alcotest.test_case "hello reports the served dictionary digest" `Quick
+      (fun () ->
+        let d = demo_dict () in
+        let serving = Atomic.make (Some (Dict.linker_dict d)) in
+        with_server ~dict:(fun () -> Atomic.get serving) @@ fun t ->
+        (match Client.hello ~endpoint:(Server.endpoint t) with
+         | Ok got ->
+           Alcotest.(check (option string)) "digest" (Some (Dict.digest d)) got
+         | Error m -> Alcotest.fail m);
+        (* Rotation to "no dictionary" is visible on the very next hello. *)
+        Atomic.set serving None;
+        match Client.hello ~endpoint:(Server.endpoint t) with
+        | Ok got -> Alcotest.(check (option string)) "rotated away" None got
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case
+      "a dict-relative build is served byte-identical and bound" `Quick
+      (fun () ->
+        let d = demo_dict () in
+        let ld = Dict.linker_dict d in
+        with_server ~dict:(fun () -> Some ld) @@ fun t ->
+        let rq =
+          demo_request ~dict:(Dict.digest d)
+            ~config:(Config.cto_ltbo_pl ~k:8 ())
+            ()
+        in
+        let expected = Worker.build_response ~cache:None ~dict:ld rq in
+        (match expected with
+         | Protocol.Built { oat; _ } -> (
+           (* The reference build really did bind into the dictionary. *)
+           match Calibro_oat.Oat_file.of_bytes (Bytes.of_string oat) with
+           | Ok o ->
+             Alcotest.(check (option string)) "digest recorded"
+               (Some (Dict.digest d))
+               o.Calibro_oat.Oat_file.dict_digest
+           | Error e -> Alcotest.fail e)
+         | _ -> Alcotest.fail "reference dict build did not build");
+        match Client.request ~endpoint:(Server.endpoint t) rq with
+        | Error m -> Alcotest.fail m
+        | Ok served -> Alcotest.check response "dict-relative build" expected
+                         served);
+    Alcotest.test_case "a stale dictionary digest is a typed mismatch" `Quick
+      (fun () ->
+        let d = demo_dict () in
+        let ld = Dict.linker_dict d in
+        with_server ~dict:(fun () -> Some ld) @@ fun t ->
+        (* Asking for a dictionary the daemon does not serve. *)
+        (match
+           Client.request ~endpoint:(Server.endpoint t)
+             (demo_request ~dict:"0000deadbeef0000" ())
+         with
+         | Ok
+             (Protocol.Rejected
+                (Protocol.Dict_mismatch { dm_want; dm_have })) ->
+           Alcotest.(check (option string)) "want echoes the request"
+             (Some "0000deadbeef0000") dm_want;
+           Alcotest.(check (option string)) "have names the served dict"
+             (Some (Dict.digest d)) dm_have
+         | Ok r ->
+           Alcotest.failf "expected Dict_mismatch, got %s"
+             (match r with
+              | Protocol.Built _ -> "Built"
+              | Protocol.Rejected rej -> Protocol.rejection_to_string rej
+              | Protocol.Dict_info _ -> "Dict_info")
+         | Error m -> Alcotest.fail m);
+        (* A self-contained request still builds against the same daemon. *)
+        assert_still_serving t);
+    Alcotest.test_case "rotation mid-run: old digest refused, new one served"
+      `Quick (fun () ->
+        let d = demo_dict () in
+        let ld = Dict.linker_dict d in
+        let rotated = { ld with Calibro_oat.Linker.dct_digest = "rotated" } in
+        let serving = Atomic.make (Some ld) in
+        with_server ~dict:(fun () -> Atomic.get serving) @@ fun t ->
+        let rq = demo_request ~dict:(Dict.digest d) () in
+        (match Client.request ~endpoint:(Server.endpoint t) rq with
+         | Ok (Protocol.Built _) -> ()
+         | Ok r ->
+           Alcotest.failf "pre-rotation build refused: %s"
+             (match r with
+              | Protocol.Rejected rej -> Protocol.rejection_to_string rej
+              | _ -> "?")
+         | Error m -> Alcotest.fail m);
+        (* Rotate: the same request is now stale — typed mismatch naming
+           both digests, so the client knows to re-handshake. *)
+        Atomic.set serving (Some rotated);
+        (match Client.request ~endpoint:(Server.endpoint t) rq with
+         | Ok
+             (Protocol.Rejected
+                (Protocol.Dict_mismatch { dm_want; dm_have })) ->
+           Alcotest.(check (option string)) "stale want" (Some (Dict.digest d))
+             dm_want;
+           Alcotest.(check (option string)) "rotated have" (Some "rotated")
+             dm_have
+         | Ok _ -> Alcotest.fail "stale digest was not refused"
+         | Error m -> Alcotest.fail m);
+        match Client.hello ~endpoint:(Server.endpoint t) with
+        | Ok got ->
+          Alcotest.(check (option string)) "hello sees the rotation"
+            (Some "rotated") got
+        | Error m -> Alcotest.fail m) ]
+
 (* ---- Graceful drain ------------------------------------------------------- *)
 
 let drain_tests =
@@ -1191,7 +1433,8 @@ let drain_tests =
               queue_capacity = 16;
               cache = Some cache;
               recv_timeout_s = 10.0;
-              default_deadline_ms = None }
+              default_deadline_ms = None;
+              dict = (fun () -> None) }
         in
         Server.install_sigterm t;
         Fun.protect
@@ -1222,6 +1465,8 @@ let drain_tests =
              | Ok (Protocol.Rejected r) ->
                Alcotest.failf "in-flight request got %s"
                  (Protocol.rejection_to_string r)
+             | Ok (Protocol.Dict_info _) ->
+               Alcotest.fail "in-flight request got Dict_info"
              | Error m -> Alcotest.failf "in-flight request lost: %s" m);
             Alcotest.(check bool) "socket removed" false
               (Sys.file_exists socket);
@@ -1259,6 +1504,7 @@ let drain_tests =
                        | Ok (Protocol.Rejected r) ->
                          Protocol.rejection_to_string r
                        | Ok (Protocol.Built _) -> "Built"
+                       | Ok (Protocol.Dict_info _) -> "Dict_info"
                        | Error e -> e)
                 in
                 expect_served "all three up";
@@ -1278,4 +1524,5 @@ let drain_tests =
 
 let suite =
   codec_tests @ transport_tests @ ring_tests @ queue_tests @ serve_tests
-  @ zero_copy_tests @ fault_tests @ router_tests @ e2e_tests @ drain_tests
+  @ zero_copy_tests @ fault_tests @ router_tests @ e2e_tests
+  @ dict_service_tests @ drain_tests
