@@ -875,7 +875,7 @@ let gate_measure () : gate_app list * float =
   in
   (apps, Clock.since_s t0)
 
-let gate_section apps total_s detect_eps incr serve fleet store =
+let gate_section apps total_s detect_eps incr serve fleet store pgo =
   Json.Obj
     [ ( "apps",
         Json.Obj
@@ -896,7 +896,8 @@ let gate_section apps total_s detect_eps incr serve fleet store =
             ("byte_equal", Json.Bool (incr_byte_equal incr)) ] );
       ("serve", Serve.section serve);
       ("fleet", Serve.fleet_section fleet);
-      ("store", Store.section store) ]
+      ("store", Store.section store);
+      ("pgo", Pgo_bench.section pgo) ]
 
 (* The envelope committed in bench/baseline.json is a *budget*, not a
    measurement: 3x the build time observed when the baseline was written
@@ -948,6 +949,21 @@ let write_baseline path =
   if store.Store.so_saved <= 0 then
     failwith "store: the shared dictionary saves no bytes over per-app \
               outlining";
+  Printf.eprintf "[gate] measuring the PGO drift/re-link loop...\n%!";
+  let pgo = Pgo_bench.measure () in
+  if not (Pgo_bench.ok pgo) then
+    failwith "pgo: the drift loop did not re-link exactly once with \
+              byte-identical, monotone served bytes";
+  let pgo_stale = Pgo_bench.stale_degradation_pct pgo in
+  if pgo_stale <= 0. then
+    failwith "pgo: the drifted workload costs nothing on the stale OAT — \
+              the bench is measuring no real drift";
+  (* Half the measured penalty, not the exact value: the penalty is a
+     property of the codegen, and a legitimate optimizer change may
+     shrink it — but it must stay strictly positive or the bench proves
+     nothing. The cache-hit floor is exact like the store bytes: the
+     incremental re-link's hit count is deterministic. *)
+  let pgo_stale_floor = Float.round (pgo_stale /. 2. *. 100.) /. 100. in
   let doc =
     Json.Obj
       [ ("schema", Json.Int 1);
@@ -981,7 +997,14 @@ let write_baseline path =
         (* Deterministic like the per-app sizes, so the saved-byte count
            is committed exactly — any shrink at all fails the gate. *)
         ( "store",
-          Json.Obj [ ("saved_bytes_floor", Json.Int store.Store.so_saved) ] )
+          Json.Obj [ ("saved_bytes_floor", Json.Int store.Store.so_saved) ] );
+        ( "pgo",
+          Json.Obj
+            [ ("stale_degradation_floor_pct", Json.Float pgo_stale_floor);
+              ( "relink_degradation_envelope_pct",
+                Json.Float Pgo_bench.table7_envelope_pct );
+              ( "relink_cache_hits_floor",
+                Json.Int pgo.Pgo_bench.pg_relink_cache_hits ) ] )
       ]
   in
   Obs.write_file path doc;
@@ -993,7 +1016,13 @@ let write_baseline path =
     (total_s *. envelope_slack)
     eps eps_floor incr_speedup incr_floor serve.Serve.sv_throughput
     serve_floor fleet.Serve.fl_throughput fleet_floor
-    fleet.Serve.fl_failovers store.Store.so_saved
+    fleet.Serve.fl_failovers store.Store.so_saved;
+  Printf.printf
+    "  pgo: stale +%.2f%% (floor %.2f%%), relink +%.2f%% (envelope %.1f%%), \
+     %d relink cache hits\n"
+    pgo_stale pgo_stale_floor
+    (Pgo_bench.relink_degradation_pct pgo)
+    Pgo_bench.table7_envelope_pct pgo.Pgo_bench.pg_relink_cache_hits
 
 (* Reduction may not regress below the committed value by more than this
    (absolute, in reduction points). Sizes are deterministic, so any drift
@@ -1016,7 +1045,9 @@ let gate ~baseline_path : Json.t * string list =
   let fleet = Serve.fleet_measure () in
   Printf.eprintf "[gate] measuring store-wide dictionary savings...\n%!";
   let store = Store.measure () in
-  let section = gate_section apps total_s eps incr serve fleet store in
+  Printf.eprintf "[gate] measuring the PGO drift/re-link loop...\n%!";
+  let pgo = Pgo_bench.measure () in
+  let section = gate_section apps total_s eps incr serve fleet store pgo in
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
   (* Byte equality is a correctness property, not a perf budget: it fails
@@ -1046,6 +1077,19 @@ let gate ~baseline_path : Json.t * string list =
     add "store: the shared dictionary saves no bytes over per-app outlining \
          (%d)"
       store.Store.so_saved;
+  (* The PGO loop's contract is correctness-shaped too: exactly one
+     re-link, the refreshed OAT byte-identical to the in-process drifted
+     build, and the served bytes flipping exactly once. *)
+  if pgo.Pgo_bench.pg_relinks <> 1 then
+    add "pgo: drift scheduled %d re-links (want exactly 1)"
+      pgo.Pgo_bench.pg_relinks;
+  if not pgo.Pgo_bench.pg_byte_ok then
+    add "pgo: the re-linked OAT is not byte-identical to the in-process \
+         drifted build";
+  if not pgo.Pgo_bench.pg_flip_monotone then
+    add "pgo: the served bytes did not flip exactly once (old -> new)";
+  if pgo.Pgo_bench.pg_errors > 0 then
+    add "pgo: %d request errors during the drift run" pgo.Pgo_bench.pg_errors;
   (match
      let contents =
        let ic = open_in baseline_path in
@@ -1240,23 +1284,84 @@ let gate ~baseline_path : Json.t * string list =
      (* The store floor is exact, like the per-app reductions: shared-dict
         savings are deterministic byte counts, so any drop below the
         committed value is a real sharing regression, not machine noise. *)
-     match
-       Option.bind
-         (Option.bind (Json.member "store" doc)
-            (Json.member "saved_bytes_floor"))
-         Json.get_int
-     with
-     | None -> add "baseline has no \"store\".\"saved_bytes_floor\""
-     | Some floor ->
-       Printf.printf
-         "  store saved %d bytes (%d bodies, %d dict bytes), vm %s (floor \
-          %d)  %s\n"
-         store.Store.so_saved store.Store.so_bodies store.Store.so_dict_bytes
-         (if Store.vm_ok store then "faithful" else "DIVERGES")
-         floor
-         (if store.Store.so_saved < floor || not (Store.ok store) then "FAIL"
-          else "ok");
-       if store.Store.so_saved < floor then
-         add "store saved bytes regressed %d -> %d" floor
-           store.Store.so_saved);
+     (match
+        Option.bind
+          (Option.bind (Json.member "store" doc)
+             (Json.member "saved_bytes_floor"))
+          Json.get_int
+      with
+      | None -> add "baseline has no \"store\".\"saved_bytes_floor\""
+      | Some floor ->
+        Printf.printf
+          "  store saved %d bytes (%d bodies, %d dict bytes), vm %s (floor \
+           %d)  %s\n"
+          store.Store.so_saved store.Store.so_bodies store.Store.so_dict_bytes
+          (if Store.vm_ok store then "faithful" else "DIVERGES")
+          floor
+          (if store.Store.so_saved < floor || not (Store.ok store) then "FAIL"
+           else "ok");
+        if store.Store.so_saved < floor then
+          add "store saved bytes regressed %d -> %d" floor
+            store.Store.so_saved);
+     (* The PGO loop: the drifted workload must keep paying a real cycle
+        penalty on the stale OAT (or the bench measures nothing), and
+        the re-linked OAT must hold the drifted script inside the
+        committed Table 7 envelope. Cycle counts are exact, so the
+        cache-hit floor is exact like the store bytes. *)
+     (let stale = Pgo_bench.stale_degradation_pct pgo
+      and relinked = Pgo_bench.relink_degradation_pct pgo in
+      (match
+         Option.bind
+           (Option.bind (Json.member "pgo" doc)
+              (Json.member "stale_degradation_floor_pct"))
+           Json.get_float
+       with
+       | None -> add "baseline has no \"pgo\".\"stale_degradation_floor_pct\""
+       | Some floor ->
+         Printf.printf
+           "  pgo stale degradation +%.2f%% (floor %.2f%%)  %s\n" stale floor
+           (if stale < floor then "FAIL" else "ok");
+         if stale < floor then
+           add
+             "pgo: stale degradation +%.2f%% fell below floor %.2f%% — the \
+              drift workload no longer hurts"
+             stale floor);
+      (match
+         Option.bind
+           (Option.bind (Json.member "pgo" doc)
+              (Json.member "relink_degradation_envelope_pct"))
+           Json.get_float
+       with
+       | None ->
+         add "baseline has no \"pgo\".\"relink_degradation_envelope_pct\""
+       | Some env ->
+         Printf.printf
+           "  pgo re-linked degradation +%.2f%%, bytes %s (envelope %.1f%%)  \
+            %s\n"
+           relinked
+           (if pgo.Pgo_bench.pg_byte_ok then "identical" else "DIFFER")
+           env
+           (if relinked > env || not (Pgo_bench.ok pgo) then "FAIL" else "ok");
+         if relinked > env then
+           add
+             "pgo: re-linked degradation +%.2f%% exceeds the Table 7 \
+              envelope %.1f%%"
+             relinked env);
+      match
+        Option.bind
+          (Option.bind (Json.member "pgo" doc)
+             (Json.member "relink_cache_hits_floor"))
+          Json.get_int
+      with
+      | None -> add "baseline has no \"pgo\".\"relink_cache_hits_floor\""
+      | Some floor ->
+        Printf.printf "  pgo relink cache hits %d (floor %d)  %s\n"
+          pgo.Pgo_bench.pg_relink_cache_hits floor
+          (if pgo.Pgo_bench.pg_relink_cache_hits < floor then "FAIL"
+           else "ok");
+        if pgo.Pgo_bench.pg_relink_cache_hits < floor then
+          add
+            "pgo: relink cache hits regressed %d -> %d — the re-link is no \
+             longer incremental"
+            floor pgo.Pgo_bench.pg_relink_cache_hits));
   (section, List.rev !fail)

@@ -38,6 +38,11 @@ let usage () =
     \                   exit 1 unless sharing saves bytes net of the\n\
     \                   dictionary image and every dict-bound app runs\n\
     \                   byte-faithfully in the VM\n\
+    \  pgo              drift detection + incremental re-link through a live\n\
+    \                   calibrod: stream drifted profiles, require exactly\n\
+    \                   one re-link, the served OAT byte-identical to the\n\
+    \                   in-process drifted build, and the drifted script's\n\
+    \                   cycles back inside the Table 7 envelope\n\
     \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
@@ -98,6 +103,7 @@ let () =
    | "serve" -> if not (Serve.bench ()) then exit_code := 1
    | "fleet" -> if not (Serve.fleet_bench ()) then exit_code := 1
    | "store" -> if not (Store.bench ()) then exit_code := 1
+   | "pgo" -> if not (Pgo_bench.bench ()) then exit_code := 1
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()

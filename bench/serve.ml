@@ -81,8 +81,8 @@ let workload () =
         | Protocol.Rejected rej ->
           failwith ("serve bench workload does not build: "
                     ^ Protocol.rejection_to_string rej)
-        | Protocol.Dict_info _ ->
-          failwith "serve bench workload answered Dict_info")
+        | Protocol.Dict_info _ | Protocol.Report_ack _ ->
+          failwith "serve bench workload answered a non-build response")
       slots
   in
   (slots, expected)
@@ -111,7 +111,8 @@ let drive ~endpoint ~n_clients ~slots ~expected ?progress () =
          Atomic.incr built;
          if not (String.equal oat expected.(slot)) then Atomic.incr mismatches
        | Ok (Protocol.Rejected _) -> Atomic.incr rejected
-       | Ok (Protocol.Dict_info _) -> Atomic.incr errors
+       | Ok (Protocol.Dict_info _ | Protocol.Report_ack _) ->
+         Atomic.incr errors
        | Error _ -> Atomic.incr errors);
       Option.iter Atomic.incr progress
     done

@@ -94,8 +94,8 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
                oat;
                req_ix = ix mod Array.length requests_by_slot }
          | Ok (Protocol.Rejected rej) -> O_rejected rej
-         | Ok (Protocol.Dict_info _) ->
-           O_transport "unexpected Dict_info reply to a build request"
+         | Ok (Protocol.Dict_info _ | Protocol.Report_ack _) ->
+           O_transport "unexpected reply to a build request"
          | Error m -> O_transport m)
     done
   in
@@ -152,8 +152,8 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
               Printf.eprintf "local build failed: %s\n"
                 (Protocol.rejection_to_string rej);
               exit 2
-            | Protocol.Dict_info _ ->
-              Printf.eprintf "local build answered Dict_info\n";
+            | Protocol.Dict_info _ | Protocol.Report_ack _ ->
+              Printf.eprintf "local build answered a non-build response\n";
               exit 2)
           requests_by_slot
       in
@@ -175,6 +175,217 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
       (List.length built);
   if mismatches > 0 then 1
   else if (not allow_errors) && (rejected > 0 || transport > 0) then 1
+  else 0
+
+(* ---- The drift replay (--drift) -----------------------------------------
+
+   A PGO convergence check against a live daemon. One seeded app (a
+   Workload.Mutate release of the base), one fixed build request whose
+   profile is the *old* usage regime; every client alternates Build and
+   Profile_report, and at the midpoint of its run the reported regime
+   rotates — the interaction script's repeat weights flip from
+   ramp-up (late steps hot) to ramp-down (early steps hot), so the hot
+   set's mass moves to a different slice of the app. The daemon must
+   detect the drift, schedule exactly one incremental re-link, and flip
+   what it serves: each client sees old bytes, then new bytes, never a
+   third value and never old again after new. --verify additionally
+   demands both byte-values equal in-process builds with the respective
+   profiles. *)
+
+module Pgo_profile = Calibro_profile.Profile
+
+let run_drift endpoint clients requests app_name seed config_name deadline_ms
+    verify allow_errors dict_path =
+  let app_profile =
+    if String.lowercase_ascii app_name = "demo" then Some Apps.demo
+    else Apps.by_name app_name
+  in
+  let generated =
+    match app_profile with
+    | None -> Printf.eprintf "unknown app %s\n" app_name; exit 2
+    | Some p -> Appgen.generate p
+  in
+  let base_apk, _ops =
+    Mutate.mutate ~seed:(max 1 seed) generated.Appgen.app
+  in
+  let script = generated.Appgen.app_script in
+  let config =
+    match Config.of_string config_name with
+    | Ok c -> c
+    | Error e -> Printf.eprintf "%s\n" e; exit 2
+  in
+  let dict =
+    match dict_path with
+    | None -> None
+    | Some path -> (
+      match Calibro_dict.Dict.load path with
+      | Ok d -> Some d
+      | Error e ->
+        Printf.eprintf "calibro_load: --dict %s: %s\n" path e;
+        exit 2)
+  in
+  (* The two usage regimes: same script, opposite repeat ramps. *)
+  let n_steps = List.length script in
+  let weighted w =
+    List.mapi
+      (fun i (st : Appgen.script_step) ->
+        { st with Appgen.sc_repeat = 1 + w i })
+      script
+  in
+  (* A binary split (late-half steps x16 vs early-half x16) displaces
+     far more execution mass than a linear ramp: the heaviest method
+     keeps dominating a ramp's totals, and the mass-weighted drift score
+     then never clears the threshold. *)
+  let half = n_steps / 2 in
+  let script_old = weighted (fun i -> if i >= half then 15 else 0)
+  and script_new = weighted (fun i -> if i < half then 15 else 0) in
+  let baseline_build = Pipeline.build ~config:Config.baseline base_apk in
+  let profile_of script =
+    let t = Calibro_vm.Interp.load baseline_build.Pipeline.b_oat in
+    List.iter
+      (fun (st : Appgen.script_step) ->
+        for _ = 1 to st.Appgen.sc_repeat do
+          match
+            Calibro_vm.Interp.call t st.Appgen.sc_method st.Appgen.sc_args
+          with
+          | Calibro_vm.Interp.Fault m -> failwith ("script fault: " ^ m)
+          | _ -> ()
+        done)
+      script;
+    Pgo_profile.to_string (Pgo_profile.of_interp t)
+  in
+  let profile_old = profile_of script_old
+  and profile_new = profile_of script_new in
+  let dexsim = Calibro_dex.Dex_text.to_string base_apk in
+  let digest = Calibro_chash.Chash.string dexsim in
+  let rq =
+    { Protocol.rq_config = config;
+      rq_dexsim = dexsim;
+      rq_profile = Some profile_old;
+      rq_deadline_ms = deadline_ms;
+      rq_dict = Option.map Calibro_dict.Dict.digest dict }
+  in
+  let requests = max 2 requests in
+  let rotate_at = requests / 2 in
+  let total = clients * requests in
+  let served = Array.make total None in
+  let relink_acks = Atomic.make 0 in
+  let report_errors = Atomic.make 0 in
+  let build_errors = Atomic.make 0 in
+  let reports_sent = Atomic.make 0 in
+  let t0 = Clock.now_ns () in
+  let client_thread c () =
+    for r = 0 to requests - 1 do
+      let ix = (c * requests) + r in
+      (match Client.request ~endpoint rq with
+       | Ok (Protocol.Built { oat; _ }) -> served.(ix) <- Some oat
+       | Ok _ -> Atomic.incr build_errors
+       | Error _ -> Atomic.incr build_errors);
+      let profile = if r < rotate_at then profile_old else profile_new in
+      Atomic.incr reports_sent;
+      match
+        Client.report ~endpoint
+          { Protocol.pr_app = digest; pr_profile = profile }
+      with
+      | Ok (_drift, relinked) -> if relinked then Atomic.incr relink_acks
+      | Error _ -> Atomic.incr report_errors
+    done
+  in
+  let threads =
+    List.init clients (fun c -> Thread.create (client_thread c) ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Clock.since_s t0 in
+  (* Classify the served byte-values. *)
+  let expected_old, expected_new =
+    if verify then begin
+      let build rq =
+        match
+          Worker.build_response ~cache:None
+            ?dict:(Option.map Calibro_dict.Dict.linker_dict dict) rq
+        with
+        | Protocol.Built { oat; _ } -> oat
+        | r ->
+          Printf.eprintf "local build failed: %s\n"
+            (match r with
+             | Protocol.Rejected rej -> Protocol.rejection_to_string rej
+             | _ -> "non-build response");
+          exit 2
+      in
+      ( build rq,
+        build { rq with Protocol.rq_profile = Some profile_new } )
+    end
+    else begin
+      (* Without --verify the oracle builds are skipped: the first byte
+         value seen is "old", the first different one is "new". *)
+      let first = ref None and second = ref None in
+      Array.iter
+        (function
+          | None -> ()
+          | Some oat -> (
+            match (!first, !second) with
+            | None, _ -> first := Some oat
+            | Some f, None when not (String.equal f oat) ->
+              second := Some oat
+            | _ -> ()))
+        served;
+      ( Option.value ~default:"" !first,
+        Option.value ~default:"" !second )
+    end
+  in
+  let n_old = ref 0 and n_new = ref 0 and n_other = ref 0 in
+  let monotone = ref true in
+  for c = 0 to clients - 1 do
+    let seen_new = ref false in
+    for r = 0 to requests - 1 do
+      match served.((c * requests) + r) with
+      | None -> ()
+      | Some oat ->
+        if String.equal oat expected_old then begin
+          incr n_old;
+          if !seen_new then monotone := false
+        end
+        else if String.equal oat expected_new then begin
+          incr n_new;
+          seen_new := true
+        end
+        else incr n_other
+    done
+  done;
+  Printf.printf
+    "calibro_load --drift: %d builds (%d clients x %d), %d reports, %d \
+     relinks acked in %.2fs\n"
+    total clients requests (Atomic.get reports_sent)
+    (Atomic.get relink_acks) wall_s;
+  Printf.printf
+    "  served: %d old-profile, %d new-profile, %d unrecognized; flip %s\n"
+    !n_old !n_new !n_other
+    (if !monotone then "monotone" else "NOT MONOTONE");
+  if verify then
+    Printf.printf
+      "  verify: served values checked against in-process builds of both \
+       profiles%s\n"
+      (if !n_other = 0 then "" else " — DIVERGENCE");
+  let errors = Atomic.get build_errors + Atomic.get report_errors in
+  if errors > 0 then Printf.printf "  %d request errors\n" errors;
+  if !n_other > 0 then begin
+    Printf.printf "  DRIFT FAIL: a served OAT matches neither profile's \
+                   build\n";
+    1
+  end
+  else if not !monotone then begin
+    Printf.printf "  DRIFT FAIL: a client saw old bytes after new bytes\n";
+    1
+  end
+  else if Atomic.get relink_acks = 0 then begin
+    Printf.printf "  DRIFT FAIL: no report triggered a re-link\n";
+    1
+  end
+  else if !n_new = 0 then begin
+    Printf.printf "  DRIFT FAIL: the re-linked OAT was never served\n";
+    1
+  end
+  else if (not allow_errors) && errors > 0 then 1
   else 0
 
 let cmd =
@@ -231,13 +442,25 @@ let cmd =
                  against the same dictionary. A daemon serving a \
                  different dictionary answers Dict_mismatch.")
   in
+  let drift =
+    Arg.(value & flag & info [ "drift" ]
+           ~doc:"PGO convergence replay: every client alternates Build and \
+                 Profile_report against one seeded app, the reported usage \
+                 regime rotates at the midpoint of each client's run, and \
+                 the daemon must detect the drift, re-link incrementally \
+                 and flip what it serves — exactly once, monotonically per \
+                 client. Exit 1 if no re-link happens, the flip is not \
+                 monotone, or (with $(b,--verify)) any served OAT differs \
+                 from the in-process builds of both regimes. Uses the \
+                 first $(b,--seeds) seed only.")
+  in
   Cmd.v
     (Cmd.info "calibro_load"
        ~doc:"Concurrent load generator and verifier for calibrod.")
     Term.(
       const
         (fun socket tcp clients requests app seeds config deadline_ms verify
-             allow_errors dict_path ->
+             allow_errors dict_path drift ->
           let endpoint =
             match (socket, tcp) with
             | Some path, None -> Transport.Unix_socket { path }
@@ -253,9 +476,13 @@ let cmd =
               Stdlib.exit 2
           in
           Stdlib.exit
-            (run endpoint clients requests app seeds config deadline_ms
-               verify allow_errors dict_path))
+            (if drift then
+               run_drift endpoint clients requests app seeds config
+                 deadline_ms verify allow_errors dict_path
+             else
+               run endpoint clients requests app seeds config deadline_ms
+                 verify allow_errors dict_path))
       $ socket $ tcp $ clients $ requests $ app_arg $ seeds $ config
-      $ deadline_ms $ verify $ allow_errors $ dict_path)
+      $ deadline_ms $ verify $ allow_errors $ dict_path $ drift)
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,7 @@ open Cmdliner
 module Server = Calibro_server.Server
 module Transport = Calibro_server.Transport
 module Obs = Calibro_obs.Obs
+module Pgo = Calibro_pgo.Pgo
 
 (* The shared dictionary lives behind an Atomic so SIGHUP can rotate it
    (reload the file) while worker domains and reader threads keep pulling
@@ -29,7 +30,7 @@ let load_dict path =
     exit 2
 
 let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
-    dict_path metrics trace =
+    dict_path pgo_enabled pgo_threshold pgo_hysteresis metrics trace =
   let endpoint =
     match (socket, tcp) with
     | Some path, None -> Transport.Unix_socket { path }
@@ -67,6 +68,17 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
                 "calibrod: dictionary rotation failed (%s); keeping the \
                  current one\n%!"
                 e)));
+  let pgo =
+    if not pgo_enabled then None
+    else
+      Some
+        (Pgo.Manager.create
+           ~config:
+             { Pgo.default_config with
+               Pgo.threshold = pgo_threshold;
+               hysteresis = max 1 pgo_hysteresis }
+           ())
+  in
   let cfg =
     { (Server.default_config ~endpoint) with
       Server.workers;
@@ -76,7 +88,8 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
       default_deadline_ms = deadline_ms;
       dict =
         (fun () ->
-          Option.map Calibro_dict.Dict.linker_dict (Atomic.get dict)) }
+          Option.map Calibro_dict.Dict.linker_dict (Atomic.get dict));
+      pgo }
   in
   let t =
     try Server.create cfg
@@ -103,13 +116,33 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
        (Calibro_dict.Dict.digest d)
        (Calibro_dict.Dict.n_bodies d)
    | None -> ());
+  (match pgo with
+   | Some _ ->
+     Printf.eprintf
+       "calibrod: PGO drift loop on (threshold %.2f, hysteresis %d)\n%!"
+       pgo_threshold (max 1 pgo_hysteresis)
+   | None -> ());
   Server.join t;
   let tt = Server.totals t in
   Printf.eprintf
     "calibrod: drained; %d accepted, %d overloaded, %d malformed, %d \
-     stalled, %d refused while draining\n%!"
+     stalled, %d refused while draining, %d profile reports\n%!"
     tt.Server.t_accepted tt.Server.t_overloaded tt.Server.t_malformed
-    tt.Server.t_stalled tt.Server.t_refused_draining;
+    tt.Server.t_stalled tt.Server.t_refused_draining tt.Server.t_reports;
+  (match pgo with
+   | None -> ()
+   | Some m ->
+     (* The drain mirrored (and zeroed) the manager's tallies into the
+        pgo.<app>.* counters; read them back for the exit summary. *)
+     List.iter
+       (fun (app, (_ : Pgo.app_totals)) ->
+         let v what = Obs.Counter.value (Printf.sprintf "pgo.%s.%s" app what) in
+         Printf.eprintf
+           "calibrod: pgo %s: %d reports, %d drift-detected, %d relinks, \
+            %d relink cache hits\n%!"
+           app (v "reports") (v "drift_detected") (v "relinks")
+           (v "relink_cache_hits"))
+       (Pgo.Manager.totals m));
   Obs.export ~metrics ~trace ();
   exit 0
 
@@ -159,10 +192,32 @@ let cmd =
                  the file (rotation): stale rq_dict requests then get \
                  typed Dict_mismatch answers.")
   in
+  let pgo_enabled =
+    Arg.(value & flag & info [ "pgo" ]
+           ~doc:"Enable the PGO drift loop: Profile_report frames are \
+                 accumulated per app, hot-set drift past the threshold \
+                 schedules an incremental re-link through the worker pool \
+                 and cache, and subsequent identical Build requests are \
+                 served the refreshed OAT. Without this flag every report \
+                 is answered with a typed Unknown_app rejection.")
+  in
+  let pgo_threshold =
+    Arg.(value & opt float 0.3 & info [ "pgo-threshold" ] ~docv:"D"
+           ~doc:"Drift score (mass-weighted Jaccard distance between the \
+                 served and current hot sets, 0..1) above which a report \
+                 counts toward the re-link hysteresis.")
+  in
+  let pgo_hysteresis =
+    Arg.(value & opt int 3 & info [ "pgo-hysteresis" ] ~docv:"N"
+           ~doc:"Consecutive over-threshold reports required before a \
+                 re-link is scheduled; one under-threshold report resets \
+                 the streak, so noise never triggers.")
+  in
   let metrics =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write the flat metrics JSON (request counters by outcome, \
-                 queue-depth gauge, latency histograms) at drain.")
+                 queue-depth gauge, latency histograms, pgo.<app>.* drift \
+                 counters) at drain.")
   in
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -175,6 +230,7 @@ let cmd =
              Unix-domain socket or TCP with admission control, deadlines \
              and graceful drain.")
     Term.(const serve $ socket $ tcp $ workers $ queue_capacity $ cache_dir
-          $ recv_timeout $ deadline_ms $ dict_path $ metrics $ trace)
+          $ recv_timeout $ deadline_ms $ dict_path $ pgo_enabled
+          $ pgo_threshold $ pgo_hysteresis $ metrics $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -30,7 +30,9 @@ let () =
   let t = run_script base.Pipeline.b_oat script in
   let profile = Profile.of_interp t in
   let path = Filename.temp_file "calibro" ".profile" in
-  Profile.save profile path;
+  (match Profile.save profile path with
+   | Ok () -> ()
+   | Error e -> failwith e);
   Printf.printf "profile written to %s (%d samples)\n" path
     (List.length profile);
   (* 4. Selecting profiling data: the hot set. *)

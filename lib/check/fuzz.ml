@@ -320,6 +320,86 @@ module Proto = struct
             Some
               (Printf.sprintf "seed %d: decode_request raised %s" seed
                  (Printexc.to_string e)) );
+      ( "report frame round-trips",
+        fun () ->
+          (* The PGO feedback frame: a tag-3 request with arbitrary app
+             digest and profile text (the daemon, not the codec, judges
+             the profile's syntax) must survive the codec exactly. *)
+          let rp =
+            { P.pr_app = Digest.to_hex (Digest.string (bytes r 8));
+              pr_profile = bytes r (next r mod 512) }
+          in
+          (match P.decode_request (P.encode_report rp) with
+           | Ok (P.Report rp') when rp' = rp -> None
+           | Ok _ ->
+             Some (Printf.sprintf "seed %d: report decoded differently" seed)
+           | Error m ->
+             Some (Printf.sprintf "seed %d: report refused: %s" seed m)
+           | exception e ->
+             Some
+               (Printf.sprintf "seed %d: report round-trip raised %s" seed
+                  (Printexc.to_string e))) );
+      ( "truncated report is rejected",
+        fun () ->
+          let full =
+            P.encode_report
+              { P.pr_app = bytes r 32; pr_profile = bytes r 64 }
+          in
+          let rec check len =
+            if len >= String.length full then None
+            else
+              match P.decode_request (String.sub full 0 len) with
+              | Error _ -> check (len + 1)
+              | Ok _ ->
+                Some
+                  (Printf.sprintf
+                     "seed %d: report truncated to %d bytes decoded" seed len)
+              | exception e ->
+                Some
+                  (Printf.sprintf
+                     "seed %d: report truncated to %d raised %s" seed len
+                     (Printexc.to_string e))
+          in
+          check 0 );
+      ( "report with a lying profile length",
+        fun () ->
+          (* Tag 3, a well-formed app string, then a profile whose
+             declared length promises ~2GiB that is not there: the decoder
+             must refuse on the bounds check — before allocating for the
+             lie. Same allocation oracle as the oversized frame header. *)
+          let b = Buffer.create 64 in
+          Buffer.add_char b (Char.chr 3);
+          let app = bytes r 32 in
+          let add_u32 v =
+            Buffer.add_char b (Char.chr (v land 0xff));
+            Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+            Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+            Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+          in
+          add_u32 (String.length app);
+          Buffer.add_string b app;
+          add_u32 (0x7FFFFFF0 - (next r mod 4096));
+          Buffer.add_string b (bytes r (next r mod 8));
+          let before = Gc.allocated_bytes () in
+          let verdict =
+            match P.decode_request (Buffer.contents b) with
+            | Error _ -> None
+            | Ok _ ->
+              Some
+                (Printf.sprintf "seed %d: lying report length decoded" seed)
+            | exception e ->
+              Some
+                (Printf.sprintf "seed %d: lying report length raised %s" seed
+                   (Printexc.to_string e))
+          in
+          let allocated = Gc.allocated_bytes () -. before in
+          if verdict <> None then verdict
+          else if allocated > 1_000_000.0 then
+            Some
+              (Printf.sprintf
+                 "seed %d: refusing a lying report length allocated %.0f                   bytes"
+                 seed allocated)
+          else None );
       ( "zero-copy Built frame parses clean",
         fun () ->
           (* The arena writer is a second implementation of the Built

@@ -14,6 +14,17 @@ type t = sample list
 
 let total (t : t) = List.fold_left (fun a s -> a + s.s_cycles) 0 t
 
+(* Canonical sample order: hottest first, ties broken by method name so the
+   result never depends on hash-table iteration order (the PGO drift loop
+   compares hot sets across processes and hash backends). *)
+let compare_sample a b =
+  match compare b.s_cycles a.s_cycles with
+  | 0 ->
+    compare
+      (a.s_method.class_name, a.s_method.method_name)
+      (b.s_method.class_name, b.s_method.method_name)
+  | c -> c
+
 (* Collect a profile from a finished simulator run. *)
 let of_interp (interp : Calibro_vm.Interp.t) : t =
   Calibro_vm.Interp.method_cycles interp
@@ -27,11 +38,21 @@ let merge (a : t) (b : t) : t =
         (s.s_cycles + Option.value ~default:0 (Hashtbl.find_opt tbl s.s_method)))
     (a @ b);
   Hashtbl.fold (fun m c acc -> { s_method = m; s_cycles = c } :: acc) tbl []
-  |> List.sort (fun x y -> compare y.s_cycles x.s_cycles)
+  |> List.sort compare_sample
+
+(* Age the accumulator of a decayed window: scale every sample down by
+   [factor] (0 < factor <= 1), dropping methods whose mass rounds to zero so
+   a long-running accumulator stays bounded by the live method set. *)
+let decay ~factor (t : t) : t =
+  List.filter_map
+    (fun s ->
+      let c = int_of_float (factor *. float_of_int s.s_cycles) in
+      if c <= 0 then None else Some { s with s_cycles = c })
+    t
 
 (* The top functions accounting for [coverage] of total execution time. *)
 let hot_set ?(coverage = 0.8) (t : t) : method_ref list =
-  let sorted = List.sort (fun a b -> compare b.s_cycles a.s_cycles) t in
+  let sorted = List.sort compare_sample t in
   let budget = coverage *. float_of_int (total t) in
   let rec take acc cum = function
     | [] -> List.rev acc
@@ -55,27 +76,47 @@ let of_string str : (t, string) result =
   let lines =
     String.split_on_char '\n' str |> List.filter (fun l -> String.trim l <> "")
   in
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
+  (* Duplicate method lines sum into the first occurrence (a report is a
+     bag of samples, not a map), preserving first-seen order so
+     [of_string (to_string p) = p] for duplicate-free profiles. *)
+  let order = ref [] in
+  let tbl = Hashtbl.create 64 in
+  let rec go = function
+    | [] ->
+      Ok
+        (List.rev_map
+           (fun m -> { s_method = m; s_cycles = Hashtbl.find tbl m })
+           !order)
     | line :: rest -> (
-      match String.split_on_char ' ' (String.trim line) with
+      (* Split on runs of whitespace so trailing blanks and double spaces
+         inside a line parse rather than producing phantom empty fields. *)
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun f -> f <> "")
+      with
       | [ cls; name; cycles ] -> (
         match int_of_string_opt cycles with
-        | Some c ->
-          go
-            ({ s_method = { class_name = cls; method_name = name };
-               s_cycles = c }
-             :: acc)
-            rest
+        | Some c when c >= 0 ->
+          let m = { class_name = cls; method_name = name } in
+          (match Hashtbl.find_opt tbl m with
+           | Some prev -> Hashtbl.replace tbl m (prev + c)
+           | None ->
+             Hashtbl.add tbl m c;
+             order := m :: !order);
+          go rest
+        | Some _ -> Error (Printf.sprintf "negative cycle count in %S" line)
         | None -> Error (Printf.sprintf "bad cycle count in %S" line))
       | _ -> Error (Printf.sprintf "bad profile line %S" line))
   in
-  go [] lines
+  go lines
 
-let save (t : t) path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (to_string t))
+let save (t : t) path : (unit, string) result =
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc ->
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc (to_string t));
+    Ok ()
 
 let load path : (t, string) result =
   match open_in path with

@@ -14,19 +14,32 @@ val of_interp : Calibro_vm.Interp.t -> t
 (** Collect the per-method cycle attribution of a finished simulator run. *)
 
 val merge : t -> t -> t
-(** Pointwise sum, sorted hottest-first. *)
+(** Pointwise sum in canonical order: cycles descending, ties broken by
+    (class, method) name ascending — never hash-table iteration order. *)
+
+val decay : factor:float -> t -> t
+(** Age a decayed-window accumulator: every sample's cycles scaled by
+    [factor] (0 < factor <= 1); methods whose mass rounds to zero are
+    dropped so the accumulator stays bounded. *)
 
 val hot_set : ?coverage:float -> t -> method_ref list
 (** The top functions accounting for [coverage] (default 0.8) of total
-    execution time — the paper's hot-function set. Zero-cycle methods are
-    never hot. *)
+    execution time — the paper's hot-function set. Ties are broken by
+    (class, method) name so the cut is deterministic. Zero-cycle methods
+    are never hot. *)
 
 val to_string : t -> string
 (** One "class method cycles" line per sample (Figure 6's profiling data
     file). *)
 
 val of_string : string -> (t, string) result
+(** Inverse of [to_string]. Tolerates repeated/trailing blanks inside a
+    line; duplicate method lines sum into the first occurrence; negative
+    cycle counts are rejected. [of_string (to_string p) = p] for
+    duplicate-free profiles. *)
 
-val save : t -> string -> unit
+val save : t -> string -> (unit, string) result
+(** Write the Figure 6 text form; [Error] (not an exception) on an
+    unwritable path. *)
 
 val load : string -> (t, string) result

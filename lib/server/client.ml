@@ -53,5 +53,27 @@ let hello ~endpoint =
           | Ok (Protocol.Dict_info { di_digest }) -> Ok di_digest
           | Ok (Protocol.Rejected rej) ->
             Error (Protocol.rejection_to_string rej)
-          | Ok (Protocol.Built _) -> Error "unexpected Built reply to hello"
+          | Ok (Protocol.Built _ | Protocol.Report_ack _) ->
+            Error "unexpected reply to hello"
+          | Error _ as e -> e))
+
+let report ~endpoint r =
+  match connect endpoint with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("connect: " ^ Unix.error_message e)
+  | t ->
+    Fun.protect
+      ~finally:(fun () -> close t)
+      (fun () ->
+        match Protocol.write_frame t.fd (Protocol.encode_report r) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("send: " ^ Unix.error_message e)
+        | () -> (
+          match recv t with
+          | Ok (Protocol.Report_ack { ra_drift; ra_relink }) ->
+            Ok (ra_drift, ra_relink)
+          | Ok (Protocol.Rejected rej) ->
+            Error (Protocol.rejection_to_string rej)
+          | Ok (Protocol.Built _ | Protocol.Dict_info _) ->
+            Error "unexpected reply to profile report"
           | Error _ as e -> e))

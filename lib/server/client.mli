@@ -34,3 +34,13 @@ val hello : endpoint:Transport.endpoint -> (string option, string) result
     serves. [Ok (Some digest)] is what to put in [rq_dict] for a
     dictionary-relative build; [Ok None] means the daemon serves only
     self-contained builds. Answered even while the daemon drains. *)
+
+val report :
+  endpoint:Transport.endpoint -> Protocol.profile_report ->
+  (float * bool, string) result
+(** Stream one profile report into the daemon's PGO loop.
+    [Ok (drift, relink_scheduled)] echoes the drift score the report
+    produced and whether it triggered an incremental re-link; daemon-side
+    refusals (e.g. [Unknown_app]) arrive as [Error] with the typed
+    rejection's message. Answered even while the daemon drains (a drain
+    merges but never schedules). *)

@@ -212,10 +212,13 @@ type build_request = {
   rq_dict : string option;
 }
 
-type request = Build of build_request | Hello
+type profile_report = { pr_app : string; pr_profile : string }
+
+type request = Build of build_request | Hello | Report of profile_report
 
 let tag_build = 1
 let tag_hello = 2
+let tag_report = 3
 
 let encode_request (r : build_request) =
   let b = Buffer.create (String.length r.rq_dexsim + 256) in
@@ -229,12 +232,25 @@ let encode_request (r : build_request) =
 
 let encode_hello () = String.make 1 (Char.chr tag_hello)
 
+let encode_report (r : profile_report) =
+  let b = Buffer.create (String.length r.pr_profile + 64) in
+  w_u8 b tag_report;
+  w_str b r.pr_app;
+  w_str b r.pr_profile;
+  Buffer.contents b
+
 let decode_request =
   decoding @@ fun c ->
   let tag = r_u8 c ~what:"request tag" in
   if tag = tag_hello then begin
     finish c "hello request";
     Hello
+  end
+  else if tag = tag_report then begin
+    let pr_app = r_str c ~what:"report.app" in
+    let pr_profile = r_str c ~what:"report.profile" in
+    finish c "profile report";
+    Report { pr_app; pr_profile }
   end
   else begin
     if tag <> tag_build then
@@ -268,6 +284,7 @@ type rejection =
   | Unavailable
   | Internal of string
   | Dict_mismatch of { dm_want : string option; dm_have : string option }
+  | Unknown_app of string
 
 let opt_digest = function None -> "none" | Some d -> d
 
@@ -283,15 +300,18 @@ let rejection_to_string = function
   | Dict_mismatch { dm_want; dm_have } ->
     Printf.sprintf "dictionary mismatch: request wants %s, daemon serves %s"
       (opt_digest dm_want) (opt_digest dm_have)
+  | Unknown_app d -> Printf.sprintf "unknown app %s: never built here" d
 
 type response =
   | Built of { oat : string; stats : build_stats }
   | Rejected of rejection
   | Dict_info of { di_digest : string option }
+  | Report_ack of { ra_drift : float; ra_relink : bool }
 
 let tag_built = 1
 let tag_rejected = 2
 let tag_dict_info = 3
+let tag_report_ack = 4
 
 (* Rejection codes on the wire; codes with a message carry one string
    (Dict_mismatch carries its two optional digests). *)
@@ -305,6 +325,7 @@ let rejection_code = function
   | Internal _ -> 7
   | Unavailable -> 8
   | Dict_mismatch _ -> 9
+  | Unknown_app _ -> 10
 
 let encode_response (r : response) =
   let b =
@@ -329,10 +350,15 @@ let encode_response (r : response) =
       | Dict_mismatch { dm_want; dm_have } ->
         w_opt w_str b dm_want;
         w_opt w_str b dm_have
+      | Unknown_app d -> w_str b d
       | Overloaded | Deadline_exceeded | Draining | Unavailable -> ())
    | Dict_info { di_digest } ->
      w_u8 b tag_dict_info;
-     w_opt w_str b di_digest);
+     w_opt w_str b di_digest
+   | Report_ack { ra_drift; ra_relink } ->
+     w_u8 b tag_report_ack;
+     w_f64 b ra_drift;
+     w_bool b ra_relink);
   Buffer.contents b
 
 let decode_response =
@@ -368,11 +394,17 @@ let decode_response =
            let dm_want = r_opt r_str c ~what:"dict-mismatch want" in
            let dm_have = r_opt r_str c ~what:"dict-mismatch have" in
            Dict_mismatch { dm_want; dm_have }
+         | 10 -> Unknown_app (msg ~what:"unknown-app digest")
          | c ->
            raise (Decode_error (Printf.sprintf "unknown rejection code %d" c)))
     end
     else if tag = tag_dict_info then
       Dict_info { di_digest = r_opt r_str c ~what:"dict-info digest" }
+    else if tag = tag_report_ack then begin
+      let ra_drift = r_f64 c ~what:"report-ack drift" in
+      let ra_relink = r_bool c ~what:"report-ack relink" in
+      Report_ack { ra_drift; ra_relink }
+    end
     else raise (Decode_error (Printf.sprintf "unknown response tag %d" tag))
   in
   finish c "response";

@@ -65,20 +65,39 @@ type build_request = {
           dictionary, if any, is not used). *)
 }
 
-(** What a client can ask: a build, or the dictionary handshake —
-    [Hello] answers with {!response.Dict_info} carrying the digest of the
-    shared dictionary the daemon currently links against, so a client
-    can learn what to put in [rq_dict] (and when a rotation happened). *)
-type request = Build of build_request | Hello
+type profile_report = {
+  pr_app : string;
+      (** the app's digest — {!request_app_digest} of the build that
+          produced the OAT the client is running, i.e.
+          [Calibro_chash.Chash.string rq_dexsim] *)
+  pr_profile : string;
+      (** simpleperf-style profile text ({!Calibro_profile.Profile}
+          format) collected from that OAT *)
+}
+(** The PGO feedback frame: per-method cycle counts streamed back from a
+    client running a served OAT. *)
+
+(** What a client can ask: a build, the dictionary handshake — [Hello]
+    answers with {!response.Dict_info} carrying the digest of the shared
+    dictionary the daemon currently links against, so a client can learn
+    what to put in [rq_dict] (and when a rotation happened) — or a
+    profile report feeding the PGO drift loop. Like [Hello], [Report] is
+    answered even while the daemon drains (merging a report is cheap and
+    side-effect-free; a drain never schedules a relink). *)
+type request = Build of build_request | Hello | Report of profile_report
 
 val encode_request : build_request -> string
 (** Encodes [Build r]. *)
 
 val encode_hello : unit -> string
 
+val encode_report : profile_report -> string
+(** Encodes [Report r]. *)
+
 val decode_request : string -> (request, string) result
-(** Payload codec; [decode_request (encode_request r) = Ok (Build r)] and
-    [decode_request (encode_hello ()) = Ok Hello]. *)
+(** Payload codec; [decode_request (encode_request r) = Ok (Build r)],
+    [decode_request (encode_hello ()) = Ok Hello] and
+    [decode_request (encode_report r) = Ok (Report r)]. *)
 
 (** {2 Responses} *)
 
@@ -110,6 +129,10 @@ type rejection =
       (** the request's [rq_dict] names a dictionary this daemon does not
           serve (e.g. it rotated since the client's [Hello]); the client
           should re-handshake and retry *)
+  | Unknown_app of string
+      (** a {!profile_report} named an app digest this daemon never
+          built (or PGO is disabled): there is no served hot set to
+          drift from, so the report cannot be attributed *)
 
 val rejection_to_string : rejection -> string
 
@@ -121,6 +144,11 @@ type response =
       (** answer to [Hello]: the digest of the shared dictionary the
           daemon links dictionary-relative builds against ([None] = it
           serves only self-contained builds) *)
+  | Report_ack of { ra_drift : float; ra_relink : bool }
+      (** answer to [Report]: the drift score of the accumulated profile
+          against the served hot set, and whether this report crossed
+          the hysteresis threshold and scheduled an incremental
+          re-link *)
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result

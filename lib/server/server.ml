@@ -3,6 +3,7 @@
 
 module Obs = Calibro_obs.Obs
 module Clock = Calibro_obs.Clock
+module Pgo = Calibro_pgo.Pgo
 
 type config = {
   endpoint : Transport.endpoint;
@@ -12,6 +13,7 @@ type config = {
   recv_timeout_s : float;
   default_deadline_ms : int option;
   dict : unit -> Calibro_oat.Linker.dict option;
+  pgo : Pgo.Manager.t option;
 }
 
 let default_config ~endpoint =
@@ -21,7 +23,8 @@ let default_config ~endpoint =
     cache = None;
     recv_timeout_s = 10.0;
     default_deadline_ms = None;
-    dict = (fun () -> None) }
+    dict = (fun () -> None);
+    pgo = None }
 
 type totals = {
   t_accepted : int;
@@ -30,6 +33,7 @@ type totals = {
   t_stalled : int;
   t_refused_draining : int;
   t_hello : int;
+  t_reports : int;
 }
 
 type t = {
@@ -53,6 +57,7 @@ type t = {
   a_stalled : int Atomic.t;
   a_refused_draining : int Atomic.t;
   a_hello : int Atomic.t;
+  a_reports : int Atomic.t;
 }
 
 let endpoint t = t.endpoint
@@ -65,7 +70,8 @@ let totals t =
     t_malformed = Atomic.get t.a_malformed;
     t_stalled = Atomic.get t.a_stalled;
     t_refused_draining = Atomic.get t.a_refused_draining;
-    t_hello = Atomic.get t.a_hello }
+    t_hello = Atomic.get t.a_hello;
+    t_reports = Atomic.get t.a_reports }
 
 (* ---- Connection handling ------------------------------------------------ *)
 
@@ -107,6 +113,53 @@ let handle_connection t fd =
                     (fun (d : Calibro_oat.Linker.dict) ->
                       d.Calibro_oat.Linker.dct_digest)
                     (t.cfg.dict ()) }))
+    | Ok (Protocol.Report { pr_app; pr_profile }) -> (
+      (* PGO feedback is answered inline, like Hello, and even while
+         draining: merging a report is cheap and side-effect-free. Only
+         the *scheduling* of a relink needs live workers, so a draining
+         daemon merges but never queues. *)
+      match t.cfg.pgo with
+      | None ->
+        (* No PGO manager: no app was ever registered, by definition. *)
+        Atomic.incr t.a_reports;
+        ignore
+          (Worker.respond fd
+             (Protocol.Rejected (Protocol.Unknown_app pr_app)))
+      | Some m -> (
+        match Calibro_profile.Profile.of_string pr_profile with
+        | Error e ->
+          reject t.a_malformed (Protocol.Parse_error ("profile: " ^ e))
+        | Ok profile -> (
+          Atomic.incr t.a_reports;
+          let draining = Atomic.get t.stop in
+          match
+            Pgo.Manager.report m ~digest:pr_app ~profile
+              ~allow_relink:(not draining)
+          with
+          | Pgo.Manager.Unknown ->
+            ignore
+              (Worker.respond fd
+                 (Protocol.Rejected (Protocol.Unknown_app pr_app)))
+          | Pgo.Manager.Ack { drift; relink } ->
+            let scheduled =
+              match relink with
+              | None -> false
+              | Some key -> (
+                match
+                  Queue.try_push t.queue
+                    (Worker.Relink { r_digest = pr_app; r_key = key })
+                with
+                | Queue.Pushed -> true
+                | Queue.Full | Queue.Closed ->
+                  (* The relink never ran: release the manager's
+                     in-flight latch so a later drift can retry. *)
+                  Pgo.Manager.relink_failed m ~digest:pr_app;
+                  false)
+            in
+            ignore
+              (Worker.respond fd
+                 (Protocol.Report_ack
+                    { ra_drift = drift; ra_relink = scheduled })))))
     | Ok (Protocol.Build rq) ->
       if Atomic.get t.stop then reject t.a_refused_draining Protocol.Draining
       else begin
@@ -117,14 +170,15 @@ let handle_connection t fd =
         in
         let now = Clock.now_ns () in
         let job =
-          { Worker.j_id = Atomic.fetch_and_add t.next_id 1;
-            j_fd = fd;
-            j_request = rq;
-            j_deadline_ns =
-              Option.map
-                (fun ms -> Int64.add now (Int64.of_int (ms * 1_000_000)))
-                deadline_ms;
-            j_accepted_ns = now }
+          Worker.Client
+            { Worker.j_id = Atomic.fetch_and_add t.next_id 1;
+              j_fd = fd;
+              j_request = rq;
+              j_deadline_ns =
+                Option.map
+                  (fun ms -> Int64.add now (Int64.of_int (ms * 1_000_000)))
+                  deadline_ms;
+              j_accepted_ns = now }
         in
         match Queue.try_push t.queue job with
         | Queue.Pushed -> Atomic.incr t.a_accepted
@@ -142,24 +196,22 @@ let accept_loop t () =
          unusable; either way accepting is over. *)
       ()
     | fd, _ ->
-      if Atomic.get t.stop then (
-        (* Drain raced the accept: refuse explicitly. *)
-        Atomic.incr t.a_refused_draining;
-        ignore (Worker.respond fd (Protocol.Rejected Protocol.Draining)))
-      else begin
-        Atomic.incr t.readers;
-        ignore
-          (Thread.create
-             (fun () ->
-               Fun.protect
-                 ~finally:(fun () -> Atomic.decr t.readers)
-                 (fun () ->
-                   try handle_connection t fd
-                   with _ ->
-                     (* A reader must never take the accept loop down. *)
-                     (try Unix.close fd with Unix.Unix_error _ -> ())))
-             ())
-      end;
+      (* Even a connection that raced the drain flag gets a reader: Hello
+         and Report are answered inline while draining (handle_connection
+         merges, never schedules), and only Builds are refused — typed,
+         after reading the frame, so the client learns *why*. *)
+      Atomic.incr t.readers;
+      ignore
+        (Thread.create
+           (fun () ->
+             Fun.protect
+               ~finally:(fun () -> Atomic.decr t.readers)
+               (fun () ->
+                 try handle_connection t fd
+                 with _ ->
+                   (* A reader must never take the accept loop down. *)
+                   (try Unix.close fd with Unix.Unix_error _ -> ())))
+           ());
       loop ()
   in
   loop ()
@@ -174,8 +226,8 @@ let create (cfg : config) =
     Queue.create ~gauge:"server.queue_depth" ~capacity:cfg.queue_capacity ()
   in
   let pool =
-    Worker.start ~workers:cfg.workers ~cache:cfg.cache ~dict:cfg.dict ~queue
-      ()
+    Worker.start ~workers:cfg.workers ~cache:cfg.cache ~dict:cfg.dict
+      ?pgo:cfg.pgo ~queue ()
   in
   let t =
     { cfg;
@@ -194,7 +246,8 @@ let create (cfg : config) =
       a_malformed = Atomic.make 0;
       a_stalled = Atomic.make 0;
       a_refused_draining = Atomic.make 0;
-      a_hello = Atomic.make 0 }
+      a_hello = Atomic.make 0;
+      a_reports = Atomic.make 0 }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
@@ -226,6 +279,8 @@ let drain t =
     Obs.Counter.add "server.requests.stalled" tt.t_stalled;
     Obs.Counter.add "server.requests.refused_draining" tt.t_refused_draining;
     Obs.Counter.add "server.requests.hello" tt.t_hello;
+    Obs.Counter.add "server.requests.reports" tt.t_reports;
+    Option.iter Pgo.Manager.mirror_counters t.cfg.pgo;
     Obs.Gauge.set "server.queue_depth" 0.0;
     Atomic.set t.drained true
   end

@@ -41,11 +41,19 @@ type config = {
           dispatched job, so swapping what the closure returns rotates
           the dictionary live: subsequent [Hello]s see the new digest and
           stale [rq_dict] requests get typed [Dict_mismatch] answers. *)
+  pgo : Calibro_pgo.Pgo.Manager.t option;
+      (** the PGO drift loop. With a manager, [Profile_report] frames
+          are merged and scored inline on the reader thread (answered
+          even while draining, like [Hello]); a report that crosses the
+          hysteresis queues a {!Worker.relink_job} through the ordinary
+          admission queue, and subsequent identical [Build] requests are
+          served the refreshed OAT. [None] answers every report with a
+          typed [Unknown_app]. *)
 }
 
 val default_config : endpoint:Transport.endpoint -> config
 (** 2 workers, capacity 64, no cache, 10 s receive timeout, no default
-    deadline, no dictionary. *)
+    deadline, no dictionary, no PGO. *)
 
 type t
 
@@ -82,6 +90,7 @@ type totals = {
   t_stalled : int;  (** connections dropped mid-frame or on timeout *)
   t_refused_draining : int;  (** rejected: arrived during drain *)
   t_hello : int;  (** dictionary handshakes answered inline *)
+  t_reports : int;  (** profile reports answered inline (any outcome) *)
 }
 
 val totals : t -> totals

@@ -5,8 +5,9 @@ open Calibro_core
 module Obs = Calibro_obs.Obs
 module Clock = Calibro_obs.Clock
 module Json = Calibro_obs.Json
+module Pgo = Calibro_pgo.Pgo
 
-type job = {
+type client_job = {
   j_id : int;
   j_fd : Unix.file_descr;
   j_request : Protocol.build_request;
@@ -14,7 +15,26 @@ type job = {
   j_accepted_ns : int64;
 }
 
+type relink_job = { r_digest : string; r_key : Pgo.build_key }
+
+type job = Client of client_job | Relink of relink_job
+
 type pool = { domains : unit Domain.t list }
+
+(* The request/key correspondence of the PGO loop: a key is the request
+   minus its deadline. *)
+let key_of_request (rq : Protocol.build_request) : Pgo.build_key =
+  { Pgo.bk_config = rq.Protocol.rq_config;
+    bk_dexsim = rq.Protocol.rq_dexsim;
+    bk_profile = rq.Protocol.rq_profile;
+    bk_dict = rq.Protocol.rq_dict }
+
+let request_of_key (k : Pgo.build_key) : Protocol.build_request =
+  { Protocol.rq_config = k.Pgo.bk_config;
+    rq_dexsim = k.Pgo.bk_dexsim;
+    rq_profile = k.Pgo.bk_profile;
+    rq_deadline_ms = None;
+    rq_dict = k.Pgo.bk_dict }
 
 (* ---- Connection plumbing ------------------------------------------------ *)
 
@@ -53,12 +73,17 @@ let expired deadline_ns =
 (* Parse, build, summarize. Every failure mode a request can provoke maps
    to a typed rejection; nothing escapes. Returns the structured OAT so
    the serving path can emit the response frame straight from it
-   ([Protocol.emit_built]) without materializing the container string;
+   ([Protocol.emit_built]) without materializing the container string,
+   plus the effective hot-method set the build used (config hot methods
+   merged with the request profile's) — the PGO loop's "served hot set".
    [build_response] below re-wraps it for the in-process reference
    consumers (tests, calibro_load --verify, bench). *)
-let build_oat ~cache ?dict (rq : Protocol.build_request) :
-    (Calibro_oat.Oat_file.t * Protocol.build_stats, Protocol.rejection) result
-    =
+let build_oat_hot ~cache ?dict (rq : Protocol.build_request) :
+    ( Calibro_oat.Oat_file.t
+      * Protocol.build_stats
+      * Calibro_dex.Dex_ir.method_ref list,
+      Protocol.rejection )
+    result =
   (* Resolve the dictionary the request asked for against the one this
      daemon serves. [rq_dict = None] is a self-contained build whatever
      the daemon holds; [Some want] must match the served digest exactly —
@@ -119,7 +144,8 @@ let build_oat ~cache ?dict (rq : Protocol.build_request) :
                bs_methods = List.length oat.Calibro_oat.Oat_file.methods;
                bs_thunks = List.length oat.Calibro_oat.Oat_file.thunks;
                bs_outlined = List.length oat.Calibro_oat.Oat_file.outlined;
-               bs_build_s = build_s } )))
+               bs_build_s = build_s },
+             config.Config.hot_methods )))
   with
   | r -> r
   | exception Pipeline.Build_error m -> Error (Protocol.Build_failed m)
@@ -129,6 +155,11 @@ let build_oat ~cache ?dict (rq : Protocol.build_request) :
   | exception Calibro_dex.Dex_text.Parse_error { line; message } ->
     Error (Protocol.Parse_error (Printf.sprintf "line %d: %s" line message))
   | exception e -> Error (Protocol.Internal (Printexc.to_string e))
+
+let build_oat ~cache ?dict rq =
+  match build_oat_hot ~cache ?dict rq with
+  | Ok (oat, stats, _hot) -> Ok (oat, stats)
+  | Error _ as e -> e
 
 let build_response ~cache ?dict (rq : Protocol.build_request) :
     Protocol.response =
@@ -164,7 +195,27 @@ let outcome_counter = function
   | Error (Protocol.Internal _) -> "internal_error"
   | Error _ -> "rejected"
 
-let handle ~cache ~dict (job : job) =
+(* Build stats for an OAT served from the PGO refresh store: sizes are
+   recomputed from the container, the build time is the relink's. *)
+let stats_of_oat ~build_s (oat : Calibro_oat.Oat_file.t) =
+  { Protocol.bs_text_size = Calibro_oat.Oat_file.text_size oat;
+    bs_methods = List.length oat.Calibro_oat.Oat_file.methods;
+    bs_thunks = List.length oat.Calibro_oat.Oat_file.thunks;
+    bs_outlined = List.length oat.Calibro_oat.Oat_file.outlined;
+    bs_build_s = build_s }
+
+(* Warm-path accounting for the relink: method- and detection-tier cache
+   hits scored across the rebuild. Worker domains may read Obs counters
+   (value aggregates all shards). *)
+let cache_hits_now () =
+  List.fold_left
+    (fun acc name -> acc + Obs.Counter.value name)
+    0
+    [ "cache.method.hits"; "cache.method.disk_hits"; "cache.detect.hits";
+      "cache.detect.disk_hits"; "cache.detectdict.hits";
+      "cache.detectdict.disk_hits" ]
+
+let handle_client ~cache ~dict ~pgo (job : client_job) =
   Obs.span ~cat:"server" "server.job"
     ~args:(fun () ->
       [ ("id", Json.Int job.j_id);
@@ -182,41 +233,107 @@ let handle ~cache ~dict (job : job) =
     ignore (respond job.j_fd (Protocol.Rejected Protocol.Deadline_exceeded))
   end
   else begin
-    (* GC accounting for the gate's allocated-bytes-per-served-build
-       line: everything from parse to the last frame byte, this domain
-       only. *)
-    let alloc0 = Gc.allocated_bytes () in
-    (* The dictionary is read at dispatch time: a job admitted before a
-       rotation builds against the dictionary of the moment it runs, and
-       the digest check inside [build_oat] keeps the answer honest. *)
-    let result = build_oat ~cache ?dict:(dict ()) job.j_request in
-    (* A result the deadline already passed is useless to the caller:
-       report it as exceeded, honestly, rather than as success. *)
-    let result =
-      match result with
-      | Ok _ when expired job.j_deadline_ns ->
-        Error Protocol.Deadline_exceeded
-      | r -> r
+    (* The PGO refresh store first: if a drift relink landed for exactly
+       this request, the worker serves the refreshed OAT without
+       building — that is how the fleet converges to the new profile
+       without clients changing their requests. *)
+    let refreshed =
+      match pgo with
+      | None -> None
+      | Some m ->
+        let digest =
+          Calibro_chash.Chash.string job.j_request.Protocol.rq_dexsim
+        in
+        Pgo.Manager.refreshed m ~digest ~key:(key_of_request job.j_request)
     in
-    Obs.Counter.incr ("server.jobs." ^ outcome_counter result);
-    let delivered =
-      match result with
-      | Ok (oat, stats) -> respond_built job.j_fd ~oat ~stats
-      | Error rej -> respond job.j_fd (Protocol.Rejected rej)
-    in
-    if not delivered then Obs.Counter.incr "server.responses.lost";
-    (match result with
-    | Ok _ ->
-      Obs.Counter.add "server.built.alloc_bytes"
-        (int_of_float (Gc.allocated_bytes () -. alloc0))
-    | Error _ -> ());
-    Obs.Histogram.observe "server.latency_s"
-      (Int64.to_float (Int64.sub (Clock.now_ns ()) job.j_accepted_ns) /. 1e9)
+    match refreshed with
+    | Some (oat, build_s) ->
+      Obs.Counter.incr "server.jobs.ok";
+      Obs.Counter.incr "server.jobs.refreshed";
+      let stats = stats_of_oat ~build_s oat in
+      if not (respond_built job.j_fd ~oat ~stats) then
+        Obs.Counter.incr "server.responses.lost";
+      Obs.Histogram.observe "server.latency_s"
+        (Int64.to_float (Int64.sub (Clock.now_ns ()) job.j_accepted_ns)
+        /. 1e9)
+    | None ->
+      (* GC accounting for the gate's allocated-bytes-per-served-build
+         line: everything from parse to the last frame byte, this domain
+         only. *)
+      let alloc0 = Gc.allocated_bytes () in
+      (* The dictionary is read at dispatch time: a job admitted before a
+         rotation builds against the dictionary of the moment it runs, and
+         the digest check inside [build_oat] keeps the answer honest. *)
+      let result = build_oat_hot ~cache ?dict:(dict ()) job.j_request in
+      (* A result the deadline already passed is useless to the caller:
+         report it as exceeded, honestly, rather than as success. *)
+      let result =
+        match result with
+        | Ok _ when expired job.j_deadline_ns ->
+          Error Protocol.Deadline_exceeded
+        | r -> r
+      in
+      Obs.Counter.incr ("server.jobs." ^ outcome_counter result);
+      (* Register the build with the PGO loop BEFORE answering: a client
+         that pipelines Built -> Report must find its app registered, or
+         the first report of a fresh connection races into Unknown_app. *)
+      (match (result, pgo) with
+      | Ok (oat, _, hot), Some m ->
+        let rq = job.j_request in
+        Pgo.Manager.note_build m
+          ~digest:(Calibro_chash.Chash.string rq.Protocol.rq_dexsim)
+          ~app:oat.Calibro_oat.Oat_file.apk_name
+          ~key:(key_of_request rq) ~hot
+      | _ -> ());
+      let delivered =
+        match result with
+        | Ok (oat, stats, _) -> respond_built job.j_fd ~oat ~stats
+        | Error rej -> respond job.j_fd (Protocol.Rejected rej)
+      in
+      if not delivered then Obs.Counter.incr "server.responses.lost";
+      (match result with
+      | Ok _ ->
+        Obs.Counter.add "server.built.alloc_bytes"
+          (int_of_float (Gc.allocated_bytes () -. alloc0))
+      | Error _ -> ());
+      Obs.Histogram.observe "server.latency_s"
+        (Int64.to_float (Int64.sub (Clock.now_ns ()) job.j_accepted_ns)
+        /. 1e9)
   end
+
+(* A drift relink: the same build body as a client job, but the result
+   lands in the PGO refresh store instead of on a socket. Failures clear
+   the manager's in-flight latch; nothing answers a client, because no
+   client is waiting. *)
+let handle_relink ~cache ~dict ~pgo (job : relink_job) =
+  match pgo with
+  | None -> ()
+  | Some m ->
+    Obs.span ~cat:"server" "server.relink"
+      ~args:(fun () -> [ ("app", Json.Str job.r_digest) ])
+    @@ fun () ->
+    let hits0 = cache_hits_now () in
+    (match
+       build_oat_hot ~cache ?dict:(dict ()) (request_of_key job.r_key)
+     with
+     | Ok (oat, stats, hot) ->
+       Pgo.Manager.relink_done m ~digest:job.r_digest ~oat
+         ~build_s:stats.Protocol.bs_build_s ~hot
+         ~cache_hits:(cache_hits_now () - hits0)
+     | Error _ ->
+       Obs.Counter.incr "server.jobs.relink_failed";
+       Pgo.Manager.relink_failed m ~digest:job.r_digest)
+
+let handle ~cache ~dict ~pgo (job : job) =
+  match job with
+  | Client j -> handle_client ~cache ~dict ~pgo j
+  | Relink j -> handle_relink ~cache ~dict ~pgo j
 
 (* ---- The pool ----------------------------------------------------------- *)
 
-let worker_loop ~cache ~dict queue () =
+let job_fd = function Client j -> Some j.j_fd | Relink _ -> None
+
+let worker_loop ~cache ~dict ~pgo queue () =
   Obs.span ~cat:"server" "server.worker" @@ fun () ->
   let rec loop () =
     match Queue.pop queue with
@@ -225,20 +342,20 @@ let worker_loop ~cache ~dict queue () =
       (* [handle] maps every job failure to a response; this last-resort
          catch covers bugs in the handler itself (e.g. a pathological fd):
          the worker logs and lives on. *)
-      (match handle ~cache ~dict job with
+      (match handle ~cache ~dict ~pgo job with
        | () -> ()
        | exception _ ->
          Obs.Counter.incr "server.jobs.handler_error";
-         close_quietly job.j_fd);
+         Option.iter close_quietly (job_fd job));
       loop ()
   in
   loop ()
 
-let start ~workers ~cache ?(dict = fun () -> None) ~queue () =
+let start ~workers ~cache ?(dict = fun () -> None) ?pgo ~queue () =
   let workers = max 1 workers in
   Obs.Gauge.set "server.workers" (float_of_int workers);
   { domains =
       List.init workers (fun _ ->
-          Domain.spawn (worker_loop ~cache ~dict queue)) }
+          Domain.spawn (worker_loop ~cache ~dict ~pgo queue)) }
 
 let join pool = List.iter Domain.join pool.domains

@@ -19,7 +19,7 @@
     per-domain {!Calibro_obs.Obs} counters, histograms and spans; all of
     its instrumentation lands in its own shard and its trace lane. *)
 
-type job = {
+type client_job = {
   j_id : int;
   j_fd : Unix.file_descr;
       (** the client connection; the worker answers and closes it *)
@@ -28,18 +28,41 @@ type job = {
   j_accepted_ns : int64;  (** admission time, for queue-wait metrics *)
 }
 
+type relink_job = {
+  r_digest : string;  (** the drifting app's digest *)
+  r_key : Calibro_pgo.Pgo.build_key;
+      (** what to rebuild: the registered request with its profile
+          replaced by the drifted one *)
+}
+(** A PGO drift re-link, scheduled by {!Server} when
+    {!Calibro_pgo.Pgo.Manager.report} crosses the hysteresis. It runs the
+    same build body as a client job — warm, through the shared cache —
+    but the result lands in the manager's refresh store
+    ({!Calibro_pgo.Pgo.Manager.relink_done}) instead of on a socket. *)
+
+type job = Client of client_job | Relink of relink_job
+
+val key_of_request : Protocol.build_request -> Calibro_pgo.Pgo.build_key
+(** The request minus its deadline — the PGO loop's identity for "the
+    same build". *)
+
+val request_of_key : Calibro_pgo.Pgo.build_key -> Protocol.build_request
+(** Inverse of {!key_of_request} (deadline [None]). *)
+
 type pool
 
 val start :
   workers:int -> cache:Calibro_cache.Cache.t option ->
-  ?dict:(unit -> Calibro_oat.Linker.dict option) -> queue:job Queue.t ->
-  unit -> pool
+  ?dict:(unit -> Calibro_oat.Linker.dict option) ->
+  ?pgo:Calibro_pgo.Pgo.Manager.t -> queue:job Queue.t -> unit -> pool
 (** Spawn [max 1 workers] domains looping on [queue]. [cache] is shared
     by every job ([None] = every build cold). [dict] is re-read at each
     dispatch, so a rotation (the daemon swapping its shared dictionary)
     takes effect on the next job without restarting the pool; the default
     serves no dictionary (every [rq_dict = Some _] request is answered
-    [Dict_mismatch]). *)
+    [Dict_mismatch]). [pgo] is the drift manager: client builds register
+    with it and are served from its refresh store when a relink landed
+    for exactly their request; without it, [Relink] jobs are dropped. *)
 
 val join : pool -> unit
 (** Wait for every worker to exit; returns only after the queue is closed

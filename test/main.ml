@@ -22,4 +22,5 @@ let () =
       ("cache", Test_cache.suite);
       ("dict", Test_dict.suite);
       ("chash", Test_chash.suite);
-      ("server", Test_server.suite) ]
+      ("server", Test_server.suite);
+      ("pgo", Test_pgo.suite) ]

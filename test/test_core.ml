@@ -388,6 +388,67 @@ let profile_tests =
       (fun () ->
         match Calibro_profile.Profile.load "/nonexistent/calibro.prof" with
         | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+        | Error e -> Alcotest.(check bool) "message" true (e <> ""));
+    Alcotest.test_case "of_string tolerates stray whitespace" `Quick
+      (fun () ->
+        (* trailing blanks, repeated separators, indented lines: all the
+           shapes a hand-edited or concatenated Figure 6 file takes *)
+        match
+          Calibro_profile.Profile.of_string "  a.B   m    7   \nc.D n 3\t\n"
+        with
+        | Error e -> Alcotest.failf "whitespace rejected: %s" e
+        | Ok p ->
+          Alcotest.(check int) "both lines parsed" 2 (List.length p);
+          Alcotest.(check int) "cycles kept" 10
+            (Calibro_profile.Profile.total p));
+    Alcotest.test_case "of_string sums duplicate method lines" `Quick
+      (fun () ->
+        (* concatenating two report files duplicates methods; the sum must
+           land on the first occurrence, once *)
+        match Calibro_profile.Profile.of_string "a.B m 7\nc.D n 3\na.B m 5\n"
+        with
+        | Error e -> Alcotest.failf "duplicates rejected: %s" e
+        | Ok p ->
+          Alcotest.(check int) "two methods, not three" 2 (List.length p);
+          let cycles_of name =
+            List.find_map
+              (fun (s : Calibro_profile.Profile.sample) ->
+                if s.s_method.Dex_ir.method_name = name then Some s.s_cycles
+                else None)
+              p
+          in
+          Alcotest.(check (option int)) "summed" (Some 12) (cycles_of "m");
+          Alcotest.(check (option int)) "untouched" (Some 3) (cycles_of "n"));
+    Alcotest.test_case "of_string round-trips zero-cycle samples" `Quick
+      (fun () ->
+        let p =
+          [ { Calibro_profile.Profile.s_method =
+                { Dex_ir.class_name = "a.B"; method_name = "live" };
+              s_cycles = 9 };
+            { Calibro_profile.Profile.s_method =
+                { Dex_ir.class_name = "a.B"; method_name = "dead" };
+              s_cycles = 0 } ]
+        in
+        match
+          Calibro_profile.Profile.of_string
+            (Calibro_profile.Profile.to_string p)
+        with
+        | Ok p2 -> Alcotest.(check bool) "preserved" true (p = p2)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "of_string rejects negative cycles" `Quick (fun () ->
+        match Calibro_profile.Profile.of_string "a.B m -3\n" with
+        | Ok _ -> Alcotest.fail "accepted a negative cycle count"
+        | Error e -> Alcotest.(check bool) "message" true (e <> ""));
+    Alcotest.test_case "save returns Error for unwritable paths" `Quick
+      (fun () ->
+        match
+          Calibro_profile.Profile.save
+            [ { Calibro_profile.Profile.s_method =
+                  { Dex_ir.class_name = "a.B"; method_name = "m" };
+                s_cycles = 1 } ]
+            "/nonexistent-dir/calibro.prof"
+        with
+        | Ok () -> Alcotest.fail "saved into a nonexistent directory"
         | Error e -> Alcotest.(check bool) "message" true (e <> ""))
   ]
 

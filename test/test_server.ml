@@ -52,7 +52,7 @@ let fresh_socket () =
 let fresh_endpoint () = Transport.Unix_socket { path = fresh_socket () }
 
 let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
-    ?(dict = fun () -> None) ?cache ?endpoint f =
+    ?(dict = fun () -> None) ?cache ?endpoint ?pgo f =
   let cache =
     match cache with Some c -> c | None -> Calibro_cache.Cache.create ()
   in
@@ -67,7 +67,8 @@ let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
         cache = Some cache;
         recv_timeout_s;
         default_deadline_ms = None;
-        dict }
+        dict;
+        pgo }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -85,7 +86,9 @@ let response =
         Format.fprintf fmt "Rejected(%s)" (Protocol.rejection_to_string r)
       | Protocol.Dict_info { di_digest } ->
         Format.fprintf fmt "Dict_info(%s)"
-          (Option.value ~default:"-" di_digest))
+          (Option.value ~default:"-" di_digest)
+      | Protocol.Report_ack { ra_drift; ra_relink } ->
+        Format.fprintf fmt "Report_ack(%.3f, relink=%b)" ra_drift ra_relink)
     (fun a b ->
       match (a, b) with
       | Protocol.Built a, Protocol.Built b ->
@@ -99,6 +102,8 @@ let response =
       | Protocol.Rejected a, Protocol.Rejected b -> a = b
       | Protocol.Dict_info { di_digest = a }, Protocol.Dict_info { di_digest = b }
         -> a = b
+      | Protocol.Report_ack a, Protocol.Report_ack b ->
+        a.ra_drift = b.ra_drift && a.ra_relink = b.ra_relink
       | _ -> false)
 
 (* ---- Wire codec ---------------------------------------------------------- *)
@@ -550,8 +555,8 @@ let serve_tests =
          | Protocol.Rejected r ->
            Alcotest.failf "profiled build failed in-process: %s"
              (Protocol.rejection_to_string r)
-         | Protocol.Dict_info _ ->
-           Alcotest.fail "profiled build answered Dict_info");
+         | Protocol.Dict_info _ | Protocol.Report_ack _ ->
+           Alcotest.fail "profiled build answered a non-build response");
         with_server @@ fun t ->
         match Client.request ~endpoint:(Server.endpoint t) rq with
         | Error m -> Alcotest.fail m
@@ -582,8 +587,8 @@ let serve_tests =
             | Ok (Protocol.Rejected r) ->
               Alcotest.failf "unexpected rejection: %s"
                 (Protocol.rejection_to_string r)
-            | Ok (Protocol.Dict_info _) ->
-              Alcotest.fail "unexpected Dict_info"
+            | Ok (Protocol.Dict_info _ | Protocol.Report_ack _) ->
+              Alcotest.fail "unexpected non-build response"
             | Error m -> Alcotest.failf "transport error: %s" m)
           outcomes;
         Alcotest.(check int) "every request answered" n (!built + !overloaded);
@@ -608,7 +613,8 @@ let serve_tests =
             (match r with
              | Protocol.Built _ -> "Built"
              | Protocol.Rejected rej -> Protocol.rejection_to_string rej
-             | Protocol.Dict_info _ -> "Dict_info")
+             | Protocol.Dict_info _ -> "Dict_info"
+             | Protocol.Report_ack _ -> "Report_ack")
         | Error m -> Alcotest.fail m);
     Alcotest.test_case "the daemon serves identically over TCP" `Quick
       (fun () ->
@@ -825,8 +831,8 @@ let assert_still_serving t =
   | Ok (Protocol.Rejected r) ->
     Alcotest.failf "server degraded after fault: %s"
       (Protocol.rejection_to_string r)
-  | Ok (Protocol.Dict_info _) ->
-    Alcotest.fail "server answered Dict_info after fault"
+  | Ok (Protocol.Dict_info _ | Protocol.Report_ack _) ->
+    Alcotest.fail "server answered a non-build response after fault"
   | Error m -> Alcotest.failf "server dead after fault: %s" m
 
 let fault_tests =
@@ -872,7 +878,8 @@ let fault_tests =
          | Ok (Protocol.Rejected r) ->
            Alcotest.failf "expected Build_failed, got %s"
              (Protocol.rejection_to_string r)
-         | Ok (Protocol.Dict_info _) -> Alcotest.fail "unexpected Dict_info"
+         | Ok (Protocol.Dict_info _ | Protocol.Report_ack _) ->
+           Alcotest.fail "unexpected non-build response"
          | Error m -> Alcotest.fail m);
         assert_still_serving t);
     Alcotest.test_case "garbage bytes get a typed Malformed answer" `Quick
@@ -928,7 +935,8 @@ let rejection_answer =
           (match r with
            | Protocol.Built _ -> "Built"
            | Protocol.Rejected rej -> Protocol.rejection_to_string rej
-           | Protocol.Dict_info _ -> "Dict_info")
+           | Protocol.Dict_info _ -> "Dict_info"
+           | Protocol.Report_ack _ -> "Report_ack")
       | Error e -> Format.fprintf fmt "Error(%s)" e)
     ( = )
 
@@ -1379,7 +1387,8 @@ let dict_service_tests =
              (match r with
               | Protocol.Built _ -> "Built"
               | Protocol.Rejected rej -> Protocol.rejection_to_string rej
-              | Protocol.Dict_info _ -> "Dict_info")
+              | Protocol.Dict_info _ -> "Dict_info"
+             | Protocol.Report_ack _ -> "Report_ack")
          | Error m -> Alcotest.fail m);
         (* A self-contained request still builds against the same daemon. *)
         assert_still_serving t);
@@ -1434,7 +1443,8 @@ let drain_tests =
               cache = Some cache;
               recv_timeout_s = 10.0;
               default_deadline_ms = None;
-              dict = (fun () -> None) }
+              dict = (fun () -> None);
+              pgo = None }
         in
         Server.install_sigterm t;
         Fun.protect
@@ -1465,8 +1475,8 @@ let drain_tests =
              | Ok (Protocol.Rejected r) ->
                Alcotest.failf "in-flight request got %s"
                  (Protocol.rejection_to_string r)
-             | Ok (Protocol.Dict_info _) ->
-               Alcotest.fail "in-flight request got Dict_info"
+             | Ok (Protocol.Dict_info _ | Protocol.Report_ack _) ->
+               Alcotest.fail "in-flight request got a non-build response"
              | Error m -> Alcotest.failf "in-flight request lost: %s" m);
             Alcotest.(check bool) "socket removed" false
               (Sys.file_exists socket);
@@ -1505,6 +1515,7 @@ let drain_tests =
                          Protocol.rejection_to_string r
                        | Ok (Protocol.Built _) -> "Built"
                        | Ok (Protocol.Dict_info _) -> "Dict_info"
+                       | Ok (Protocol.Report_ack _) -> "Report_ack"
                        | Error e -> e)
                 in
                 expect_served "all three up";
@@ -1522,7 +1533,299 @@ let drain_tests =
                 Alcotest.(check int) "unavailable counted once" 1
                   tt.Router.t_unavailable))) ]
 
+(* ---- The PGO feedback loop over the wire ---------------------------------- *)
+
+module Pgo = Calibro_pgo.Pgo
+module Profile = Calibro_profile.Profile
+
+(* The drift workload: one seeded app, two usage regimes over the same
+   script — the late half of the steps hot, then the early half. The
+   binary split displaces most of the execution mass, which is what the
+   mass-weighted drift score measures (a linear ramp leaves the heaviest
+   method dominating both regimes and never clears the threshold). *)
+let drift_fixture =
+  lazy
+    (let generated = Appgen.generate Apps.demo in
+     let apk, _ = Mutate.mutate ~seed:1 generated.Appgen.app in
+     let script = generated.Appgen.app_script in
+     let half = List.length script / 2 in
+     let weighted w =
+       List.mapi
+         (fun i (st : Appgen.script_step) ->
+           { st with Appgen.sc_repeat = w i })
+         script
+     in
+     let s_old = weighted (fun i -> if i >= half then 16 else 1)
+     and s_new = weighted (fun i -> if i < half then 16 else 1) in
+     let b = Pipeline.build ~cache:None ~config:Config.baseline apk in
+     let prof script =
+       let t = Calibro_vm.Interp.load b.Pipeline.b_oat in
+       List.iter
+         (fun (st : Appgen.script_step) ->
+           for _ = 1 to st.Appgen.sc_repeat do
+             match
+               Calibro_vm.Interp.call t st.Appgen.sc_method st.Appgen.sc_args
+             with
+             | Calibro_vm.Interp.Fault m ->
+               Alcotest.failf "drift fixture script fault: %s" m
+             | _ -> ()
+           done)
+         script;
+       Profile.to_string (Profile.of_interp t)
+     in
+     (Calibro_dex.Dex_text.to_string apk, prof s_old, prof s_new))
+
+let oat_of name = function
+  | Ok (Protocol.Built { oat; _ }) -> oat
+  | Ok (Protocol.Rejected r) ->
+    Alcotest.failf "%s: rejected %s" name (Protocol.rejection_to_string r)
+  | Ok _ -> Alcotest.failf "%s: non-build response" name
+  | Error m -> Alcotest.failf "%s: transport: %s" name m
+
+let pgo_config = Config.cto_ltbo_pl ~k:2 ()
+
+let pgo_tests =
+  [ Alcotest.test_case "report frames round-trip and reject damage" `Quick
+      (fun () ->
+        let rp =
+          { Protocol.pr_app = String.make 32 'a';
+            pr_profile = "com.a.B run 500\ncom.c.D go 7\n" }
+        in
+        let full = Protocol.encode_report rp in
+        (match Protocol.decode_request full with
+         | Ok (Protocol.Report rp') ->
+           Alcotest.(check bool) "round-trips" true (rp = rp')
+         | Ok _ -> Alcotest.fail "report decoded as something else"
+         | Error e -> Alcotest.failf "report refused: %s" e);
+        (* empty profile text is a codec-level non-issue (the daemon
+           answers it, typed) *)
+        (match
+           Protocol.decode_request
+             (Protocol.encode_report
+                { Protocol.pr_app = ""; pr_profile = "" })
+         with
+         | Ok (Protocol.Report _) -> ()
+         | _ -> Alcotest.fail "empty report refused by the codec");
+        for len = 0 to String.length full - 1 do
+          match Protocol.decode_request (String.sub full 0 len) with
+          | Error m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "truncation to %d names the damage" len)
+              true (String.length m > 0)
+          | Ok _ ->
+            Alcotest.failf "report truncated to %d bytes decoded" len
+        done;
+        (match Protocol.decode_request (full ^ "x") with
+         | Error m ->
+           Alcotest.(check bool) "trailing named" true
+             (Astring.String.is_infix ~affix:"trailing" m)
+         | Ok _ -> Alcotest.fail "trailing garbage accepted");
+        check_response_roundtrip "report_ack"
+          (Protocol.Report_ack { ra_drift = 0.4375; ra_relink = true });
+        check_response_roundtrip "report_ack zero"
+          (Protocol.Report_ack { ra_drift = 0.0; ra_relink = false });
+        check_response_roundtrip "unknown_app"
+          (Protocol.Rejected (Protocol.Unknown_app (String.make 32 'f'))));
+    Alcotest.test_case "bad reports get typed answers, never a relink" `Quick
+      (fun () ->
+        (* Garbage samples, unknown digests and reports to a daemon
+           without --pgo must all be refused typed — with the daemon
+           still serving and nothing scheduled. *)
+        let pgo = Pgo.Manager.create () in
+        with_server ~pgo (fun t ->
+            let ep = Server.endpoint t in
+            let dexsim =
+              Calibro_dex.Dex_text.to_string (Lazy.force demo_app).Appgen.app
+            in
+            ignore
+              (oat_of "prime build"
+                 (Client.request ~endpoint:ep (request dexsim)));
+            let digest = Chash.string dexsim in
+            (match
+               Client.report ~endpoint:ep
+                 { Protocol.pr_app = digest; pr_profile = "!!! garbage" }
+             with
+             | Ok _ -> Alcotest.fail "garbage profile acked"
+             | Error m ->
+               Alcotest.(check bool) "typed parse refusal" true
+                 (Astring.String.is_infix ~affix:"profile" m));
+            (match
+               Client.report ~endpoint:ep
+                 { Protocol.pr_app = "never-built-digest";
+                   pr_profile = "com.a.B run 5\n" }
+             with
+             | Ok _ -> Alcotest.fail "unknown app acked"
+             | Error m ->
+               Alcotest.(check bool) "typed unknown-app refusal" true
+                 (Astring.String.is_infix ~affix:"unknown app" m));
+            (* raw frame abuse on the report path: truncated frame, then
+               garbage payload — one connection each, daemon unharmed *)
+            let fd = raw_connect t in
+            write_all fd
+              (Fault.Server.first_half
+                 (Protocol.to_frame
+                    (Protocol.encode_report
+                       { Protocol.pr_app = digest; pr_profile = "x y 1\n" })));
+            Unix.close fd;
+            (match raw_request ep "\x03garbage-after-tag" with
+             | Ok (Protocol.Rejected (Protocol.Malformed _)) -> ()
+             | _ -> Alcotest.fail "garbage report payload not Malformed");
+            assert_still_serving t;
+            (match Pgo.Manager.totals pgo with
+             | [ (_, tt) ] ->
+               Alcotest.(check int) "nothing scheduled" 0 tt.Pgo.p_relinks;
+               Alcotest.(check int) "no good report landed" 0 tt.Pgo.p_reports
+             | l -> Alcotest.failf "expected one app, got %d" (List.length l)));
+        (* and the same frame against a daemon without --pgo *)
+        with_server (fun t ->
+            match
+              Client.report ~endpoint:(Server.endpoint t)
+                { Protocol.pr_app = "any"; pr_profile = "com.a.B run 5\n" }
+            with
+            | Ok _ -> Alcotest.fail "pgo-less daemon acked a report"
+            | Error m ->
+              Alcotest.(check bool) "typed refusal" true
+                (Astring.String.is_infix ~affix:"unknown app" m)));
+    Alcotest.test_case
+      "convergence soak: drift relinks once, served bytes flip once" `Slow
+      (fun () ->
+        let dexsim, prof_old, prof_new = Lazy.force drift_fixture in
+        let digest = Chash.string dexsim in
+        let rq = request ~profile:prof_old ~config:pgo_config dexsim in
+        let expected_old =
+          oat_of "in-process old"
+            (Ok (Worker.build_response ~cache:None rq))
+        and expected_new =
+          oat_of "in-process new"
+            (Ok
+               (Worker.build_response ~cache:None
+                  (request ~profile:prof_new ~config:pgo_config dexsim)))
+        in
+        Alcotest.(check bool) "the regimes build different bytes" false
+          (String.equal expected_old expected_new);
+        let pgo =
+          Pgo.Manager.create
+            ~config:{ Pgo.default_config with Pgo.hysteresis = 3 } ()
+        in
+        let refreshed0 = Calibro_obs.Obs.Counter.value "server.jobs.refreshed" in
+        with_server ~workers:3 ~pgo (fun t ->
+            let ep = Server.endpoint t in
+            let build () = oat_of "build" (Client.request ~endpoint:ep rq) in
+            let report p =
+              match
+                Client.report ~endpoint:ep
+                  { Protocol.pr_app = digest; pr_profile = p }
+              with
+              | Ok a -> a
+              | Error m -> Alcotest.failf "report: %s" m
+            in
+            (* steady state: the old regime never schedules *)
+            Alcotest.(check string) "first serve = old bytes" expected_old
+              (build ());
+            for i = 1 to 4 do
+              let drift, relink = report prof_old in
+              if relink then Alcotest.failf "steady report %d relinked" i;
+              if drift > 0.3 then
+                Alcotest.failf "steady report %d drifted %.3f" i drift
+            done;
+            Alcotest.(check string) "steady serve = old bytes" expected_old
+              (build ());
+            (* the regime flips: reports must relink exactly once, within
+               the hysteresis plus the accumulator's decay lag *)
+            let acks = ref 0 and sent = ref 0 in
+            while !acks = 0 && !sent < 12 do
+              incr sent;
+              let _, relink = report prof_new in
+              if relink then incr acks
+            done;
+            Alcotest.(check int) "exactly one relink acked" 1 !acks;
+            Alcotest.(check bool)
+              (Printf.sprintf "ack within hysteresis + lag (%d reports)" !sent)
+              true (!sent <= 8);
+            (* the relink runs through the worker pool; poll until the
+               served bytes flip, then they must never flip back *)
+            let rec await n =
+              if n = 0 then Alcotest.fail "relink never landed"
+              else if String.equal (build ()) expected_new then ()
+              else begin
+                Thread.delay 0.05;
+                await (n - 1)
+              end
+            in
+            await 100;
+            for _ = 1 to 3 do
+              Alcotest.(check string) "refreshed serve = new bytes"
+                expected_new (build ())
+            done;
+            (* post-drift reports measure against the adopted regime:
+               quiet, and never a second relink *)
+            for i = 1 to 4 do
+              let drift, relink = report prof_new in
+              if relink then Alcotest.failf "post-drift report %d relinked" i;
+              if drift > 0.3 then
+                Alcotest.failf "post-drift report %d drifted %.3f" i drift
+            done;
+            match Pgo.Manager.totals pgo with
+            | [ (app, tt) ] ->
+              Alcotest.(check string) "app name" "Demo" app;
+              Alcotest.(check int) "every report counted" (4 + !sent + 4)
+                tt.Pgo.p_reports;
+              Alcotest.(check int) "one relink" 1 tt.Pgo.p_relinks;
+              Alcotest.(check bool) "drift detected, bounded by reports" true
+                (tt.Pgo.p_drift_detected >= 3
+                && tt.Pgo.p_drift_detected <= tt.Pgo.p_reports);
+              Alcotest.(check bool) "the relink hit the shared cache" true
+                (tt.Pgo.p_relink_cache_hits > 0)
+            | l -> Alcotest.failf "expected one app, got %d" (List.length l));
+        Alcotest.(check bool) "refreshed serves counted" true
+          (Calibro_obs.Obs.Counter.value "server.jobs.refreshed" > refreshed0));
+    Alcotest.test_case "drain mid-relink: reports answered, nothing stuck"
+      `Quick (fun () ->
+        let dexsim, prof_old, prof_new = Lazy.force drift_fixture in
+        let digest = Chash.string dexsim in
+        let rq = request ~profile:prof_old ~config:pgo_config dexsim in
+        let pgo =
+          Pgo.Manager.create
+            ~config:{ Pgo.default_config with Pgo.hysteresis = 1 } ()
+        in
+        with_server ~pgo (fun t ->
+            let ep = Server.endpoint t in
+            ignore (oat_of "prime" (Client.request ~endpoint:ep rq));
+            (* hysteresis 1: the first drifted report schedules *)
+            (match
+               Client.report ~endpoint:ep
+                 { Protocol.pr_app = digest; pr_profile = prof_new }
+             with
+             | Ok (_, relink) ->
+               Alcotest.(check bool) "drifted report schedules" true relink
+             | Error m -> Alcotest.failf "report: %s" m);
+            (* the drain begins while that relink is queued or running —
+               reports must still be answered, but never schedule *)
+            Server.request_drain t;
+            (match
+               Client.report ~endpoint:ep
+                 { Protocol.pr_app = digest; pr_profile = prof_new }
+             with
+             | Ok (_, relink) ->
+               Alcotest.(check bool) "drain merges, never schedules" false
+                 relink
+             | Error m -> Alcotest.failf "report while draining: %s" m);
+            (* a Build during the drain is refused typed, like always *)
+            match Client.request ~endpoint:ep rq with
+            | Ok (Protocol.Rejected Protocol.Draining) -> ()
+            | Ok (Protocol.Built _) ->
+              (* raced ahead of the flag: also legal *)
+              ()
+            | Ok r ->
+              Alcotest.failf "drain answered %s"
+                (match r with
+                 | Protocol.Rejected rej -> Protocol.rejection_to_string rej
+                 | _ -> "a non-build response")
+            | Error m -> Alcotest.failf "drain transport: %s" m)
+        (* with_server's finally completes the drain: reaching here at
+           all is the no-hang assertion *)) ]
+
 let suite =
   codec_tests @ transport_tests @ ring_tests @ queue_tests @ serve_tests
   @ zero_copy_tests @ fault_tests @ router_tests @ e2e_tests
-  @ dict_service_tests @ drain_tests
+  @ dict_service_tests @ drain_tests @ pgo_tests
