@@ -43,6 +43,12 @@ let usage () =
     \                   one re-link, the served OAT byte-identical to the\n\
     \                   in-process drifted build, and the drifted script's\n\
     \                   cycles back inside the Table 7 envelope\n\
+    \  train            shelve x outline size/cycle frontier over the six\n\
+    \                   apps plus a release-train replay through a 3-shard\n\
+    \                   fleet and a shelve-enabled PGO drift loop; exit 1\n\
+    \                   on any VM divergence between shelved and unshelved\n\
+    \                   builds, byte divergence in the fleet, or a broken\n\
+    \                   shelved re-link\n\
     \  digest           per-app, per-config MD5 of the OAT text segment\n\
     \  baseline         measure and write the CI perf baseline\n\
     \                   (--out, default bench/baseline.json)\n\
@@ -104,6 +110,7 @@ let () =
    | "fleet" -> if not (Serve.fleet_bench ()) then exit_code := 1
    | "store" -> if not (Store.bench ()) then exit_code := 1
    | "pgo" -> if not (Pgo_bench.bench ()) then exit_code := 1
+   | "train" -> if not (Train_bench.bench ()) then exit_code := 1
    | "table2" -> Harness.table2 ()
    | "table3" -> Harness.table3 ()
    | "bechamel" -> Micro.benchmark ()

@@ -114,7 +114,13 @@ let expect_built what = function
   | Protocol.Dict_info _ | Protocol.Report_ack _ ->
     failwith ("pgo bench " ^ what ^ " answered a non-build response")
 
-let measure () : result =
+(* [?shelve] re-runs the whole loop under a shelve-enabled config: every
+   request (and both in-process oracles) carries the coverage threshold,
+   so the daemon serves shelved builds, the drift re-link re-derives the
+   shelving plan from the *new* regime's profile (unshelving methods
+   that turned hot), and the byte/monotonicity contracts must hold
+   unchanged. `bench train` gates this composition. *)
+let measure ?shelve () : result =
   let generated = Appgen.generate Apps.kuaishou in
   let apk = generated.Appgen.app in
   let script = generated.Appgen.app_script in
@@ -135,7 +141,8 @@ let measure () : result =
       rq_dexsim = dexsim;
       rq_profile = Some p;
       rq_deadline_ms = None;
-      rq_dict = None }
+      rq_dict = None;
+      rq_shelve = shelve }
   in
   (* The oracles, computed before the server exists. *)
   let expected_old =

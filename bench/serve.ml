@@ -71,7 +71,8 @@ let workload () =
           rq_dexsim = Calibro_dex.Dex_text.to_string apk;
           rq_profile = None;
           rq_deadline_ms = None;
-          rq_dict = None })
+          rq_dict = None;
+          rq_shelve = None })
   in
   let expected =
     Array.map

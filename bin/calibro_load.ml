@@ -36,16 +36,17 @@ let percentile sorted p =
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let run endpoint clients requests app_name seeds config_name deadline_ms
-    verify allow_errors dict_path =
+    verify allow_errors dict_path shelve train =
   let profile =
     if String.lowercase_ascii app_name = "demo" then Some Apps.demo
     else Apps.by_name app_name
   in
-  let base =
+  let generated =
     match profile with
     | None -> Printf.eprintf "unknown app %s\n" app_name; exit 2
-    | Some p -> (Appgen.generate p).Appgen.app
+    | Some p -> Appgen.generate p
   in
+  let base = generated.Appgen.app in
   let config =
     match Config.of_string config_name with
     | Ok c -> c
@@ -62,23 +63,62 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
         exit 2)
   in
   let seeds = max 1 seeds in
-  let total = clients * requests in
-  (* One request per (seed pool slot); the pool cycles so concurrent
-     clients hit overlapping releases. *)
-  let request_of_ix ix =
-    let seed = (ix mod seeds) + 1 in
-    let apk, _ops = Mutate.mutate ~seed base in
+  let shelve_profile =
+    (* Shelving draws its warm set from a profile; produce one by
+       replaying the base app's own interaction script through a
+       baseline build, the way the drift replay does. *)
+    match shelve with
+    | None -> None
+    | Some _ ->
+      let b = Pipeline.build ~config:Config.baseline base in
+      let t = Calibro_vm.Interp.load b.Pipeline.b_oat in
+      List.iter
+        (fun (st : Appgen.script_step) ->
+          for _ = 1 to st.Appgen.sc_repeat do
+            match
+              Calibro_vm.Interp.call t st.Appgen.sc_method st.Appgen.sc_args
+            with
+            | Calibro_vm.Interp.Fault m -> failwith ("script fault: " ^ m)
+            | _ -> ()
+          done)
+        generated.Appgen.app_script;
+      Some
+        (Calibro_profile.Profile.to_string
+           (Calibro_profile.Profile.of_interp t))
+  in
+  let request_of_apk apk =
     { Protocol.rq_config = config;
       rq_dexsim = Calibro_dex.Dex_text.to_string apk;
-      rq_profile = None;
+      rq_profile = shelve_profile;
       rq_deadline_ms = deadline_ms;
-      rq_dict = Option.map Calibro_dict.Dict.digest dict }
+      rq_dict = Option.map Calibro_dict.Dict.digest dict;
+      rq_shelve = shelve }
   in
-  let requests_by_slot =
-    (* distinct wire requests, computed once: seeds cycle, so there are
-       at most [seeds] of them *)
-    Array.init (min seeds total) request_of_ix
+  let requests_by_slot, requests =
+    match train with
+    | None ->
+      (* One request per (seed pool slot); the pool cycles so concurrent
+         clients hit overlapping releases. *)
+      let request_of_ix ix =
+        let seed = (ix mod seeds) + 1 in
+        let apk, _ops = Mutate.mutate ~seed base in
+        request_of_apk apk
+      in
+      (Array.init (min seeds (clients * requests)) request_of_ix, requests)
+    | Some deltas ->
+      (* Release-train replay: every client walks the same version
+         sequence in order, so the first client to reach version i pays
+         the cold build and the rest hit the fleet cache warm — and
+         consecutive versions differ by one Mutate delta, the
+         incremental-relink shape. Overrides --seeds and --requests. *)
+      let reqs =
+        Train.fold ~deltas ~seed:1 base ~init:[] ~f:(fun acc v ->
+            request_of_apk v.Train.v_apk :: acc)
+        |> List.rev |> Array.of_list
+      in
+      (reqs, Array.length reqs)
   in
+  let total = clients * requests in
   let outcomes = Array.make (max 1 total) (O_transport "not run") in
   let t0 = Clock.now_ns () in
   let client_thread c () =
@@ -118,6 +158,13 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
     "calibro_load: %d requests (%d clients x %d), %d built, %d rejected, %d \
      transport errors in %.2fs\n"
     total clients requests (List.length built) rejected transport wall_s;
+  (match train with
+   | Some d ->
+     Printf.printf
+       "  release train: %d versions (%d deltas), replayed in order by each \
+        client\n"
+       (d + 1) d
+   | None -> ());
   if List.length built > 0 then
     Printf.printf
       "  throughput %.2f builds/s  latency p50 %.3fs  p95 %.3fs  max %.3fs\n"
@@ -195,7 +242,7 @@ let run endpoint clients requests app_name seeds config_name deadline_ms
 module Pgo_profile = Calibro_profile.Profile
 
 let run_drift endpoint clients requests app_name seed config_name deadline_ms
-    verify allow_errors dict_path =
+    verify allow_errors dict_path shelve =
   let app_profile =
     if String.lowercase_ascii app_name = "demo" then Some Apps.demo
     else Apps.by_name app_name
@@ -263,7 +310,8 @@ let run_drift endpoint clients requests app_name seed config_name deadline_ms
       rq_dexsim = dexsim;
       rq_profile = Some profile_old;
       rq_deadline_ms = deadline_ms;
-      rq_dict = Option.map Calibro_dict.Dict.digest dict }
+      rq_dict = Option.map Calibro_dict.Dict.digest dict;
+      rq_shelve = shelve }
   in
   let requests = max 2 requests in
   let rotate_at = requests / 2 in
@@ -442,6 +490,25 @@ let cmd =
                  against the same dictionary. A daemon serving a \
                  different dictionary answers Dict_mismatch.")
   in
+  let shelve =
+    Arg.(value & opt (some float) None & info [ "shelve" ] ~docv:"COVERAGE"
+           ~doc:"Ask for profile-driven shelving at this coverage \
+                 threshold: a profile of the base app's own interaction \
+                 script is attached to every build request and the daemon \
+                 shelves methods outside the warm set to interpreter \
+                 stubs. $(b,--verify) compares against in-process shelved \
+                 builds of the same requests.")
+  in
+  let train =
+    Arg.(value & opt (some int) None & info [ "train" ] ~docv:"DELTAS"
+           ~doc:"Release-train replay: instead of the cycling seed pool, \
+                 build the deterministic $(docv)-delta release train of \
+                 the base app (Workload.Train, seed 1) and have every \
+                 client walk the versions in order — overlapping clients \
+                 exercise the fleet cache, consecutive one-delta versions \
+                 exercise incremental re-links. Overrides $(b,--seeds) \
+                 and $(b,--requests).")
+  in
   let drift =
     Arg.(value & flag & info [ "drift" ]
            ~doc:"PGO convergence replay: every client alternates Build and \
@@ -460,7 +527,7 @@ let cmd =
     Term.(
       const
         (fun socket tcp clients requests app seeds config deadline_ms verify
-             allow_errors dict_path drift ->
+             allow_errors dict_path shelve train drift ->
           let endpoint =
             match (socket, tcp) with
             | Some path, None -> Transport.Unix_socket { path }
@@ -478,11 +545,12 @@ let cmd =
           Stdlib.exit
             (if drift then
                run_drift endpoint clients requests app seeds config
-                 deadline_ms verify allow_errors dict_path
+                 deadline_ms verify allow_errors dict_path shelve
              else
                run endpoint clients requests app seeds config deadline_ms
-                 verify allow_errors dict_path))
+                 verify allow_errors dict_path shelve train))
       $ socket $ tcp $ clients $ requests $ app_arg $ seeds $ config
-      $ deadline_ms $ verify $ allow_errors $ dict_path $ drift)
+      $ deadline_ms $ verify $ allow_errors $ dict_path $ shelve $ train
+      $ drift)
 
 let () = exit (Cmd.eval cmd)

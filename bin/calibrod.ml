@@ -30,7 +30,8 @@ let load_dict path =
     exit 2
 
 let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
-    dict_path pgo_enabled pgo_threshold pgo_hysteresis metrics trace =
+    dict_path shelve_threshold pgo_enabled pgo_threshold pgo_hysteresis metrics
+    trace =
   let endpoint =
     match (socket, tcp) with
     | Some path, None -> Transport.Unix_socket { path }
@@ -89,7 +90,8 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
       dict =
         (fun () ->
           Option.map Calibro_dict.Dict.linker_dict (Atomic.get dict));
-      pgo }
+      pgo;
+      shelve = shelve_threshold }
   in
   let t =
     try Server.create cfg
@@ -115,6 +117,11 @@ let serve socket tcp workers queue_capacity cache_dir recv_timeout deadline_ms
      Printf.eprintf "calibrod: serving shared dictionary %s (%d bodies)\n%!"
        (Calibro_dict.Dict.digest d)
        (Calibro_dict.Dict.n_bodies d)
+   | None -> ());
+  (match shelve_threshold with
+   | Some c ->
+     Printf.eprintf
+       "calibrod: default shelving coverage %.2f (profiled builds only)\n%!" c
    | None -> ());
   (match pgo with
    | Some _ ->
@@ -192,6 +199,19 @@ let cmd =
                  the file (rotation): stale rq_dict requests then get \
                  typed Dict_mismatch answers.")
   in
+  let shelve_threshold =
+    Arg.(value & opt (some float) None & info [ "shelve-threshold" ]
+           ~docv:"COVERAGE"
+           ~doc:"Daemon-default shelving coverage applied to Build \
+                 requests that carry no rq_shelve of their own: methods \
+                 outside the smallest profile prefix covering this \
+                 fraction of execution mass are shelved to interpreter \
+                 stubs. Only acts on requests that carry a profile; a \
+                 request's own threshold wins. Applied at admission, \
+                 before the PGO build key, so drift re-links re-derive \
+                 the shelve policy from the new profile (unshelving \
+                 methods that turned hot).")
+  in
   let pgo_enabled =
     Arg.(value & flag & info [ "pgo" ]
            ~doc:"Enable the PGO drift loop: Profile_report frames are \
@@ -230,7 +250,7 @@ let cmd =
              Unix-domain socket or TCP with admission control, deadlines \
              and graceful drain.")
     Term.(const serve $ socket $ tcp $ workers $ queue_capacity $ cache_dir
-          $ recv_timeout $ deadline_ms $ dict_path $ pgo_enabled
-          $ pgo_threshold $ pgo_hysteresis $ metrics $ trace)
+          $ recv_timeout $ deadline_ms $ dict_path $ shelve_threshold
+          $ pgo_enabled $ pgo_threshold $ pgo_hysteresis $ metrics $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -157,13 +157,14 @@ module Dict = struct
     Cache.write_file path (String.sub s 0 (String.length s / 2));
     Calibro_obs.Obs.Counter.incr "fault.injected.dict-truncate"
 
-  (* Flip one bit at byte [at] (default: the last byte, which is inside
-     the text image for any non-empty dictionary — the digest-mismatch
-     path; aim [at] into the marshalled table to exercise the
-     decode-failure path instead). *)
+  (* Flip one bit at byte [at] (default: the last byte of the text image —
+     the container's final 4 bytes are the v4 shelf-image length (always 0
+     for a dictionary), so the image ends 5 bytes from the end — the
+     digest-mismatch path; aim [at] into the marshalled table to exercise
+     the decode-failure path instead). *)
   let bitflip ?at path =
     let s = Bytes.of_string (Cache.read_file path) in
-    let i = match at with Some i -> i | None -> Bytes.length s - 1 in
+    let i = match at with Some i -> i | None -> Bytes.length s - 5 in
     Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0x10));
     Cache.write_file path (Bytes.to_string s);
     Calibro_obs.Obs.Counter.incr "fault.injected.dict-bitflip"

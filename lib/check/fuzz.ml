@@ -80,11 +80,18 @@ let dict_of apk =
   | exception Pipeline.Build_error _ -> None
   | b -> Some (Dict.of_oats [ b.Pipeline.b_oat; b.Pipeline.b_oat ])
 
+(* The shelve fuzz coverage: 0.8 matches the release-train default, and
+   on the generated apps it leaves a warm set small enough that most
+   methods really are parked — the variant exercises stubs, faults and
+   shelf-resident execution on every seed. *)
+let default_shelve_coverage = 0.8
+
 let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true)
-    ?(dict = true) seed : failure option =
+    ?(dict = true) ?(shelve = true) seed : failure option =
   let apk = apk_of_seed seed in
   let dict_for a = if dict then dict_of a else None in
-  match Oracle.run ?configs ~mutate ?dict:(dict_for apk) apk with
+  let shelve_cov = if shelve then Some default_shelve_coverage else None in
+  match Oracle.run ?configs ~mutate ?dict:(dict_for apk) ?shelve:shelve_cov apk with
   | Ok r when Oracle.ok r -> None
   | report ->
     let shrunk, stats =
@@ -121,7 +128,8 @@ let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true)
            differ, and a stale dictionary would bind nothing, silently
            turning the dict variant into the plain one. *)
         let still_failing a =
-          Oracle.fails ?baseline_fuel ?configs ~mutate ?dict:(dict_for a) a
+          Oracle.fails ?baseline_fuel ?configs ~mutate ?dict:(dict_for a)
+            ?shelve:shelve_cov a
         in
         let a, st = Shrink.shrink ~still_failing apk in
         (Some a, Some st)
@@ -136,7 +144,7 @@ let run_seed ?configs ?(mutate = fun _ oat -> oat) ?(shrink = true)
 
 (* [log] receives one line per event (seed started, failure found);
    the CLI wires it to stderr, tests leave it silent. *)
-let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink ?dict
+let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink ?dict ?shelve
     ?(log = fun (_ : string) -> ()) () : outcome =
   let failures = ref [] in
   for i = 0 to seeds - 1 do
@@ -152,7 +160,7 @@ let run ?(seeds = 25) ?(base_seed = 0) ?configs ?mutate ?shrink ?dict
     match
       Obs.span ~cat:"check" "fuzz.seed"
         ~args:(fun () -> [ ("seed", Json.Int seed) ])
-        (fun () -> run_seed ?configs ?mutate ?shrink ?dict seed)
+        (fun () -> run_seed ?configs ?mutate ?shrink ?dict ?shelve seed)
     with
     | None -> ()
     | Some f ->
@@ -417,7 +425,8 @@ module Proto = struct
                     { Oat_file.ol_offset = 4 * i; ol_size = 4 });
               dict_digest =
                 (if next r mod 2 = 0 then None
-                 else Some (Digest.to_hex (Digest.string (bytes r 8)))) }
+                 else Some (Digest.to_hex (Digest.string (bytes r 8))));
+              shelve = None }
           in
           let stats =
             { P.bs_text_size = Bytes.length oat.Oat_file.text;

@@ -25,6 +25,7 @@
 open Calibro_aarch64
 open Calibro_codegen
 module Oat = Calibro_oat.Oat_file
+module Shelve = Calibro_shelve.Shelve
 
 type violation = { v_check : string; v_where : string; v_detail : string }
 
@@ -228,6 +229,57 @@ let check_dict_image ~image (entries : (int * int) list) : violation list =
   in
   tiling @ check_bodies ~check_name:"dict" ~text:image entries
 
+(* Shelf well-formedness (a shelve-composed build): every shelf entry must
+   tile the shelf image, name a method the container actually carries, and
+   that method's text-side region must be exactly the fixed-size fault stub
+   encoding the entry's index — a stub faulting with the wrong index would
+   unshelve (and run) a different method's body. Branch closure *inside*
+   shelf bodies is deliberately not checked: shelf entries carry no LTBO.1
+   metadata, so embedded-data ranges are unknown there and any decoded
+   word could be a false positive. *)
+let check_shelf (oat : Oat.t) : violation list =
+  match oat.Oat.shelve with
+  | None -> []
+  | Some shf ->
+    let vs = ref [] in
+    let bad ~where fmt =
+      Fmt.kstr
+        (fun d ->
+          vs := { v_check = "shelf"; v_where = where; v_detail = d } :: !vs)
+        fmt
+    in
+    let by_slot = Hashtbl.create 64 in
+    List.iter
+      (fun (me : Oat.method_entry) ->
+        Hashtbl.replace by_slot me.Oat.me_slot me)
+      oat.Oat.methods;
+    let pos = ref 0 in
+    List.iteri
+      (fun index (e : Oat.shelf_entry) ->
+        let where = Printf.sprintf "shelf[%d] (slot %d)" index e.Oat.sh_slot in
+        if e.Oat.sh_offset <> !pos then
+          bad ~where "body at %#x does not tile (expected %#x)" e.Oat.sh_offset
+            !pos;
+        pos := e.Oat.sh_offset + e.Oat.sh_size;
+        if e.Oat.sh_size <= 0 || e.Oat.sh_size mod 4 <> 0 then
+          bad ~where "size %d not a positive word multiple" e.Oat.sh_size;
+        match Hashtbl.find_opt by_slot e.Oat.sh_slot with
+        | None -> bad ~where "no method with this slot in the image"
+        | Some me ->
+          if me.Oat.me_size <> Shelve.stub_bytes then
+            bad ~where "text region of %d bytes is not a %d-byte stub"
+              me.Oat.me_size Shelve.stub_bytes
+          else (
+            match Shelve.decode_stub oat.Oat.text ~offset:me.Oat.me_offset with
+            | Some i when i = index -> ()
+            | Some i -> bad ~where "stub encodes shelf index %d" i
+            | None -> bad ~where "text region does not decode as a shelf stub"))
+      shf.Oat.shf_entries;
+    if !pos <> Bytes.length shf.Oat.shf_image then
+      bad ~where:"shelf" "entries cover %d bytes of a %d-byte image" !pos
+        (Bytes.length shf.Oat.shf_image);
+    List.rev !vs
+
 (* ---- Entry point -------------------------------------------------------- *)
 
 let check ?dict (oat : Oat.t) : violation list =
@@ -236,3 +288,4 @@ let check ?dict (oat : Oat.t) : violation list =
   @ check_stackmaps oat
   @ check_branches ?dict oat
   @ check_outlined oat
+  @ check_shelf oat

@@ -17,6 +17,7 @@ open Calibro_dex.Dex_ir
 module Interp = Calibro_vm.Interp
 module Oat = Calibro_oat.Oat_file
 module Dict = Calibro_dict.Dict
+module Shelve = Calibro_shelve.Shelve
 module Obs = Calibro_obs.Obs
 module Json = Calibro_obs.Json
 
@@ -40,6 +41,9 @@ let divergence_to_string d =
 type report = {
   r_apk : string;
   r_configs : string list;
+  r_variants : string list;
+      (** every variant actually exercised: config names plus their
+          [+dict] / [+shelve] / [+dict+shelve] derivatives *)
   r_config_set : Config.t list;
       (** the resolved configurations actually checked; lets callers
           re-run or shrink against exactly the ones that diverged *)
@@ -123,15 +127,26 @@ let compare_runs ~config_name ~calls base_results results : divergence list =
 (* ---- The oracle ----------------------------------------------------------- *)
 
 (* The shared-dict variant of config [name] is reported as
-   [name ^ dict_suffix]; [plain_config_name] recovers the underlying
-   configuration name (the shrinker narrows its config set with it). *)
+   [name ^ dict_suffix], the shelved variant as [name ^ shelve_suffix]
+   (and a build exercising both composes them, in that order);
+   [plain_config_name] recovers the underlying configuration name (the
+   shrinker narrows its config set with it). *)
 let dict_suffix = "+dict"
+let shelve_suffix = "+shelve"
 
-let plain_config_name name =
-  let n = String.length name and s = String.length dict_suffix in
-  if n > s && String.sub name (n - s) s = dict_suffix then
-    String.sub name 0 (n - s)
-  else name
+let strip_suffix name suffix =
+  let n = String.length name and s = String.length suffix in
+  if n > s && String.sub name (n - s) s = suffix then
+    Some (String.sub name 0 (n - s))
+  else None
+
+let rec plain_config_name name =
+  match strip_suffix name shelve_suffix with
+  | Some n -> plain_config_name n
+  | None -> (
+    match strip_suffix name dict_suffix with
+    | Some n -> plain_config_name n
+    | None -> name)
 
 (* Check [apk] under [configs] (default: the {!Config.matrix} with a
    hot set profiled from the baseline run, i.e. the full Figure 6 loop).
@@ -142,9 +157,14 @@ let plain_config_name name =
    configuration: the build links against the dictionary, the simulator
    maps it at {!Calibro_codegen.Abi.dict_base}, and the run must still be
    indistinguishable from the baseline — byte-faithful execution against
-   the store-wide image. *)
+   the store-wide image. [shelve] adds a shelved variant of every
+   configuration (and a combined dict+shelve variant where both apply):
+   the plan is derived from the baseline run's own profile at the given
+   coverage, so the cold set is exactly what a release-train build would
+   park, and execution through fault stubs, unshelving and shelf-resident
+   bodies must still match the baseline call for call. *)
 let run ?(baseline_fuel = default_baseline_fuel) ?configs
-    ?(mutate = fun _ oat -> oat) ?calls ?dict (apk : apk) :
+    ?(mutate = fun _ oat -> oat) ?calls ?dict ?shelve (apk : apk) :
     (report, string) result =
   Obs.span ~cat:"check" "oracle.run"
     ~args:(fun () -> [ ("apk", Json.Str apk.apk_name) ])
@@ -187,17 +207,46 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
         in
         Config.matrix ~hot_methods ()
     in
-    (* Each unit of work: a config, run plain or against the shared
-       dictionary. Dictionary variants only make sense where outlining
-       runs — a non-LTBO build has no bodies to bind. *)
+    (* The shelving plan for the [+shelve] variants, derived from the
+       baseline run the comparison is anchored to: its hot set at the
+       requested coverage is the warm set, everything else is cold. *)
+    let shelve_plan =
+      Option.map
+        (fun coverage ->
+          Shelve.of_profile ~coverage
+            (Calibro_profile.Profile.of_interp base_interp))
+        shelve
+    in
+    (* Each unit of work: a config, run plain, against the shared
+       dictionary, shelved, or both. Dictionary variants only make sense
+       where outlining runs — a non-LTBO build has no bodies to bind —
+       while shelving is orthogonal to outlining and composes with every
+       configuration. *)
     let variants =
       List.concat_map
         (fun (config : Config.t) ->
-          let plain = (config.Config.name, config, None) in
-          match dict with
-          | Some d when config.Config.ltbo ->
-            [ plain; (config.Config.name ^ dict_suffix, config, Some d) ]
-          | _ -> [ plain ])
+          let dicts =
+            match dict with
+            | Some d when config.Config.ltbo -> [ (dict_suffix, Some d) ]
+            | _ -> []
+          in
+          let shelves =
+            match shelve_plan with
+            | Some p -> [ (shelve_suffix, Some p) ]
+            | None -> []
+          in
+          ((config.Config.name, config, None, None)
+          :: List.map
+               (fun (sfx, d) -> (config.Config.name ^ sfx, config, d, None))
+               dicts)
+          @ List.concat_map
+              (fun (ssfx, p) ->
+                (config.Config.name ^ ssfx, config, None, p)
+                :: List.map
+                     (fun (dsfx, d) ->
+                       (config.Config.name ^ dsfx ^ ssfx, config, d, p))
+                     dicts)
+              shelves)
         configs
     in
     (* The dictionary image itself must be a well-formed collection of
@@ -217,16 +266,21 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
                (Dict.entries d))));
     Obs.Counter.add "oracle.configs_checked" (List.length variants);
     List.iter
-      (fun (name, (config : Config.t), dict) ->
+      (fun (name, (config : Config.t), dict, shelve) ->
         match
           Pipeline.build ~config
             ?dict:(Option.map Dict.linker_dict dict)
-            apk
+            ?shelve apk
         with
         | exception Pipeline.Build_error e ->
           divergences :=
             { dv_config = name; dv_call = None;
               dv_detail = "build failed: " ^ e }
+            :: !divergences
+        | exception Shelve.Shelve_error e ->
+          divergences :=
+            { dv_config = name; dv_call = None;
+              dv_detail = "shelve failed: " ^ e }
             :: !divergences
         | b ->
           let oat = mutate name b.Pipeline.b_oat in
@@ -265,6 +319,7 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
     Ok
       { r_apk = apk.apk_name;
         r_configs = List.map (fun (c : Config.t) -> c.Config.name) configs;
+        r_variants = List.map (fun (n, _, _, _) -> n) variants;
         r_config_set = configs;
         r_calls = List.length calls;
         r_baseline_retired = baseline_retired;
@@ -276,8 +331,8 @@ let run ?(baseline_fuel = default_baseline_fuel) ?configs
    manufactures infinite loops that exhaust fuel in every build alike) —
    is rejected: it no longer witnesses a transformation bug. *)
 let fails ?baseline_fuel ?configs ?(mutate = fun _ oat -> oat) ?calls ?dict
-    apk =
-  match run ?baseline_fuel ?configs ~mutate ?calls ?dict apk with
+    ?shelve apk =
+  match run ?baseline_fuel ?configs ~mutate ?calls ?dict ?shelve apk with
   | Error _ -> false
   | Ok r ->
     let baseline_bad =

@@ -29,6 +29,21 @@ let dict_base = 0x4000000
    [bl] sites relocate to a fixed absolute target). dict_base - text_base
    = 0x3F00000 bytes, well inside the ±128MB reach of a [bl] imm26, so an
    app's text can always call into the dictionary directly. *)
+let shelf_base = 0x6000000
+(* Load address of the shelf image: the original bodies of *shelved*
+   (profile-cold) methods, parked outside the text segment. The text keeps
+   only a fixed-size stub per shelved method; the first call faults in the
+   simulator, which redirects the ArtMethod entry here ("unshelving").
+   shelf_base - text_base = 0x5F00000 bytes, inside the ±128MB reach of a
+   [bl] imm26, so shelf-resident bodies still call CTO thunks in the text
+   directly. *)
+
+let shelf_stub_magic = 0x5e1f
+(* The [brk] immediate of a shelf stub ([movz x17, #index; brk #magic]).
+   Lives here — not in lib/shelve — because both the stub emitter and the
+   simulator's fault handler need it, and the VM must not depend on the
+   shelving library. *)
+
 let method_table_base = 0x8000000 (* ArtMethod structs, 32 bytes each *)
 let runtime_table_base = 0x9000000
 let native_entry_base = 0xA000000 (* fake entry points of native methods *)

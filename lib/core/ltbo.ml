@@ -340,15 +340,21 @@ let detect_result_of_json (j : Json.t) : (decision list * stats) option =
           s_occurrences_replaced = f; s_instructions_saved = g } )
   | _ -> None
 
-let detect ?cache ?digest_of ?salt ~options (methods : Compiled_method.t array)
-    (group : int list) : decision list * stats =
+let detect ?cache ?digest_of ?salt ?ns ~options
+    (methods : Compiled_method.t array) (group : int list) :
+    decision list * stats =
   Obs.span ~cat:"ltbo" "ltbo.detect"
     ~args:(fun () -> [ ("group_methods", Json.Int (List.length group)) ])
   @@ fun () ->
   match cache with
   | None -> detect_uncached ~options methods group
   | Some c -> (
-    let ns = match salt with None -> detect_ns | Some _ -> detect_dict_ns in
+    let ns =
+      match ns with
+      | Some n -> n
+      | None -> (
+        match salt with None -> detect_ns | Some _ -> detect_dict_ns)
+    in
     let key = group_key ?salt ~options ~digest_of methods group in
     match Option.bind (Cache.find_json c ~ns key) detect_result_of_json with
     | Some r -> r
@@ -548,7 +554,7 @@ let run_with ?(sym_base = outlined_sym_base)
   { methods = methods'; outlined = List.rev !outlined; stats }
 
 (* Single global suffix tree (the non-PlOpti configuration). *)
-let run ?cache ?digest_of ?salt ?(options = default_options) ?sym_base
+let run ?cache ?digest_of ?salt ?ns ?(options = default_options) ?sym_base
     (methods : Compiled_method.t list) : result =
   let marr = Array.of_list methods in
   let candidates =
@@ -559,7 +565,7 @@ let run ?cache ?digest_of ?salt ?(options = default_options) ?sym_base
            if Meta.outlinable cm.Compiled_method.meta then Some i else None)
   in
   let detect_results =
-    [ detect ?cache ?digest_of ?salt ~options marr candidates ]
+    [ detect ?cache ?digest_of ?salt ?ns ~options marr candidates ]
   in
   run_with ?sym_base ~detect_results methods
 
@@ -571,7 +577,7 @@ let run ?cache ?digest_of ?salt ?(options = default_options) ?sym_base
    for iOS and the paper cites as related work. Outlined functions
    themselves are never re-outlined (they are not methods and carry no
    metadata), so rounds converge quickly. *)
-let run_rounds ?cache ?digest_of ?salt ?(options = default_options) ~rounds
+let run_rounds ?cache ?digest_of ?salt ?ns ?(options = default_options) ~rounds
     (methods : Compiled_method.t list) : result =
   (* The compile-time digests describe the *input* methods: they are only
      valid for the first round. Later rounds run over rewritten code, so
@@ -580,7 +586,7 @@ let run_rounds ?cache ?digest_of ?salt ?(options = default_options) ~rounds
     if n = 0 then
       { methods; outlined = List.rev acc_outlined; stats = acc_stats }
     else begin
-      let r = run ?cache ?digest_of ?salt ~options ~sym_base methods in
+      let r = run ?cache ?digest_of ?salt ?ns ~options ~sym_base methods in
       if r.stats.s_outlined_functions = 0 then
         { methods; outlined = List.rev acc_outlined; stats = acc_stats }
       else

@@ -50,6 +50,7 @@ val detect :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
   ?salt:string ->
+  ?ns:string ->
   options:options ->
   Compiled_method.t array ->
   int list ->
@@ -70,7 +71,11 @@ val detect :
     [?salt] marks a dictionary-relative build: results move to the
     ["detectdict"] namespace and the salt (the dictionary digest) is
     folded into every key, so rotating the store dictionary misses
-    cleanly instead of replaying results memoized under the old one. *)
+    cleanly instead of replaying results memoized under the old one.
+
+    [?ns] overrides the memo namespace entirely; shelve-composed builds
+    pass ["detectshelve"] with the combined policy digest as [?salt], so
+    warm-set-only detection never aliases a full-set result. *)
 
 val detect_result_to_json : decision list * stats -> Calibro_obs.Json.t
 val detect_result_of_json :
@@ -103,6 +108,7 @@ val run :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
   ?salt:string ->
+  ?ns:string ->
   ?options:options ->
   ?sym_base:int ->
   Compiled_method.t list ->
@@ -114,6 +120,7 @@ val run_rounds :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
   ?salt:string ->
+  ?ns:string ->
   ?options:options ->
   rounds:int ->
   Compiled_method.t list ->

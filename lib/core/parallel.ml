@@ -59,7 +59,7 @@ let partition ~k ~seed (candidates : int list) : int list list =
    keeps the per-tree working set small — the second benefit the paper
    describes). [?max_domains] overrides the cap, mainly so tests can
    exercise the pool on small hosts. *)
-let detect_parallel ?max_domains ?cache ?digest_of ?salt ~options
+let detect_parallel ?max_domains ?cache ?digest_of ?salt ?ns ~options
     (methods : Compiled_method.t array) (groups : int list list) :
     (Ltbo.decision list * Ltbo.stats) list =
   let max_domains =
@@ -74,7 +74,7 @@ let detect_parallel ?max_domains ?cache ?digest_of ?salt ~options
   let detect_group g =
     Obs.span ~cat:"plopti" "plopti.detect_group"
       ~args:(fun () -> [ ("group_methods", Json.Int (List.length g)) ])
-      (fun () -> Ltbo.detect ?cache ?digest_of ?salt ~options methods g)
+      (fun () -> Ltbo.detect ?cache ?digest_of ?salt ?ns ~options methods g)
   in
   Obs.span ~cat:"plopti" "plopti.detect_parallel"
     ~args:(fun () -> [ ("groups", Json.Int (List.length groups)) ])
@@ -123,7 +123,8 @@ let detect_parallel ?max_domains ?cache ?digest_of ?salt ~options
    build that domain serves, so PlOpti's per-build byte churn stays off
    the minor heap (the [arena.*] counters account for reuse, contention
    and trims). *)
-let run ?cache ?digest_of ?salt ?(options = Ltbo.default_options) ?(seed = 42)
+let run ?cache ?digest_of ?salt ?ns ?(options = Ltbo.default_options)
+    ?(seed = 42)
     ~k (methods : Compiled_method.t list) : Ltbo.result =
   let marr = Array.of_list methods in
   let candidates =
@@ -133,6 +134,6 @@ let run ?cache ?digest_of ?salt ?(options = Ltbo.default_options) ?(seed = 42)
   in
   let groups = partition ~k ~seed candidates in
   let detect_results =
-    detect_parallel ?cache ?digest_of ?salt ~options marr groups
+    detect_parallel ?cache ?digest_of ?salt ?ns ~options marr groups
   in
   Ltbo.run_with ~detect_results methods

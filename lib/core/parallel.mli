@@ -15,6 +15,7 @@ val detect_parallel :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
   ?salt:string ->
+  ?ns:string ->
   options:Ltbo.options ->
   Compiled_method.t array ->
   int list list ->
@@ -32,6 +33,7 @@ val run :
   ?cache:Calibro_cache.Cache.t ->
   ?digest_of:(int -> string option) ->
   ?salt:string ->
+  ?ns:string ->
   ?options:Ltbo.options ->
   ?seed:int ->
   k:int ->

@@ -17,12 +17,15 @@ module Clock = Calibro_obs.Clock
 module Json = Calibro_obs.Json
 module Cache = Calibro_cache.Cache
 
+module Shelve = Calibro_shelve.Shelve
+
 type build = {
   b_config : Config.t;
   b_oat : Oat_file.t;
   b_timings : (string * float) list;  (** (phase, seconds) in order *)
   b_ltbo_stats : Ltbo.stats option;
   b_cto_hits : (string * int) list;   (** summed over methods *)
+  b_shelved : int;  (** methods parked on the shelf (0 without [?shelve]) *)
 }
 
 let total_time b = List.fold_left (fun a (_, t) -> a +. t) 0.0 b.b_timings
@@ -78,7 +81,7 @@ let env_cache : Cache.t option Lazy.t =
      | _ -> None)
 
 let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline) ?dict
-    (apk : Dex_ir.apk) : build =
+    ?shelve (apk : Dex_ir.apk) : build =
   Obs.span ~cat:"pipeline" "pipeline.build"
     ~args:(fun () ->
       [ ("apk", Json.Str apk.Dex_ir.apk_name);
@@ -138,34 +141,83 @@ let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline) ?dict
                 cm)
             methods)
   in
+  (* Shelving (the "Shelving it rather than Ditching it" composition):
+     partition the compiled methods into the profile-warm survivors and
+     the cold set, whose bodies are parked on the shelf behind fixed-size
+     fault stubs. The split runs after per-method compilation — so the
+     per-method cache population is shared with unshelved builds — and
+     before LTBO, so outlining mines only the warm set. *)
+  let shelve_split =
+    match shelve with
+    | None -> None
+    | Some plan ->
+      timed phases "shelve" (fun () -> Some (Shelve.split ~plan compiled))
+  in
+  let mined_input =
+    match shelve_split with
+    | None -> compiled
+    | Some s -> s.Shelve.sv_warm
+  in
   (* LTBO.2. A dictionary-relative build memoizes detection under the
      dictionary digest ([?salt]): the detection results themselves are
      the same, but the namespace split keeps rotation semantics honest —
      a rotated dictionary can never replay entries keyed to the old one
-     (see Ltbo.detect_dict_ns). *)
+     (see Ltbo.detect_dict_ns). A shelve-composed build moves to its own
+     "detectshelve" namespace with the policy digest folded in (combined
+     with the dictionary digest when both apply): warm-set-only results
+     must never alias full-set ones, and a changed plan can only miss. *)
   let dict_salt =
     Option.map (fun (d : Linker.dict) -> d.Linker.dct_digest) dict
   in
-  let compiled, outlined, ltbo_stats =
-    if not config.Config.ltbo then (compiled, [], None)
+  let detect_salt, detect_ns =
+    match shelve with
+    | None -> (dict_salt, None)
+    | Some plan ->
+      let s =
+        match dict_salt with
+        | None -> plan.Shelve.sp_digest
+        | Some d -> plan.Shelve.sp_digest ^ "+" ^ d
+      in
+      (Some s, Some "detectshelve")
+  in
+  let mined, outlined, ltbo_stats =
+    if not config.Config.ltbo then (mined_input, [], None)
     else
       timed phases "ltbo" (fun () ->
           let options = Config.ltbo_options config in
           let digest_of =
             match cache with
             | None -> None
-            | Some _ -> Some (fun mi -> digests.(mi))
+            | Some _ ->
+              (* Indexed by position in the mined list; a method's slot is
+                 its global index, so the compile-time digest array maps
+                 through it even for the filtered warm set. *)
+              let slot_at =
+                Array.of_list
+                  (List.map
+                     (fun (cm : Compiled_method.t) -> cm.Compiled_method.slot)
+                     mined_input)
+              in
+              Some (fun mi -> digests.(slot_at.(mi)))
           in
           let result =
             if config.Config.parallel_trees > 1 then
-              Parallel.run ?cache ?digest_of ?salt:dict_salt ~options
-                ~k:config.Config.parallel_trees compiled
+              Parallel.run ?cache ?digest_of ?salt:detect_salt ?ns:detect_ns
+                ~options ~k:config.Config.parallel_trees mined_input
             else if config.Config.ltbo_rounds > 1 then
-              Ltbo.run_rounds ?cache ?digest_of ?salt:dict_salt ~options
-                ~rounds:config.Config.ltbo_rounds compiled
-            else Ltbo.run ?cache ?digest_of ?salt:dict_salt ~options compiled
+              Ltbo.run_rounds ?cache ?digest_of ?salt:detect_salt
+                ?ns:detect_ns ~options ~rounds:config.Config.ltbo_rounds
+                mined_input
+            else
+              Ltbo.run ?cache ?digest_of ?salt:detect_salt ?ns:detect_ns
+                ~options mined_input
           in
           (result.Ltbo.methods, result.Ltbo.outlined, Some result.Ltbo.stats))
+  in
+  let linked_methods, shelf_input =
+    match shelve_split with
+    | None -> (mined, None)
+    | Some s -> (mined @ s.Shelve.sv_stubs, s.Shelve.sv_shelf)
   in
   (* Final link: bind symbols, relocate calls (section 3.2); with a
      dictionary, bodies the store already carries bind to their shared
@@ -174,7 +226,7 @@ let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline) ?dict
     timed phases "link" (fun () ->
         Linker.link ~apk_name:apk.Dex_ir.apk_name
           ~thunks:(if config.Config.cto then Abi.all_thunks else [])
-          ~extra:outlined ?dict compiled)
+          ~extra:outlined ?dict ?shelve:shelf_input linked_methods)
   in
   let cto_hits =
     List.fold_left
@@ -187,7 +239,11 @@ let build ?(cache = Lazy.force env_cache) ?(config = Config.baseline) ?dict
       [] compiled
   in
   { b_config = config; b_oat = oat; b_timings = List.rev !phases;
-    b_ltbo_stats = ltbo_stats; b_cto_hits = List.sort compare cto_hits }
+    b_ltbo_stats = ltbo_stats; b_cto_hits = List.sort compare cto_hits;
+    b_shelved =
+      (match shelve_split with
+       | None -> 0
+       | Some s -> Shelve.shelved_count s) }
 
 (* Convenience: text-segment size, the paper's headline metric. *)
 let text_size b = Oat_file.text_size b.b_oat

@@ -14,6 +14,8 @@ type build = {
           kept because Table 6 consumes exactly this shape *)
   b_ltbo_stats : Ltbo.stats option;
   b_cto_hits : (string * int) list;   (** CTO pattern census, summed *)
+  b_shelved : int;
+      (** methods parked on the shelf by [?shelve] (0 without a plan) *)
 }
 
 exception Build_error of string
@@ -28,6 +30,7 @@ val build :
   ?cache:Calibro_cache.Cache.t option ->
   ?config:Config.t ->
   ?dict:Calibro_oat.Linker.dict ->
+  ?shelve:Calibro_shelve.Shelve.plan ->
   Dex_ir.apk ->
   build
 (** Compile an application under the given evaluation configuration
@@ -48,7 +51,16 @@ val build :
     text segment, and the output records the dictionary digest
     ({!Calibro_oat.Oat_file.t.dict_digest}) when anything bound. LTBO
     detection results are then memoized under a dictionary-salted
-    namespace, so rotating the dictionary misses cleanly. *)
+    namespace, so rotating the dictionary misses cleanly.
+
+    [?shelve] composes profile-driven method shelving: cold methods
+    (outside the plan's warm set) are compiled to fixed-size shelf stubs,
+    their original bodies parked in the shelf image at
+    {!Calibro_codegen.Abi.shelf_base}, and LTBO mines only the surviving
+    warm set. The per-method cache is shared with unshelved builds (the
+    split runs post-compile); detection memoizes under the
+    ["detectshelve"] namespace salted with the policy digest. The output
+    records the policy digest in {!Calibro_oat.Oat_file.t.shelve}. *)
 
 val method_key :
   config:Config.t ->

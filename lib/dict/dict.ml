@@ -147,7 +147,8 @@ let to_oat t : Oat_file.t =
       List.map
         (fun e -> { Oat_file.ol_offset = e.e_offset; ol_size = e.e_size })
         t.dt_entries;
-    dict_digest = None }
+    dict_digest = None;
+    shelve = None }
 
 let save t path = Oat_file.save (to_oat t) path
 

@@ -33,6 +33,24 @@ type dict = {
       (** body bytes -> byte offset of that body inside the image *)
 }
 
+(* The shelving contract: a profile-cold method's text slot holds only a
+   fixed-size stub; its original (pre-LTBO) body is parked in a separate
+   shelf image mapped at [Abi.shelf_base]. The body's [bl] relocations
+   (CTO thunk calls — shelved bodies are pre-outlining, so they never
+   reference outline symbols) are patched against the text symbols with
+   cross-segment displacements. *)
+type shelf_body = {
+  sb_name : Calibro_dex.Dex_ir.method_ref;
+  sb_slot : int;
+  sb_code : bytes;                (** the original compiled body *)
+  sb_relocs : (int * int) list;   (** (byte offset of a bl, symbol id) *)
+}
+
+type shelve_input = {
+  shv_digest : string;            (** shelve policy digest for the header *)
+  shv_bodies : shelf_body list;
+}
+
 exception Link_error of string
 
 (* Thunk bodies are fixed specifications ([Abi.thunk_body]); under an
@@ -55,7 +73,7 @@ let encode_thunk th =
         Hashtbl.replace thunk_code th code;
         code)
 
-let link ~apk_name ?(thunks = []) ?(extra = []) ?dict
+let link ~apk_name ?(thunks = []) ?(extra = []) ?dict ?shelve
     (methods : Compiled_method.t list) : Oat_file.t =
   Obs.span ~cat:"link" "link.run"
     ~args:(fun () -> [ ("apk", Json.Str apk_name) ])
@@ -164,6 +182,53 @@ let link ~apk_name ?(thunks = []) ?(extra = []) ?dict
   in
   Obs.Counter.add "linker.relocations_patched" !relocated;
   Obs.Gauge.set "linker.last_text_size" (float_of_int (Bytes.length text));
+  (* ---- Shelf image: parked bodies in slot order, each [bl] patched with
+     the cross-segment displacement to its text-resident thunk. An empty
+     plan records nothing, keeping the container byte-identical to an
+     unshelved link. *)
+  let shelf =
+    match shelve with
+    | None | Some { shv_bodies = []; _ } -> None
+    | Some shv ->
+      let bodies =
+        List.sort (fun a b -> compare a.sb_slot b.sb_slot) shv.shv_bodies
+      in
+      let shelf_pos = ref 0 in
+      let placed =
+        List.map
+          (fun sb ->
+            let off = !shelf_pos in
+            shelf_pos := !shelf_pos + Bytes.length sb.sb_code;
+            (sb, off))
+          bodies
+      in
+      let image = Bytes.create !shelf_pos in
+      List.iter
+        (fun (sb, off) ->
+          Bytes.blit sb.sb_code 0 image off (Bytes.length sb.sb_code);
+          List.iter
+            (fun (site, sym) ->
+              let target_abs = Abi.text_base + resolve sym in
+              let at = off + site in
+              let at_abs = Abi.shelf_base + at in
+              let word = Int32.to_int (Bytes.get_int32_le image at)
+                         land 0xFFFFFFFF in
+              incr relocated;
+              Bytes.set_int32_le image at
+                (Int32.of_int (Patch.patch_word word ~disp:(target_abs - at_abs))))
+            sb.sb_relocs)
+        placed;
+      Obs.Counter.add "linker.shelved_placed" (List.length bodies);
+      Some
+        { Oat_file.shf_digest = shv.shv_digest;
+          shf_image = image;
+          shf_entries =
+            List.map
+              (fun (sb, off) ->
+                { Oat_file.sh_slot = sb.sb_slot; sh_offset = off;
+                  sh_size = Bytes.length sb.sb_code })
+              placed }
+  in
   { Oat_file.apk_name;
     text;
     methods =
@@ -193,4 +258,5 @@ let link ~apk_name ?(thunks = []) ?(extra = []) ?dict
        stays self-contained, byte-for-byte identical to a no-dict link. *)
     dict_digest =
       (if !dict_bound > 0 then Option.map (fun d -> d.dct_digest) dict
-       else None) }
+       else None);
+    shelve = shelf }

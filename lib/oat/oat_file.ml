@@ -24,6 +24,22 @@ type thunk_entry = { th : Abi.thunk; th_offset : int; th_size : int }
 
 type outlined_entry = { ol_offset : int; ol_size : int }
 
+type shelf_entry = {
+  sh_slot : int;    (** ArtMethod slot of the shelved method *)
+  sh_offset : int;  (** byte offset of the parked body inside the image *)
+  sh_size : int;
+}
+
+type shelf = {
+  shf_digest : string;
+      (** the shelve *policy* digest: coverage threshold + warm set.
+          Recorded so tooling can tell which plan produced the stubs. *)
+  shf_image : bytes;
+      (** the relocated original bodies of shelved methods, mapped by the
+          VM at {!Calibro_codegen.Abi.shelf_base} *)
+  shf_entries : shelf_entry list;  (** in slot order, tiling the image *)
+}
+
 type t = {
   apk_name : string;
   text : bytes;  (** fully relocated code *)
@@ -35,7 +51,16 @@ type t = {
           store-wide shared dictionary with this digest, mapped at
           {!Calibro_codegen.Abi.dict_base}; executing this OAT requires
           that exact dictionary image. [None] = self-contained. *)
+  shelve : shelf option;
+      (** When set, profile-cold methods in [text] are fixed-size shelf
+          stubs; their original bodies live in the shelf image. [None] =
+          nothing shelved. *)
 }
+
+let shelved_slots t =
+  match t.shelve with
+  | None -> []
+  | Some s -> List.map (fun e -> e.sh_slot) s.shf_entries
 
 let text_size t = Bytes.length t.text
 
@@ -123,7 +148,7 @@ exception Oat_error of string
    library surfaces [Invalid_argument] for a bad input file. *)
 
 let magic = "CALIBOAT"
-let version = 3 (* v3: the method table gained [dict_digest] *)
+let version = 4 (* v4: shelf image + entries + shelve policy digest *)
 
 (* Append the serialized container to [a]. This is the only writer: the
    serving path emits straight into the response-frame arena (no
@@ -139,15 +164,25 @@ let emit (t : t) (a : Arena.t) : unit =
      its entries fresh while a cold build shares method_refs with the
      IR). The table is acyclic, so a purely structural encoding is safe
      and makes saved OAT files deterministic. *)
+  let shelve_meta =
+    Option.map (fun s -> (s.shf_digest, s.shf_entries)) t.shelve
+  in
   let payload =
     Marshal.to_string
-      (t.apk_name, t.dict_digest, t.methods, t.thunks, t.outlined)
+      (t.apk_name, t.dict_digest, shelve_meta, t.methods, t.thunks, t.outlined)
       [ Marshal.No_sharing ]
   in
   Arena.add_i32_le a (String.length payload);
   Arena.add_string a payload;
   Arena.add_i32_le a (Bytes.length t.text);
-  Arena.add_bytes a t.text
+  Arena.add_bytes a t.text;
+  (* The shelf image rides after the text segment; a build with nothing
+     shelved writes a zero length and stays byte-stable. *)
+  match t.shelve with
+  | None -> Arena.add_i32_le a 0
+  | Some s ->
+    Arena.add_i32_le a (Bytes.length s.shf_image);
+    Arena.add_bytes a s.shf_image
 
 let to_bytes (t : t) : bytes =
   Arena.with_scratch @@ fun a ->
@@ -191,15 +226,26 @@ let of_bytes (buf : bytes) : (t, string) result =
         need "method table" !pos payload_len;
         let payload = Bytes.sub_string buf !pos payload_len in
         pos := !pos + payload_len;
-        let apk_name, dict_digest, methods, thunks, outlined =
+        let apk_name, dict_digest, shelve_meta, methods, thunks, outlined =
           (Marshal.from_string payload 0
-            : string * string option * method_entry list * thunk_entry list
-              * outlined_entry list)
+            : string * string option * (string * shelf_entry list) option
+              * method_entry list * thunk_entry list * outlined_entry list)
         in
         let text_len = read_i32 "text length" in
         need "text segment" !pos text_len;
         let text = Bytes.sub buf !pos text_len in
-        Ok { apk_name; text; methods; thunks; outlined; dict_digest }
+        pos := !pos + text_len;
+        let shelf_len = read_i32 "shelf length" in
+        need "shelf image" !pos shelf_len;
+        let shelf_image = Bytes.sub buf !pos shelf_len in
+        let shelve =
+          Option.map
+            (fun (digest, entries) ->
+              { shf_digest = digest; shf_image = shelf_image;
+                shf_entries = entries })
+            shelve_meta
+        in
+        Ok { apk_name; text; methods; thunks; outlined; dict_digest; shelve }
       end
     end
   with

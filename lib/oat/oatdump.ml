@@ -19,17 +19,40 @@ let check_extent (oat : Oat_file.t) what ~offset ~size =
             "%s spans +%#x..+%#x but the text segment is %d bytes" what
             offset (offset + size) text))
 
+(* Recognize a shelf fault stub ([movz x17, #index; brk #magic]) in the
+   text segment. Decoded locally from {!Abi.shelf_stub_magic}: the stub
+   *emitter* lives in lib/shelve, which depends on this library, so the
+   dump recognizes the encoding rather than importing it. *)
+let shelf_stub_index text ~offset ~size =
+  if size <> 8 || offset < 0 || offset + size > Bytes.length text then None
+  else
+    match
+      ( Decode.decode (Encode.word_of_bytes text offset),
+        Decode.decode (Encode.word_of_bytes text (offset + 4)) )
+    with
+    | ( Isa.Mov_wide { kind = Isa.MOVZ; size = Isa.X; rd; imm16; hw = 0 },
+        Isa.Brk m )
+      when rd = Isa.x17 && m = Abi.shelf_stub_magic ->
+      Some imm16
+    | _ -> None
+
 let dump_method buf (oat : Oat_file.t) (m : Oat_file.method_entry) =
   check_extent oat
     (Printf.sprintf "method %s"
        (Calibro_dex.Dex_ir.method_ref_to_string m.me_name))
     ~offset:m.me_offset ~size:m.me_size;
   Buffer.add_string buf
-    (Printf.sprintf "method %s (slot %d) at +%#x, %d bytes%s%s\n"
+    (Printf.sprintf "method %s (slot %d) at +%#x, %d bytes%s%s%s\n"
        (Calibro_dex.Dex_ir.method_ref_to_string m.me_name)
        m.me_slot m.me_offset m.me_size
        (if m.me_meta.Meta.is_native then " [native]" else "")
-       (if m.me_meta.Meta.has_indirect_jump then " [indirect-jump]" else ""));
+       (if m.me_meta.Meta.has_indirect_jump then " [indirect-jump]" else "")
+       (match
+          shelf_stub_index oat.Oat_file.text ~offset:m.me_offset
+            ~size:m.me_size
+        with
+       | Some i -> Printf.sprintf " [shelf-stub #%d]" i
+       | None -> ""));
   let base = Abi.text_base + m.me_offset in
   let words = m.me_size / 4 in
   for i = 0 to words - 1 do
@@ -51,11 +74,24 @@ let dump_method buf (oat : Oat_file.t) (m : Oat_file.method_entry) =
 let dump ?(methods = true) (oat : Oat_file.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (Printf.sprintf "OAT %s: text %d bytes, %d methods, %d thunks, %d outlined functions\n"
+    (Printf.sprintf "OAT %s: text %d bytes, %d methods, %d thunks, %d outlined functions%s\n"
        oat.Oat_file.apk_name (Oat_file.text_size oat)
        (List.length oat.Oat_file.methods)
        (List.length oat.Oat_file.thunks)
-       (List.length oat.Oat_file.outlined));
+       (List.length oat.Oat_file.outlined)
+       (match oat.Oat_file.shelve with
+        | None -> ""
+        | Some s ->
+          Printf.sprintf ", %d shelved"
+            (List.length s.Oat_file.shf_entries)));
+  (match oat.Oat_file.shelve with
+   | None -> ()
+   | Some s ->
+     Buffer.add_string buf
+       (Printf.sprintf "shelve policy %s: %d-byte shelf image at %#x\n"
+          s.Oat_file.shf_digest
+          (Bytes.length s.Oat_file.shf_image)
+          Abi.shelf_base));
   List.iter
     (fun (t : Oat_file.thunk_entry) ->
       check_extent oat
@@ -80,4 +116,39 @@ let dump ?(methods = true) (oat : Oat_file.t) =
         (Disasm.dump ~base:(Abi.text_base + o.ol_offset)
            (Bytes.sub oat.Oat_file.text o.ol_offset o.ol_size)))
     oat.Oat_file.outlined;
+  (match oat.Oat_file.shelve with
+   | None -> ()
+   | Some s ->
+     let image = s.Oat_file.shf_image in
+     let name_of_slot =
+       let tbl = Hashtbl.create (List.length oat.Oat_file.methods) in
+       List.iter
+         (fun (m : Oat_file.method_entry) ->
+           Hashtbl.replace tbl m.me_slot m.me_name)
+         oat.Oat_file.methods;
+       fun slot ->
+         match Hashtbl.find_opt tbl slot with
+         | Some n -> Calibro_dex.Dex_ir.method_ref_to_string n
+         | None -> Printf.sprintf "<unknown slot %d>" slot
+     in
+     List.iter
+       (fun (e : Oat_file.shelf_entry) ->
+         if e.sh_offset < 0 || e.sh_size < 0
+            || e.sh_offset + e.sh_size > Bytes.length image
+         then
+           raise
+             (Oat_file.Oat_error
+                (Printf.sprintf
+                   "shelf body for slot %d spans +%#x..+%#x but the shelf \
+                    image is %d bytes"
+                   e.sh_slot e.sh_offset (e.sh_offset + e.sh_size)
+                   (Bytes.length image)));
+         Buffer.add_string buf
+           (Printf.sprintf "shelved %s (slot %d) at shelf+%#x, %d bytes\n"
+              (name_of_slot e.sh_slot) e.sh_slot e.sh_offset e.sh_size);
+         if methods then
+           Buffer.add_string buf
+             (Disasm.dump ~base:(Abi.shelf_base + e.sh_offset)
+                (Bytes.sub image e.sh_offset e.sh_size)))
+       s.Oat_file.shf_entries);
   Buffer.contents buf

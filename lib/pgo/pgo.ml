@@ -68,6 +68,7 @@ type build_key = {
   bk_dexsim : string;
   bk_profile : string option;
   bk_dict : string option;
+  bk_shelve : float option;
 }
 
 type app_totals = {

@@ -55,10 +55,15 @@ type build_key = {
   bk_dexsim : string;
   bk_profile : string option;
   bk_dict : string option;
+  bk_shelve : float option;
 }
 (** A build request minus its deadline — what "the same build" means
     across the feedback loop. Mirrors the wire request; defined here so
-    [lib/server] can depend on [lib/pgo] without a cycle. *)
+    [lib/server] can depend on [lib/pgo] without a cycle. [bk_shelve]
+    rides through a relink untouched: the relink key carries the drift
+    streak's profile, so the worker re-derives the shelving plan from the
+    *new* regime — methods that turned hot are unshelved by the very same
+    mechanism that re-links them. *)
 
 type app_totals = {
   p_reports : int;

@@ -210,6 +210,7 @@ type build_request = {
   rq_profile : string option;
   rq_deadline_ms : int option;
   rq_dict : string option;
+  rq_shelve : float option;
 }
 
 type profile_report = { pr_app : string; pr_profile : string }
@@ -228,6 +229,7 @@ let encode_request (r : build_request) =
   w_opt w_str b r.rq_profile;
   w_opt w_u32 b r.rq_deadline_ms;
   w_opt w_str b r.rq_dict;
+  w_opt w_f64 b r.rq_shelve;
   Buffer.contents b
 
 let encode_hello () = String.make 1 (Char.chr tag_hello)
@@ -260,8 +262,10 @@ let decode_request =
     let rq_profile = r_opt r_str c ~what:"profile" in
     let rq_deadline_ms = r_opt r_u32 c ~what:"deadline_ms" in
     let rq_dict = r_opt r_str c ~what:"dict" in
+    let rq_shelve = r_opt r_f64 c ~what:"shelve" in
     finish c "build request";
-    Build { rq_config; rq_dexsim; rq_profile; rq_deadline_ms; rq_dict }
+    Build
+      { rq_config; rq_dexsim; rq_profile; rq_deadline_ms; rq_dict; rq_shelve }
   end
 
 (* ---- Responses ----------------------------------------------------------- *)

@@ -63,6 +63,14 @@ type build_request = {
           [Dict_mismatch] unless it serves exactly that dictionary.
           [None] requests a self-contained build (the daemon's ambient
           dictionary, if any, is not used). *)
+  rq_shelve : float option;
+      (** profile coverage threshold for method shelving: methods outside
+          the accumulated profile's hot set at this coverage are compiled
+          to shelf fault stubs ({!Calibro_shelve.Shelve}). Requires a
+          profile — [rq_profile] or the daemon's PGO accumulator — to
+          derive the warm set from; without one the build is unshelved.
+          [None] (or the daemon's [--shelve-threshold] default, applied
+          at admission when this is [None]) disables shelving. *)
 }
 
 type profile_report = {

@@ -14,6 +14,9 @@ type config = {
   default_deadline_ms : int option;
   dict : unit -> Calibro_oat.Linker.dict option;
   pgo : Pgo.Manager.t option;
+  shelve : float option;
+      (* daemon-default shelving coverage, applied at admission to builds
+         that did not choose for themselves (rq_shelve = None) *)
 }
 
 let default_config ~endpoint =
@@ -24,7 +27,8 @@ let default_config ~endpoint =
     recv_timeout_s = 10.0;
     default_deadline_ms = None;
     dict = (fun () -> None);
-    pgo = None }
+    pgo = None;
+    shelve = None }
 
 type totals = {
   t_accepted : int;
@@ -163,6 +167,15 @@ let handle_connection t fd =
     | Ok (Protocol.Build rq) ->
       if Atomic.get t.stop then reject t.a_refused_draining Protocol.Draining
       else begin
+        (* Admission applies the daemon's shelving default to requests
+           that did not choose for themselves — like the default
+           deadline, and before the PGO key is taken, so relinks of a
+           default-shelved build re-derive the same shelve policy. *)
+        let rq =
+          match (rq.Protocol.rq_shelve, t.cfg.shelve) with
+          | None, (Some _ as d) -> { rq with Protocol.rq_shelve = d }
+          | _ -> rq
+        in
         let deadline_ms =
           match rq.Protocol.rq_deadline_ms with
           | Some _ as d -> d

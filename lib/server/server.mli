@@ -49,11 +49,19 @@ type config = {
           admission queue, and subsequent identical [Build] requests are
           served the refreshed OAT. [None] answers every report with a
           typed [Unknown_app]. *)
+  shelve : float option;
+      (** daemon-default shelving coverage ([--shelve-threshold]):
+          applied at admission to [Build] requests whose [rq_shelve] is
+          [None] — like the default deadline, and before the PGO build
+          key is taken, so drift relinks of a default-shelved build
+          re-derive the shelve policy from the new profile. A request
+          that carries its own threshold wins; shelving still requires a
+          profile to act on (see {!Protocol.build_request.rq_shelve}). *)
 }
 
 val default_config : endpoint:Transport.endpoint -> config
 (** 2 workers, capacity 64, no cache, 10 s receive timeout, no default
-    deadline, no dictionary, no PGO. *)
+    deadline, no dictionary, no PGO, no shelving. *)
 
 type t
 

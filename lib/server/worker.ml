@@ -27,14 +27,16 @@ let key_of_request (rq : Protocol.build_request) : Pgo.build_key =
   { Pgo.bk_config = rq.Protocol.rq_config;
     bk_dexsim = rq.Protocol.rq_dexsim;
     bk_profile = rq.Protocol.rq_profile;
-    bk_dict = rq.Protocol.rq_dict }
+    bk_dict = rq.Protocol.rq_dict;
+    bk_shelve = rq.Protocol.rq_shelve }
 
 let request_of_key (k : Pgo.build_key) : Protocol.build_request =
   { Protocol.rq_config = k.Pgo.bk_config;
     rq_dexsim = k.Pgo.bk_dexsim;
     rq_profile = k.Pgo.bk_profile;
     rq_deadline_ms = None;
-    rq_dict = k.Pgo.bk_dict }
+    rq_dict = k.Pgo.bk_dict;
+    rq_shelve = k.Pgo.bk_shelve }
 
 (* ---- Connection plumbing ------------------------------------------------ *)
 
@@ -115,17 +117,22 @@ let build_oat_hot ~cache ?dict (rq : Protocol.build_request) :
     match Calibro_dex.Dex_text.parse rq.Protocol.rq_dexsim with
     | Error e -> Error (Protocol.Parse_error e)
     | Ok apk ->
-      let profile_hot =
+      let profile =
         match rq.Protocol.rq_profile with
-        | None -> Ok []
+        | None -> Ok None
         | Some text -> (
           match Calibro_profile.Profile.of_string text with
-          | Ok prof -> Ok (Calibro_profile.Profile.hot_set prof)
+          | Ok prof -> Ok (Some prof)
           | Error e -> Error e)
       in
-      (match profile_hot with
+      (match profile with
        | Error e -> Error (Protocol.Parse_error ("profile: " ^ e))
-       | Ok hot ->
+       | Ok profile ->
+         let hot =
+           match profile with
+           | None -> []
+           | Some p -> Calibro_profile.Profile.hot_set p
+         in
          let config =
            let c = rq.Protocol.rq_config in
            if hot = [] then c
@@ -134,8 +141,17 @@ let build_oat_hot ~cache ?dict (rq : Protocol.build_request) :
                Config.hot_methods =
                  List.sort_uniq compare (c.Config.hot_methods @ hot) }
          in
+         (* Shelving needs a profile to draw the warm set from: a
+            threshold without one (a fresh app nobody has run) builds
+            unshelved rather than shelving everything blind. *)
+         let shelve =
+           match (rq.Protocol.rq_shelve, profile) with
+           | Some coverage, Some p ->
+             Some (Calibro_shelve.Shelve.of_profile ~coverage p)
+           | _ -> None
+         in
          let t0 = Clock.now_ns () in
-         let b = Pipeline.build ~cache ~config ?dict apk in
+         let b = Pipeline.build ~cache ~config ?dict ?shelve apk in
          let build_s = Clock.since_s t0 in
          let oat = b.Pipeline.b_oat in
          Ok
@@ -149,6 +165,8 @@ let build_oat_hot ~cache ?dict (rq : Protocol.build_request) :
   with
   | r -> r
   | exception Pipeline.Build_error m -> Error (Protocol.Build_failed m)
+  | exception Calibro_shelve.Shelve.Shelve_error m ->
+    Error (Protocol.Build_failed ("shelve: " ^ m))
   | exception Ltbo.Ltbo_error m -> Error (Protocol.Build_failed ("ltbo: " ^ m))
   | exception Calibro_hgraph.Passes.Pass_error m ->
     Error (Protocol.Build_failed ("ir passes: " ^ m))
@@ -213,7 +231,8 @@ let cache_hits_now () =
     0
     [ "cache.method.hits"; "cache.method.disk_hits"; "cache.detect.hits";
       "cache.detect.disk_hits"; "cache.detectdict.hits";
-      "cache.detectdict.disk_hits" ]
+      "cache.detectdict.disk_hits"; "cache.detectshelve.hits";
+      "cache.detectshelve.disk_hits" ]
 
 let handle_client ~cache ~dict ~pgo (job : client_job) =
   Obs.span ~cat:"server" "server.job"

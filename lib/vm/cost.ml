@@ -21,12 +21,18 @@ type params = {
   icache_line : int;     (** bytes per i-cache line *)
   icache_miss : int;     (** cold-miss charge per new line *)
   runtime_call : int;    (** flat charge per runtime function invocation *)
+  interp_penalty : int;
+      (** extra per instruction fetched from the shelf image: shelved
+          bodies run through the interpreter path, not compiled code *)
+  unshelve_fault : int;
+      (** one-time charge when a shelf stub first faults and the runtime
+          redirects the ArtMethod entry to the parked body *)
 }
 
 let default =
   { base = 1; mem = 1; mul = 2; div = 8; branch_taken = 1; call = 1;
     indirect = 0; ret = 0; icache_line = 64; icache_miss = 8;
-    runtime_call = 40 }
+    runtime_call = 40; interp_penalty = 9; unshelve_fault = 400 }
 
 type t = {
   params : params;
@@ -73,3 +79,11 @@ let on_fetch t ~region ~pc instr ~taken =
     (instr_cost t.params instr ~taken + if miss then t.params.icache_miss else 0)
 
 let on_runtime_call t ~region = charge t ~region t.params.runtime_call
+
+(* Shelf-resident code models the interpreter: same semantics, every
+   instruction pays [interp_penalty] on top of its compiled cost. *)
+let on_shelf_fetch t ~region ~pc instr ~taken =
+  on_fetch t ~region ~pc instr ~taken;
+  charge t ~region t.params.interp_penalty
+
+let on_unshelve_fault t ~region = charge t ~region t.params.unshelve_fault

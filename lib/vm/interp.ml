@@ -48,6 +48,17 @@ exception Dict_mismatch of { expected : string option; got : string option }
    self-contained OAT loaded with one pinned as required) would execute
    wild branches into unmapped or wrong bytes — refuse at load time. *)
 
+(* One shelved method, as the fault handler sees it: where the parked body
+   lives, which ArtMethod to repoint, and which region its cycles belong
+   to (the owning method's, so profile attribution — and therefore the PGO
+   unshelve-on-drift loop — keeps working for shelved code). *)
+type shelf_slot = {
+  si_name : method_ref;
+  si_slot : int;
+  si_addr : int;    (** absolute address of the parked body *)
+  si_region : int;  (** region table index of the owning method *)
+}
+
 type t = {
   oat : Calibro_oat.Oat_file.t;
   machine : M.t;
@@ -57,6 +68,13 @@ type t = {
   dict_decoded : Isa.t array;   (** pre-decoded dictionary image *)
   dict_region_of : int array;   (** dict word index -> region table index *)
   dict_len : int;               (** bytes of mapped dictionary image *)
+  shelf_decoded : Isa.t array;  (** pre-decoded shelf image *)
+  shelf_region_of : int array;  (** shelf word index -> owning method region *)
+  shelf_len : int;              (** bytes of mapped shelf image *)
+  shelf_slots : shelf_slot array;  (** indexed by stub index *)
+  shelf_unshelved : bool array;
+  shelf_faults : int array;     (** stub faults taken, per shelf index *)
+  mutable unshelves : int;      (** methods redirected to their shelf body *)
   cost : Cost.t;
   native_impls : (method_ref, M.t -> unit) Hashtbl.t;
   mutable fuel : int;
@@ -175,8 +193,57 @@ let load ?(cost_params = Cost.default) ?(fuel = 500_000_000) ?dict
           oat.outlined
       @ List.map snd dict_entries)
   in
+  (* ---- Shelf image: map it, pre-decode it, and wire every shelf word to
+     its *owning method's* region so cycles spent in a parked body flow
+     into that method's profile line (the PGO loop unshelves on exactly
+     that signal). *)
+  let shelf_entries =
+    match oat.shelve with None -> [] | Some s -> s.shf_entries
+  in
+  let shelf_image =
+    match oat.shelve with
+    | None -> Bytes.create 0
+    | Some s -> s.shf_image
+  in
+  M.write_bytes m Abi.shelf_base shelf_image;
+  let shelf_decoded =
+    Array.init
+      (Bytes.length shelf_image / 4)
+      (fun i -> Decode.decode (Encode.word_of_bytes shelf_image (i * 4)))
+  in
+  let method_region_by_slot = Hashtbl.create 64 in
+  List.iteri
+    (fun i (me : Calibro_oat.Oat_file.method_entry) ->
+      Hashtbl.replace method_region_by_slot me.me_slot (i, me.me_name))
+    oat.methods;
+  let shelf_region_of = Array.make (Array.length shelf_decoded) (-1) in
+  let shelf_slots =
+    Array.of_list
+      (List.map
+         (fun (e : Calibro_oat.Oat_file.shelf_entry) ->
+           match Hashtbl.find_opt method_region_by_slot e.sh_slot with
+           | None ->
+             raise
+               (Fault_exn
+                  (Printf.sprintf "shelf entry for unknown slot %d" e.sh_slot))
+           | Some (region, name) ->
+             for w = e.sh_offset / 4 to (e.sh_offset + e.sh_size) / 4 - 1 do
+               shelf_region_of.(w) <- region
+             done;
+             (* Residency: entering a shelved method keeps both its stub
+                and its parked body resident. *)
+             region_sizes.(region) <- region_sizes.(region) + e.sh_size;
+             { si_name = name; si_slot = e.sh_slot;
+               si_addr = Abi.shelf_base + e.sh_offset; si_region = region })
+         shelf_entries)
+  in
   { oat; machine = m; decoded; region_of; regions;
     dict_decoded; dict_region_of; dict_len = Bytes.length dict_image;
+    shelf_decoded; shelf_region_of; shelf_len = Bytes.length shelf_image;
+    shelf_slots;
+    shelf_unshelved = Array.make (Array.length shelf_slots) false;
+    shelf_faults = Array.make (Array.length shelf_slots) 0;
+    unshelves = 0;
     cost = Cost.create ~params:cost_params ~n_regions:(Array.length regions) ();
     native_impls = Hashtbl.create 8; fuel; last_region = -1;
     regions_touched = Array.make (Array.length regions) false;
@@ -374,6 +441,29 @@ let exec t instr =
 
 (* ---- Main loop ----------------------------------------------------------- *)
 
+(* A shelf stub trapped: [movz x17, #index] just executed, so x17 names the
+   shelf entry. The first fault per method is the *unshelve*: repoint the
+   ArtMethod entry at the parked body (later calls bypass the stub
+   entirely) and pay the one-time fault charge. Every fault — first or
+   re-entrant — resumes execution at the parked body, so shelved code
+   always runs to the same result as unshelved code. *)
+let shelf_fault t =
+  let m = t.machine in
+  let idx = M.get_reg m Isa.x17 in
+  if idx < 0 || idx >= Array.length t.shelf_slots then
+    raise (Fault_exn (Printf.sprintf "shelf fault with bad index %d" idx));
+  let s = t.shelf_slots.(idx) in
+  t.shelf_faults.(idx) <- t.shelf_faults.(idx) + 1;
+  if not t.shelf_unshelved.(idx) then begin
+    t.shelf_unshelved.(idx) <- true;
+    t.unshelves <- t.unshelves + 1;
+    M.write64 m
+      (Abi.art_method_addr ~slot:s.si_slot + Abi.entry_point_offset)
+      s.si_addr;
+    Cost.on_unshelve_fault t.cost ~region:s.si_region
+  end;
+  m.M.pc <- s.si_addr
+
 let run t =
   let m = t.machine in
   let tend = text_end t.oat in
@@ -387,13 +477,34 @@ let run t =
         t.fuel <- t.fuel - 1;
         let w = (pc - Abi.text_base) / 4 in
         let instr = t.decoded.(w) in
-        let region = t.region_of.(w) in
+        match instr with
+        | Isa.Brk b
+          when b = Abi.shelf_stub_magic && Array.length t.shelf_slots > 0 ->
+          shelf_fault t
+        | _ ->
+          let region = t.region_of.(w) in
+          if region >= 0 && not t.regions_touched.(region) then
+            t.regions_touched.(region) <- true;
+          t.last_region <- region;
+          M.touch_exec m pc;
+          let taken = exec t instr in
+          Cost.on_fetch t.cost ~region ~pc instr ~taken
+      end
+      else if pc >= Abi.shelf_base && pc < Abi.shelf_base + t.shelf_len
+      then begin
+        (* Parked bodies execute with full fidelity but pay the
+           interpretation penalty per instruction: shelved semantics are
+           identical, only cycles differ. *)
+        t.fuel <- t.fuel - 1;
+        let w = (pc - Abi.shelf_base) / 4 in
+        let instr = t.shelf_decoded.(w) in
+        let region = t.shelf_region_of.(w) in
         if region >= 0 && not t.regions_touched.(region) then
           t.regions_touched.(region) <- true;
         t.last_region <- region;
         M.touch_exec m pc;
         let taken = exec t instr in
-        Cost.on_fetch t.cost ~region ~pc instr ~taken
+        Cost.on_shelf_fetch t.cost ~region ~pc instr ~taken
       end
       else if pc >= Abi.dict_base && pc < Abi.dict_base + t.dict_len then begin
         (* Shared-dictionary bodies execute exactly like local text: same
@@ -468,6 +579,26 @@ let method_cycles t =
     (fun i (me : Calibro_oat.Oat_file.method_entry) ->
       (me.me_name, t.cost.Cost.per_region.(i)))
     t.oat.methods
+
+(* ---- Shelving observability ------------------------------------------- *)
+
+(* Methods whose first fault redirected the ArtMethod entry to the shelf. *)
+let unshelved_count t = t.unshelves
+
+(* Stub faults taken per shelved method (first + re-entrant), in shelf
+   order. A method never called stays at 0. *)
+let shelf_fault_counts t =
+  Array.to_list
+    (Array.mapi (fun i s -> (s.si_name, t.shelf_faults.(i))) t.shelf_slots)
+
+let is_unshelved t name =
+  let found = ref false in
+  Array.iteri
+    (fun i s -> if s.si_name = name && t.shelf_unshelved.(i) then found := true)
+    t.shelf_slots;
+  !found
+
+let shelved_method_count t = Array.length t.shelf_slots
 
 (* Resident code pages touched by execution. *)
 let resident_code_pages t = M.touched_exec_page_count t.machine

@@ -18,6 +18,11 @@
 
 open Calibro_dex.Dex_ir
 
+exception Mutate_error of string
+(* The typed-error convention (PR 5): reachable misuse raises this, never
+   [Failure] or [Invalid_argument] — callers that drive mutation loops
+   over arbitrary generated apps can catch it precisely. *)
+
 type op =
   | Edit_const of method_ref
   | Add_method of method_ref
@@ -65,7 +70,8 @@ let pick rng l = List.nth l (Random.State.int rng (List.length l))
 
 let edit_const rng apk : apk * op =
   match editable apk with
-  | [] -> invalid_arg "Mutate: no editable method (no Const anywhere)"
+  | [] ->
+    raise (Mutate_error "no editable method (no Const anywhere in the apk)")
   | candidates ->
     let victim = (pick rng candidates).name in
     (* Flip low bits of the first Const; keep the literal small and

@@ -6,6 +6,11 @@
 
 open Calibro_dex.Dex_ir
 
+exception Mutate_error of string
+(** Typed misuse error (the PR 5 convention): raised instead of [Failure]
+    or [Invalid_argument] everywhere a caller-supplied apk can be
+    unusable, so mutation loops over generated apps can catch precisely. *)
+
 type op =
   | Edit_const of method_ref
       (** one [Const] literal flipped in this method *)
@@ -21,8 +26,9 @@ val mutate : ?ops:int -> seed:int -> apk -> apk * op list
 (** Apply [ops] (default 1) random deltas — edits weighted over
     adds/deletes, mirroring release churn. The mutant passes [Dex_check]
     by construction.
-    @raise Invalid_argument if the apk has no method with a [Const]. *)
+    @raise Mutate_error if the apk has no method with a [Const]. *)
 
 val edit_one : seed:int -> apk -> apk * method_ref
 (** Exactly one [Edit_const]; returns the edited method. The
-    [bench incr] workload: the smallest possible release delta. *)
+    [bench incr] workload: the smallest possible release delta.
+    @raise Mutate_error if the apk has no method with a [Const]. *)

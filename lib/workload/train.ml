@@ -1,0 +1,51 @@
+(* Deterministic release trains: the store-scale incremental workload.
+
+   A release train is an app's version history — version 0 is the seed
+   apk, and every later version applies a small batch of method-level
+   deltas ({!Mutate}) to its predecessor, the way an app store sees
+   hundreds of successive uploads of the "same" app. The whole train is a
+   pure function of [(seed, deltas, ops_per_delta, apk)]: replaying it
+   against a calibrod fleet twice must produce byte-identical OATs, which
+   is what the [bench train] battery and the CI train-smoke job assert.
+
+   [fold] is the primary interface: a train of hundreds of versions of a
+   production-sized app would be hundreds of full IR copies if
+   materialized, so consumers that only need one version at a time (the
+   fleet replay) stream it instead. *)
+
+open Calibro_dex.Dex_ir
+
+type version = {
+  v_index : int;          (* 0 is the unmutated seed apk *)
+  v_apk : apk;
+  v_ops : Mutate.op list; (* deltas applied to the predecessor; [] at 0 *)
+}
+
+(* Per-version mutation seed: mixes the train seed with the version index
+   so each delta draws from its own stream — reordering or truncating the
+   train never changes the deltas of the versions it keeps. The multiplier
+   is an arbitrary large odd constant (same spirit as splitmix64's). *)
+let version_seed ~seed i = (seed * 1_000_003) + i
+
+let fold ?(ops_per_delta = 1) ~deltas ~seed (apk : apk) ~init ~f =
+  if deltas < 0 then
+    raise
+      (Mutate.Mutate_error
+         (Printf.sprintf "train of %d deltas (negative)" deltas));
+  let acc = ref (f init { v_index = 0; v_apk = apk; v_ops = [] }) in
+  let cur = ref apk in
+  for i = 1 to deltas do
+    let apk, ops =
+      Mutate.mutate ~ops:ops_per_delta ~seed:(version_seed ~seed i) !cur
+    in
+    cur := apk;
+    acc := f !acc { v_index = i; v_apk = apk; v_ops = ops }
+  done;
+  !acc
+
+let generate ?ops_per_delta ~deltas ~seed apk =
+  List.rev
+    (fold ?ops_per_delta ~deltas ~seed apk ~init:[] ~f:(fun acc v ->
+         v :: acc))
+
+let length ~deltas = deltas + 1

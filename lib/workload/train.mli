@@ -1,0 +1,33 @@
+(** Deterministic release trains: an app's simulated version history.
+    Version 0 is the seed apk; each later version applies a batch of
+    {!Mutate} deltas to its predecessor. The whole train is a pure
+    function of [(seed, deltas, ops_per_delta, apk)], so a fleet replay
+    can be repeated byte-for-byte. *)
+
+open Calibro_dex.Dex_ir
+
+type version = {
+  v_index : int;           (** 0 is the unmutated seed apk *)
+  v_apk : apk;
+  v_ops : Mutate.op list;  (** deltas applied to the predecessor; [] at 0 *)
+}
+
+val fold :
+  ?ops_per_delta:int ->
+  deltas:int ->
+  seed:int ->
+  apk ->
+  init:'a ->
+  f:('a -> version -> 'a) ->
+  'a
+(** Stream the train — [deltas + 1] versions, seed apk first — without
+    materializing it (a long train of production-sized apps is hundreds
+    of full IR copies). [ops_per_delta] defaults to 1.
+    @raise Mutate_error on a negative [deltas] or an unmutatable apk. *)
+
+val generate :
+  ?ops_per_delta:int -> deltas:int -> seed:int -> apk -> version list
+(** [fold] materialized, for tests and short trains. *)
+
+val length : deltas:int -> int
+(** Versions in a train of [deltas] deltas, seed included. *)

@@ -22,5 +22,6 @@ let () =
       ("cache", Test_cache.suite);
       ("dict", Test_dict.suite);
       ("chash", Test_chash.suite);
+      ("shelve", Test_shelve.suite);
       ("server", Test_server.suite);
       ("pgo", Test_pgo.suite) ]

@@ -188,7 +188,8 @@ let key =
   { Pgo.bk_config = Config.baseline;
     bk_dexsim = "dex";
     bk_profile = None;
-    bk_dict = None }
+    bk_dict = None;
+    bk_shelve = None }
 
 let base_profile =
   [ sample "a.A" "hot1" 5000;

@@ -29,15 +29,17 @@ module Chash = Calibro_chash.Chash
 
 let demo_app = lazy (Appgen.generate Apps.demo)
 
-let request ?profile ?deadline_ms ?dict ?(config = Config.baseline) dexsim =
+let request ?profile ?deadline_ms ?dict ?shelve ?(config = Config.baseline)
+    dexsim =
   { Protocol.rq_config = config;
     rq_dexsim = dexsim;
     rq_profile = profile;
     rq_deadline_ms = deadline_ms;
-    rq_dict = dict }
+    rq_dict = dict;
+    rq_shelve = shelve }
 
-let demo_request ?profile ?deadline_ms ?dict ?config () =
-  request ?profile ?deadline_ms ?dict ?config
+let demo_request ?profile ?deadline_ms ?dict ?shelve ?config () =
+  request ?profile ?deadline_ms ?dict ?shelve ?config
     (Calibro_dex.Dex_text.to_string (Lazy.force demo_app).Appgen.app)
 
 let sock_counter = ref 0
@@ -52,7 +54,7 @@ let fresh_socket () =
 let fresh_endpoint () = Transport.Unix_socket { path = fresh_socket () }
 
 let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
-    ?(dict = fun () -> None) ?cache ?endpoint ?pgo f =
+    ?(dict = fun () -> None) ?cache ?endpoint ?pgo ?shelve f =
   let cache =
     match cache with Some c -> c | None -> Calibro_cache.Cache.create ()
   in
@@ -68,7 +70,8 @@ let with_server ?(workers = 2) ?(queue_capacity = 16) ?(recv_timeout_s = 10.0)
         recv_timeout_s;
         default_deadline_ms = None;
         dict;
-        pgo }
+        pgo;
+        shelve }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -120,7 +123,8 @@ let sample_request =
     rq_dexsim = ".apk x\n.dex d\n";
     rq_profile = Some "com.a.B run 500\n";
     rq_deadline_ms = Some 1500;
-    rq_dict = Some (String.make 32 'd') }
+    rq_dict = Some (String.make 32 'd');
+    rq_shelve = Some 0.85 }
 
 let sample_stats =
   { Protocol.bs_text_size = 40960;
@@ -149,7 +153,8 @@ let codec_tests =
             rq_dexsim = "";
             rq_profile = None;
             rq_deadline_ms = None;
-            rq_dict = None };
+            rq_dict = None;
+            rq_shelve = None };
         (* The dictionary handshake is its own one-byte request. *)
         match Protocol.decode_request (Protocol.encode_hello ()) with
         | Ok Protocol.Hello -> ()
@@ -673,7 +678,8 @@ let built_fixtures () =
         methods = [];
         thunks = [];
         outlined = [];
-        dict_digest = None },
+        dict_digest = None;
+        shelve = None },
       stats0 )
   in
   let tiny =
@@ -683,7 +689,8 @@ let built_fixtures () =
         methods = [];
         thunks = [];
         outlined = [ { Oat_file.ol_offset = 0; ol_size = 16 } ];
-        dict_digest = Some (String.make 32 'a') },
+        dict_digest = Some (String.make 32 'a');
+        shelve = None },
       { stats0 with Protocol.bs_text_size = 16; bs_outlined = 1 } )
   in
   real @ [ empty; tiny ]
@@ -717,7 +724,8 @@ let zero_copy_tests =
             methods = [];
             thunks = [];
             outlined = [];
-            dict_digest = None }
+            dict_digest = None;
+            shelve = None }
         in
         let stats =
           { Protocol.bs_text_size = Bytes.length oat.Oat_file.text;
@@ -1444,7 +1452,8 @@ let drain_tests =
               recv_timeout_s = 10.0;
               default_deadline_ms = None;
               dict = (fun () -> None);
-              pgo = None }
+              pgo = None;
+              shelve = None }
         in
         Server.install_sigterm t;
         Fun.protect

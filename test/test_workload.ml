@@ -76,5 +76,54 @@ let suite =
               (size n <= size "Kuaishou");
             Alcotest.(check bool) (n ^ " >= Taobao") true
               (size n >= size "Taobao"))
-          sizes)
+          sizes);
+    Alcotest.test_case "mutate raises the typed error on a constless apk"
+      `Quick (fun () ->
+        (* no Const anywhere: edit_one has nothing to flip and must raise
+           Mutate_error, not Failure or Invalid_argument *)
+        let src =
+          ".apk t\n.dex d\n.class t\n"
+          ^ ".method f params #1 regs #2 entry\n  add v1, v0, v0\n  return v1\n.end\n"
+        in
+        let apk =
+          match Dex_text.parse src with
+          | Ok apk -> apk
+          | Error e -> Alcotest.failf "parse: %s" e
+        in
+        (match Mutate.edit_one ~seed:1 apk with
+         | exception Mutate.Mutate_error _ -> ()
+         | _ -> Alcotest.fail "edit_one accepted a constless apk");
+        match Mutate.mutate ~seed:1 apk with
+        | exception Mutate.Mutate_error _ -> ()
+        | _ -> Alcotest.fail "mutate accepted a constless apk");
+    Alcotest.test_case "release trains are deterministic" `Quick (fun () ->
+        let apk = (demo ()).Appgen.app in
+        let a = Train.generate ~deltas:4 ~seed:7 apk
+        and b = Train.generate ~deltas:4 ~seed:7 apk in
+        Alcotest.(check int) "length" (Train.length ~deltas:4)
+          (List.length a);
+        Alcotest.(check bool) "same train" true (a = b);
+        let c = Train.generate ~deltas:4 ~seed:8 apk in
+        Alcotest.(check bool) "seed matters" true
+          (List.map (fun v -> v.Train.v_apk) a
+          <> List.map (fun v -> v.Train.v_apk) c);
+        (* version 0 is the untouched seed apk; later versions mutate *)
+        let v0 = List.hd a in
+        Alcotest.(check int) "seed index" 0 v0.Train.v_index;
+        Alcotest.(check bool) "seed apk untouched" true
+          (v0.Train.v_apk = apk && v0.Train.v_ops = []);
+        List.iter
+          (fun v ->
+            if v.Train.v_index > 0 then
+              Alcotest.(check bool)
+                (Printf.sprintf "version %d has deltas" v.Train.v_index)
+                true
+                (v.Train.v_ops <> []))
+          a);
+    Alcotest.test_case "negative train length is a typed error" `Quick
+      (fun () ->
+        let apk = (demo ()).Appgen.app in
+        match Train.generate ~deltas:(-1) ~seed:1 apk with
+        | exception Mutate.Mutate_error _ -> ()
+        | _ -> Alcotest.fail "negative deltas accepted")
   ]
